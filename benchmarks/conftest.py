@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro.gatelib import BestagonLibrary
+from repro.synthesis import NpnDatabase
+
+
+@pytest.fixture(scope="session")
+def npn_database():
+    """One NPN database per session (exact-synthesis results are cached)."""
+    return NpnDatabase()
+
+
+@pytest.fixture(scope="session")
+def bestagon_library():
+    return BestagonLibrary()
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Reproduce Table 1 of the paper from the command line.
+
+Runs the full design flow over the Trindade'16 / Fontes'18 benchmark
+suite and prints our layout dimensions, SiDB counts and areas next to
+the published values.
+
+    python examples/table1_reproduction.py [benchmark ...]
+
+Without arguments the small/medium benchmarks run with the exact engine;
+pass explicit names (e.g. ``cm82a_5``) to include the large instances
+(bounded SAT budget with heuristic fallback).
+"""
+
+import sys
+
+from repro.flow import (
+    FlowConfiguration,
+    design_sidb_circuit,
+    format_table1_row,
+)
+from repro.networks import benchmark_verilog
+from repro.synthesis import NpnDatabase
+
+DEFAULT_NAMES = [
+    "xor2", "xnor2", "par_gen", "mux21", "par_check",
+    "xor5_r1", "xor5_majority", "t", "c17", "majority",
+]
+
+
+def main() -> None:
+    names = sys.argv[1:] or DEFAULT_NAMES
+    database = NpnDatabase()
+    config = FlowConfiguration(
+        engine="auto", exact_conflict_limit=150_000, database=database
+    )
+    print("Table 1 reproduction (ours vs. paper)\n")
+    for name in names:
+        result = design_sidb_circuit(benchmark_verilog(name), name, config)
+        row = format_table1_row(
+            name, result.width, result.height,
+            result.num_sidbs, result.area_nm2,
+        )
+        verified = "ok" if result.equivalence.equivalent else "FAILED"
+        print(f"{row}  [{result.engine_used}, verify {verified}, "
+              f"{result.runtime_seconds:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,393 @@
+#!/usr/bin/env python3
+"""Offline design-space exploration for the Bestagon library.
+
+Scans geometric parameter spaces (and runs the canvas designer) with the
+exhaustive ground-state oracle at the Bestagon parameter set
+(mu = -0.32 eV), writing every validated motif to
+``src/repro/gatelib/found_designs.json``.  The library builders in
+``repro.gatelib.designs`` read that file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from repro.coords.lattice import LatticeSite
+from repro.networks.truth_table import TruthTable
+from repro.sidb.bdl import BdlPair, read_bdl_pair
+from repro.sidb.charge import SidbLayout
+from repro.sidb.exhaustive import exhaustive_ground_state
+from repro.tech.parameters import SiDBSimulationParameters
+
+S = LatticeSite.from_row
+P32 = SiDBSimulationParameters(mu_minus=-0.32)
+OUT = os.path.join(
+    os.path.dirname(__file__), "..", "src", "repro", "gatelib",
+    "found_designs.json",
+)
+
+RESULTS: dict = {}
+if os.path.exists(OUT):
+    with open(OUT, encoding="utf-8") as _handle:
+        RESULTS.update(json.load(_handle))
+
+
+def save() -> None:
+    with open(OUT, "w", encoding="utf-8") as handle:
+        json.dump(RESULTS, handle, indent=1, sort_keys=True)
+    print("saved", flush=True)
+
+
+def ground_reads(body, perturbers, pairs):
+    try:
+        layout = SidbLayout(body + perturbers)
+    except ValueError:
+        return None  # colliding candidate geometry
+    result = exhaustive_ground_state(layout, P32)
+    if not result.ground_states:
+        return None
+    reads = [
+        tuple(read_bdl_pair(layout, gs, p) for p in pairs)
+        for gs in result.ground_states
+    ]
+    if any(r != reads[0] for r in reads):
+        return None
+    return reads[0]
+
+
+def chain(col0, row0, dxs, intra=2, pitch=6):
+    sites, pairs, col, row = [], [], col0, row0
+    positions = [(col0, row0)]
+    for dx in dxs:
+        col += dx
+        row += pitch
+        positions.append((col, row))
+    sites, pairs = [], []
+    for c, r in positions:
+        sites += [S(c, r), S(c, r + intra)]
+        pairs.append(BdlPair(S(c, r), S(c, r + intra)))
+    return sites, pairs, positions
+
+
+def wire_ok(dxs, pitch, g1=2, g0=6, gout=4, intra=2):
+    sites, pairs, positions = chain(0, 0, dxs, intra, pitch)
+    first_c, first_r = positions[0]
+    last_c, last_r = positions[-1]
+    dx0 = dxs[0] if dxs else 0
+    dxn = dxs[-1] if dxs else 0
+    for bit, g in ((0, g0), (1, g1)):
+        reads = ground_reads(
+            sites,
+            [S(first_c - dx0, first_r - g), S(last_c + dxn, last_r + intra + gout)],
+            pairs,
+        )
+        if reads is None or any(v != bool(bit) for v in reads):
+            return False
+    return True
+
+
+def stage_steep_wires():
+    """Which per-step lateral displacements does a pitch-6 chain tolerate?"""
+    found = []
+    for dx in range(0, 9):
+        for pitch in (5, 6, 7):
+            if wire_ok([dx] * 4, pitch):
+                found.append({"dx": dx, "pitch": pitch})
+                print("wire ok:", dx, pitch, flush=True)
+    RESULTS["wires"] = found
+    save()
+
+
+def stage_inverter():
+    """1-in-1-out inverting doglegs: input chain, offset pair, output."""
+    found = []
+    spec1 = TruthTable(1, 0b01)  # NOT
+    for bx in range(2, 8):
+        for brow in range(8, 18, 2):
+            for orow_off in range(4, 10, 2):
+                for gout in (3, 4, 5):
+                    body = [S(0, 0), S(0, 2), S(0, 6), S(0, 8)]
+                    in_pairs = [
+                        BdlPair(S(0, 0), S(0, 2)),
+                        BdlPair(S(0, 6), S(0, 8)),
+                    ]
+                    body += [S(bx, brow), S(bx, brow + 2)]
+                    orow = brow + orow_off
+                    body += [S(bx, orow), S(bx, orow + 2)]
+                    out_pair = BdlPair(S(bx, orow), S(bx, orow + 2))
+                    ok = True
+                    for bit, g in ((0, 6), (1, 2)):
+                        reads = ground_reads(
+                            body,
+                            [S(0, -g), S(bx, orow + 2 + gout)],
+                            in_pairs + [out_pair],
+                        )
+                        if reads is None:
+                            ok = False
+                            break
+                        if reads[0] != bool(bit) or reads[1] != bool(bit):
+                            ok = False
+                            break
+                        if reads[2] != (not bool(bit)):
+                            ok = False
+                            break
+                    if ok:
+                        entry = {
+                            "bx": bx, "brow": brow,
+                            "orow_off": orow_off, "gout": gout,
+                        }
+                        found.append(entry)
+                        print("inv ok:", entry, flush=True)
+            if len(found) >= 6:
+                break
+    RESULTS["inverter"] = found
+    save()
+
+
+def stage_fanout():
+    """1-in-2-out: input chain into a junction, two diverging chains."""
+    found = []
+    for dxo in (3, 4, 5):
+        for og in (4, 5, 6):
+            for gout in (3, 4, 5):
+                body = [S(0, 0), S(0, 2), S(0, 6), S(0, 8)]
+                in_pairs = [
+                    BdlPair(S(0, 0), S(0, 2)),
+                    BdlPair(S(0, 6), S(0, 8)),
+                ]
+                lrow = 8 + og
+                body += [S(-dxo, lrow), S(-dxo, lrow + 2)]
+                body += [S(+dxo, lrow), S(+dxo, lrow + 2)]
+                left = BdlPair(S(-dxo, lrow), S(-dxo, lrow + 2))
+                right = BdlPair(S(dxo, lrow), S(dxo, lrow + 2))
+                ok = True
+                for bit, g in ((0, 6), (1, 2)):
+                    reads = ground_reads(
+                        body,
+                        [
+                            S(0, -g),
+                            S(-2 * dxo, lrow + 2 + gout),
+                            S(2 * dxo, lrow + 2 + gout),
+                        ],
+                        in_pairs + [left, right],
+                    )
+                    if reads is None or any(v != bool(bit) for v in reads):
+                        ok = False
+                        break
+                if ok:
+                    entry = {"dxo": dxo, "og": og, "gout": gout}
+                    found.append(entry)
+                    print("fanout ok:", entry, flush=True)
+    RESULTS["fanout"] = found
+    save()
+
+
+def two_input_core(dx1, dx2, og, extra=()):
+    sites, a_pairs, b_pairs = [], [], []
+    for sign, target in ((-1, a_pairs), (1, b_pairs)):
+        c0, c1 = sign * (dx2 + dx1), sign * dx2
+        sites += [S(c0, 0), S(c0, 2), S(c1, 6), S(c1, 8)]
+        target.extend(
+            [BdlPair(S(c0, 0), S(c0, 2)), BdlPair(S(c1, 6), S(c1, 8))]
+        )
+    orow = 8 + og
+    out_pair = BdlPair(S(0, orow), S(0, orow + 2))
+    sites += [S(0, orow), S(0, orow + 2)]
+    existing = set(sites)
+    for c, r in extra:
+        site = S(c, r)
+        if site in existing:
+            return None
+        sites.append(site)
+        existing.add(site)
+    return sites, a_pairs, b_pairs, out_pair, orow
+
+
+def classify_core(dx1, dx2, og, gout, extra=()):
+    core = two_input_core(dx1, dx2, og, extra)
+    if core is None:
+        return None
+    sites, ap, bp, op, orow = core
+    outs = []
+    for pattern in range(4):
+        perturbers = [
+            S(-(dx2 + 2 * dx1), -2 if pattern & 1 else -6),
+            S(+(dx2 + 2 * dx1), -2 if (pattern >> 1) & 1 else -6),
+            S(0, orow + 2 + gout),
+        ]
+        reads = ground_reads(sites, perturbers, ap + bp + [op])
+        if reads is None:
+            return None
+        if any(v != bool(pattern & 1) for v in reads[0:2]):
+            return None
+        if any(v != bool((pattern >> 1) & 1) for v in reads[2:4]):
+            return None
+        outs.append(reads[4])
+    return tuple(outs)
+
+
+TT_NAMES = {
+    (False, True, True, True): "or",
+    (False, False, False, True): "and",
+    (True, False, False, False): "nor",
+    (True, True, True, False): "nand",
+    (False, True, True, False): "xor",
+    (True, False, False, True): "xnor",
+}
+
+
+def stage_two_input_gates():
+    found: dict[str, list] = {}
+    extras = [()]
+    # Canvas decorations: symmetric dot pairs around/below the output pair.
+    for h in (2, 3, 4, 5, 6):
+        for hr in (10, 12, 14, 16, 18, 20):
+            extras.append(((-h, hr), (h, hr)))
+    for c in (0,):
+        for cr in (16, 18, 20, 22):
+            extras.append(((c, cr),))
+    total = 0
+    for dx1 in (3, 4, 5):
+        for dx2 in (2, 3, 4, 5):
+            for og in (3, 4, 5, 6, 8):
+                for gout in (2, 3, 4, 5):
+                    for extra in extras:
+                        total += 1
+                        tt = classify_core(dx1, dx2, og, gout, extra)
+                        if tt is None:
+                            continue
+                        name = TT_NAMES.get(tt)
+                        if name and len(found.get(name, [])) < 8:
+                            entry = {
+                                "dx1": dx1, "dx2": dx2, "og": og,
+                                "gout": gout, "extra": [list(e) for e in extra],
+                            }
+                            found.setdefault(name, []).append(entry)
+                            print(name, "ok:", entry, flush=True)
+            RESULTS["two_input"] = found
+            save()
+    print("two-input scan done over", total, "candidates", flush=True)
+
+
+def stage_crossing():
+    """Two diagonal chains crossing near the tile center.
+
+    Chain L runs NW->SE (left to right), chain R runs NE->SW; they pass
+    each other at a lateral clearance ``sep`` at the crossing row.
+    """
+    found = []
+    for dx in (3, 4):
+        for sep in (4, 6, 8):
+            for g1, g0 in ((2, 6),):
+                # L: columns -2dx-sep/2 .. ; R mirrored; crossing at row 12.
+                l_cols = [-(sep // 2) - 2 * dx, -(sep // 2) - dx, -(sep // 2)]
+                r_cols = [(sep // 2) + 2 * dx, (sep // 2) + dx, (sep // 2)]
+                rows = [0, 6, 12]
+                # After the crossing row they continue to the opposite side.
+                l_cols += [(sep // 2) + dx, (sep // 2) + 2 * dx]
+                r_cols += [-(sep // 2) - dx, -(sep // 2) - 2 * dx]
+                rows += [18, 24]
+                body, lp, rp = [], [], []
+                for c, r in zip(l_cols, rows):
+                    body += [S(c, r), S(c, r + 2)]
+                    lp.append(BdlPair(S(c, r), S(c, r + 2)))
+                for c, r in zip(r_cols, rows):
+                    body += [S(c, r), S(c, r + 2)]
+                    rp.append(BdlPair(S(c, r), S(c, r + 2)))
+                ok = True
+                for pattern in range(4):
+                    la = bool(pattern & 1)
+                    rb = bool((pattern >> 1) & 1)
+                    perturbers = [
+                        S(l_cols[0] - dx, -2 if la else -6),
+                        S(r_cols[0] + dx, -2 if rb else -6),
+                        S(l_cols[-1] + dx, 24 + 2 + 4),
+                        S(r_cols[-1] - dx, 24 + 2 + 4),
+                    ]
+                    reads = ground_reads(body, perturbers, lp + rp)
+                    if reads is None:
+                        ok = False
+                        break
+                    if any(v != la for v in reads[: len(lp)]):
+                        ok = False
+                        break
+                    if any(v != rb for v in reads[len(lp):]):
+                        ok = False
+                        break
+                if ok:
+                    entry = {"dx": dx, "sep": sep}
+                    found.append(entry)
+                    print("cross ok:", entry, flush=True)
+    RESULTS["crossing"] = found
+    save()
+
+
+def stage_xor_canvas():
+    """Canvas search for XOR on the two-input template."""
+    from repro.gatelib.designer import CanvasSearchProblem, search_canvas_design
+
+    dx1, dx2, og, gout = 4, 4, 8, 4
+    sites, ap, bp, op, orow = two_input_core(dx1, dx2, og)
+    candidates = [
+        S(c, r)
+        for c in range(-7, 8)
+        for r in range(10, orow - 1)
+        if (c, r) not in {(0, orow)}
+    ]
+    problem = CanvasSearchProblem(
+        fixed_sites=sites
+        + [S(0, orow + 2 + gout)],
+        candidate_sites=candidates,
+        input_stimuli=[
+            ([S(-(dx2 + 2 * dx1), -6)], [S(-(dx2 + 2 * dx1), -2)]),
+            ([S(+(dx2 + 2 * dx1), -6)], [S(+(dx2 + 2 * dx1), -2)]),
+        ],
+        output_pairs=[op],
+        outputs=[TruthTable(2, 0b0110)],
+        parameters=P32,
+        input_pairs_to_hold=[(p, 0) for p in ap] + [(p, 1) for p in bp],
+    )
+    best = None
+    for seed in range(6):
+        result = search_canvas_design(
+            problem, max_dots=5, iterations=250, seed=seed
+        )
+        if result is None:
+            continue
+        canvas, correct, total = result
+        print(f"xor seed {seed}: {correct}/{total}", flush=True)
+        if best is None or correct > best[1]:
+            best = (canvas, correct, total)
+        if correct == total:
+            break
+    if best is not None:
+        canvas, correct, total = best
+        RESULTS["xor_canvas"] = {
+            "template": {"dx1": dx1, "dx2": dx2, "og": og, "gout": gout},
+            "canvas": [[s.n, s.row] for s in sorted(canvas)],
+            "correct": correct,
+            "total": total,
+        }
+        save()
+
+
+if __name__ == "__main__":
+    start = time.time()
+    stages = sys.argv[1:] or [
+        "wires", "inverter", "fanout", "two_input", "crossing", "xor",
+    ]
+    dispatch = {
+        "wires": stage_steep_wires,
+        "inverter": stage_inverter,
+        "fanout": stage_fanout,
+        "two_input": stage_two_input_gates,
+        "crossing": stage_crossing,
+        "xor": stage_xor_canvas,
+    }
+    for stage in stages:
+        print(f"=== stage {stage} ({time.time() - start:.0f}s)", flush=True)
+        dispatch[stage]()
+    print(f"ALL DONE in {time.time() - start:.0f}s", flush=True)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Tile-context re-tuning of the two-input gate cores.
+
+The isolated-core scans of ``design_gates.py`` find junction geometries
+that compute AND/OR with bare stimulus perturbers; embedded in a full
+tile, the funnel wire charges shift the electrostatic balance.  This
+script re-scans the core knobs (junction gap ``og``, convergence ``dx2``,
+optional hold dots) *in the assembled-tile context*, using the library's
+own operational check (SimAnneal engine) as the oracle, and stores the
+winners under ``two_input_tile`` in ``found_designs.json``.
+
+Caveat (documented in EXPERIMENTS.md): full tiles exceed the exhaustive
+engine's reach (> 2^27 configurations), and the SimAnneal oracle at
+small schedules is noisy enough that its "winners" may regress under
+the deterministic default validation -- review scores with
+``python -m repro.cli validate`` before trusting an update.  This is the
+same difficulty that led the paper to pair its RL agent with manual
+review and editing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from repro.gatelib import designs as D
+from repro.gatelib.library import BestagonLibrary
+from repro.gatelib.tile import Port
+from repro.sidb.simanneal import SimAnnealParameters
+
+OUT = os.path.join(
+    os.path.dirname(__file__), "..", "src", "repro", "gatelib",
+    "found_designs.json",
+)
+SCHEDULE = SimAnnealParameters(instances=10, sweeps=200, seed=5)
+
+
+def evaluate(kind: str, core: dict) -> int:
+    """Correct patterns of the SE-variant tile built from ``core``."""
+    original = dict(D._TWO_INPUT)
+    D._TWO_INPUT[kind] = [core]
+    try:
+        design = D.gate2_design(kind, Port.SE)
+        library = BestagonLibrary({design.name: design})
+        report = library.validate(design.name, engine="auto", schedule=SCHEDULE)
+        return sum(p.correct for p in report.patterns)
+    except Exception:
+        return -1
+    finally:
+        D._TWO_INPUT.clear()
+        D._TWO_INPUT.update(original)
+
+
+def tune(kind: str) -> dict | None:
+    best = None
+    best_score = 0
+    extras = [[]]
+    for h in (2, 3, 4):
+        for hr in (16, 18, 20):
+            extras.append([[-h, hr], [h, hr]])
+    for dx1 in (3, 4):
+        for dx2 in (3, 4, 5):
+            for og in (3, 4, 5, 6):
+                for gout in (4,):
+                    for extra in extras:
+                        core = {
+                            "dx1": dx1, "dx2": dx2, "og": og,
+                            "gout": gout, "extra": extra,
+                        }
+                        score = evaluate(kind, core)
+                        if score > best_score:
+                            best_score = score
+                            best = core
+                            print(f"{kind}: {score}/4 {core}", flush=True)
+                        if score == 4:
+                            return best
+    return best
+
+
+if __name__ == "__main__":
+    kinds = sys.argv[1:] or ["and", "or", "nand", "xor"]
+    data = json.load(open(OUT)) if os.path.exists(OUT) else {}
+    tile_section = data.setdefault("two_input_tile", {})
+    for kind in kinds:
+        print(f"=== tuning {kind}", flush=True)
+        core = tune(kind)
+        if core is not None:
+            tile_section[kind] = [core]
+            json.dump(data, open(OUT, "w"), indent=1, sort_keys=True)
+            print(f"saved {kind}: {core}", flush=True)

@@ -1,0 +1,5 @@
+"""Setup shim for environments whose setuptools predates PEP 517 editable installs."""
+
+from setuptools import setup
+
+setup()

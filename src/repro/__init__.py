@@ -1,0 +1,27 @@
+"""repro -- a pure-Python reproduction of "Hexagons are the Bestagons:
+Design Automation for Silicon Dangling Bond Logic" (DAC 2022).
+
+Public API highlights:
+
+* :func:`repro.flow.design_sidb_circuit` -- the complete 8-step flow from
+  a Verilog specification to a dot-accurate SiDB layout;
+* :class:`repro.physical_design.ExactPhysicalDesign` -- SAT-based exact
+  placement & routing on hexagonal floor plans;
+* :class:`repro.gatelib.BestagonLibrary` -- the hexagonal standard-tile
+  library with dot-accurate SiDB designs;
+* :mod:`repro.sidb` -- the SiDB electrostatics and ground-state engines
+  (ExGS and SimAnneal);
+* :func:`repro.verification.check_layout_against_network` -- SAT-based
+  equivalence checking of layouts against specifications.
+"""
+
+from repro.flow import DesignResult, FlowConfiguration, design_sidb_circuit
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DesignResult",
+    "FlowConfiguration",
+    "design_sidb_circuit",
+    "__version__",
+]

@@ -1,0 +1,153 @@
+"""Command-line interface for the SiDB design flow.
+
+    python -m repro.cli synth  <spec.v | benchmark-name> [options]
+    python -m repro.cli bench  [name ...]
+    python -m repro.cli validate <tile-name ...>
+    python -m repro.cli library
+
+``synth`` runs the 8-step flow and writes .sqd/.svg artifacts; ``bench``
+prints Table-1 style rows; ``validate`` runs the physics operational
+check on library tiles; ``library`` lists the Bestagon designs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.flow import (
+    FlowConfiguration,
+    design_sidb_circuit,
+    format_table1_row,
+)
+from repro.gatelib import BestagonLibrary
+from repro.layout.render import layout_to_ascii, layout_to_svg
+from repro.networks import BENCHMARK_NAMES, benchmark_verilog
+
+
+def _load_specification(source: str) -> tuple[str, str]:
+    """(verilog text, name) from a file path or a benchmark name."""
+    if os.path.exists(source):
+        with open(source, encoding="utf-8") as handle:
+            return handle.read(), os.path.splitext(os.path.basename(source))[0]
+    if source in BENCHMARK_NAMES:
+        return benchmark_verilog(source), source
+    raise SystemExit(
+        f"'{source}' is neither a file nor a benchmark "
+        f"(known: {', '.join(sorted(BENCHMARK_NAMES))})"
+    )
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    verilog, name = _load_specification(args.spec)
+    config = FlowConfiguration(
+        engine=args.engine,
+        exact_conflict_limit=args.conflict_limit,
+        exact_time_limit_seconds=args.time_limit,
+    )
+    result = design_sidb_circuit(verilog, name, config)
+    print(result.summary())
+    if args.ascii:
+        print()
+        print(layout_to_ascii(result.layout))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result.to_sqd())
+        print(f"wrote {args.output}")
+    if args.svg:
+        with open(args.svg, "w", encoding="utf-8") as handle:
+            handle.write(layout_to_svg(result.layout))
+        print(f"wrote {args.svg}")
+    return 0 if (result.equivalence and result.equivalence.equivalent) else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    names = args.names or [
+        "xor2", "xnor2", "par_gen", "mux21", "par_check",
+        "xor5_r1", "c17", "majority",
+    ]
+    config = FlowConfiguration(
+        engine="auto", exact_conflict_limit=args.conflict_limit
+    )
+    status = 0
+    for name in names:
+        verilog, _ = _load_specification(name)
+        try:
+            result = design_sidb_circuit(verilog, name, config)
+        except Exception as error:
+            print(f"{name:15s} failed: {error}")
+            status = 1
+            continue
+        print(format_table1_row(
+            name, result.width, result.height,
+            result.num_sidbs, result.area_nm2,
+        ))
+    return status
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    library = BestagonLibrary()
+    names = args.names or ["wire_NW_SW", "inv_NW_SW", "and_SE", "or_SE"]
+    status = 0
+    for name in names:
+        report = library.validate(name)
+        correct = sum(p.correct for p in report.patterns)
+        verdict = "operational" if report.operational else "NOT operational"
+        print(f"{name:16s} {verdict} ({correct}/{len(report.patterns)} patterns)")
+        if not report.operational:
+            status = 1
+    return status
+
+
+def cmd_library(args: argparse.Namespace) -> int:
+    library = BestagonLibrary()
+    for name in library.names():
+        design = library.design(name)
+        status = "motifs-validated" if design.validated_motifs else "assembled"
+        print(f"{name:16s} {design.num_sidbs:3d} SiDBs  "
+              f"in:{','.join(p.value for p in design.input_ports) or '-':6s}"
+              f" out:{','.join(p.value for p in design.output_ports) or '-':6s}"
+              f"  [{status}]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SiDB design automation (Bestagon flow)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synth", help="run the 8-step flow")
+    synth.add_argument("spec", help="Verilog file or benchmark name")
+    synth.add_argument("--engine", default="auto",
+                       choices=["exact", "heuristic", "auto"])
+    synth.add_argument("--conflict-limit", type=int, default=400_000)
+    synth.add_argument("--time-limit", type=float, default=None)
+    synth.add_argument("-o", "--output", help="write .sqd design file")
+    synth.add_argument("--svg", help="write SVG rendering")
+    synth.add_argument("--ascii", action="store_true",
+                       help="print ASCII layout")
+    synth.set_defaults(handler=cmd_synth)
+
+    bench = sub.add_parser("bench", help="Table-1 style rows")
+    bench.add_argument("names", nargs="*")
+    bench.add_argument("--conflict-limit", type=int, default=150_000)
+    bench.set_defaults(handler=cmd_bench)
+
+    validate = sub.add_parser("validate", help="physics-check library tiles")
+    validate.add_argument("names", nargs="*")
+    validate.set_defaults(handler=cmd_validate)
+
+    library = sub.add_parser("library", help="list Bestagon tile designs")
+    library.set_defaults(handler=cmd_library)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Cartesian tile coordinates.
+
+Used for the topology study of Figure 3: established FCN design automation
+(QCA) lays plus-shaped gates out on Cartesian grids, which cannot
+reasonably accommodate the Y-shaped SiDB gates.  This module provides the
+Cartesian counterpart of :mod:`repro.coords.hexagonal` so both topologies
+can be compared quantitatively.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class CartesianDirection(enum.Enum):
+    """The four neighbor directions of a square tile."""
+
+    NORTH = "N"
+    EAST = "E"
+    SOUTH = "S"
+    WEST = "W"
+
+    @property
+    def opposite(self) -> "CartesianDirection":
+        return _OPPOSITE[self]
+
+
+_OPPOSITE = {
+    CartesianDirection.NORTH: CartesianDirection.SOUTH,
+    CartesianDirection.SOUTH: CartesianDirection.NORTH,
+    CartesianDirection.EAST: CartesianDirection.WEST,
+    CartesianDirection.WEST: CartesianDirection.EAST,
+}
+
+_DELTAS = {
+    CartesianDirection.NORTH: (0, -1),
+    CartesianDirection.EAST: (1, 0),
+    CartesianDirection.SOUTH: (0, 1),
+    CartesianDirection.WEST: (-1, 0),
+}
+
+
+@dataclass(frozen=True, order=True)
+class CartesianCoord:
+    """A tile position on a Cartesian floor plan; y grows downwards."""
+
+    x: int
+    y: int
+
+    def neighbor(self, direction: CartesianDirection) -> "CartesianCoord":
+        dx, dy = _DELTAS[direction]
+        return CartesianCoord(self.x + dx, self.y + dy)
+
+    def neighbors(self) -> Iterator[tuple[CartesianDirection, "CartesianCoord"]]:
+        for direction in CartesianDirection:
+            yield direction, self.neighbor(direction)
+
+    def manhattan_distance(self, other: "CartesianCoord") -> int:
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def __str__(self) -> str:
+        return f"({self.x},{self.y})"

@@ -1,0 +1,12 @@
+"""The complete 8-step physical design flow of the paper."""
+
+from repro.flow.design_flow import DesignResult, FlowConfiguration, design_sidb_circuit
+from repro.flow.reporting import format_table1_row, TABLE1_REFERENCE
+
+__all__ = [
+    "DesignResult",
+    "FlowConfiguration",
+    "design_sidb_circuit",
+    "format_table1_row",
+    "TABLE1_REFERENCE",
+]

@@ -1,0 +1,202 @@
+"""The end-to-end SiDB design flow (Section 4.2 of the paper).
+
+1. parse a specification (Verilog / XAG) as an XOR-AND-inverter graph,
+2. cut-based logic rewriting with the exact NPN database,
+3. technology mapping onto the Bestagon gate set,
+4. SAT-based exact physical design on the hexagonal floor plan
+   (heuristic fallback for large instances),
+5. SAT-based equivalence checking of specification vs. layout,
+6. super-tile merging (clock-zone expansion against the 40 nm pitch),
+7. Bestagon library application -> dot-accurate SiDB layout,
+8. SiQAD design-file generation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.gatelib.apply import apply_library
+from repro.gatelib.library import BestagonLibrary
+from repro.layout.clocking import ClockingScheme, columnar_rows
+from repro.layout.drc import check_layout
+from repro.layout.gate_layout import GateLevelLayout
+from repro.layout.supertile import SuperTilePlan, merge_into_supertiles
+from repro.networks.logic_network import LogicNetwork
+from repro.networks.verilog import parse_verilog
+from repro.networks.xag import Xag
+from repro.physical_design.exact import (
+    ExactPhysicalDesign,
+    ExactStatistics,
+    PhysicalDesignError,
+)
+from repro.physical_design.heuristic import (
+    HeuristicPhysicalDesign,
+    HeuristicStatistics,
+)
+from repro.sidb.charge import SidbLayout
+from repro.sqd.sqd import write_sqd
+from repro.synthesis.database import NpnDatabase
+from repro.synthesis.mapping import map_to_bestagon
+from repro.synthesis.rewrite import cut_rewrite
+from repro.tech.design_rules import DesignRules, DesignRuleViolation
+from repro.verification.equivalence import (
+    EquivalenceResult,
+    check_layout_against_network,
+)
+
+
+@dataclass
+class FlowConfiguration:
+    """Knobs of the design flow."""
+
+    engine: str = "auto"  # "exact", "heuristic" or "auto"
+    clocking: ClockingScheme = field(default_factory=columnar_rows)
+    rewrite: bool = True
+    verify: bool = True
+    exact_conflict_limit: int | None = 400_000
+    exact_max_width: int = 16
+    exact_extra_rows: int = 2
+    exact_time_limit_seconds: float | None = None
+    heuristic_max_width: int = 32
+    database: NpnDatabase | None = None
+    library: BestagonLibrary | None = None
+    design_rules: DesignRules = field(default_factory=DesignRules)
+
+
+@dataclass
+class DesignResult:
+    """Everything the flow produced for one specification."""
+
+    name: str
+    specification: Xag
+    optimized: Xag
+    mapped: LogicNetwork
+    layout: GateLevelLayout
+    supertiles: SuperTilePlan
+    sidb_layout: SidbLayout
+    equivalence: EquivalenceResult | None
+    drc_violations: list[DesignRuleViolation]
+    engine_used: str
+    runtime_seconds: float
+
+    @property
+    def width(self) -> int:
+        return self.layout.width
+
+    @property
+    def height(self) -> int:
+        return self.layout.height
+
+    @property
+    def area_tiles(self) -> int:
+        return self.layout.num_tiles
+
+    @property
+    def area_nm2(self) -> float:
+        return self.layout.area_nm2()
+
+    @property
+    def num_sidbs(self) -> int:
+        return len(self.sidb_layout)
+
+    def to_sqd(self) -> str:
+        """Step 8: the SiQAD design file of the layout."""
+        return write_sqd(self.sidb_layout, self.name)
+
+    def summary(self) -> str:
+        verified = (
+            "verified"
+            if self.equivalence and self.equivalence.equivalent
+            else "UNVERIFIED"
+        )
+        return (
+            f"{self.name}: {self.width}x{self.height} = {self.area_tiles} "
+            f"tiles, {self.num_sidbs} SiDBs, {self.area_nm2:.2f} nm^2, "
+            f"{verified} ({self.engine_used}, "
+            f"{self.runtime_seconds:.2f} s)"
+        )
+
+
+def design_sidb_circuit(
+    specification: str | Xag,
+    name: str | None = None,
+    configuration: FlowConfiguration | None = None,
+) -> DesignResult:
+    """Run the complete flow on a Verilog string or an XAG."""
+    config = configuration or FlowConfiguration()
+    start = time.time()
+
+    # Step 1: parse.
+    if isinstance(specification, str):
+        xag = parse_verilog(specification, name)
+    else:
+        xag = specification
+    if name is None:
+        name = xag.name
+
+    # Step 2: cut rewriting with the exact NPN database.
+    database = config.database or NpnDatabase()
+    optimized = cut_rewrite(xag, database) if config.rewrite else xag.cleanup()
+
+    # Step 3: technology mapping.
+    mapped = map_to_bestagon(optimized)
+
+    # Step 4: physical design.
+    layout, engine_used = _place_and_route(mapped, config)
+
+    # Step 5: equivalence checking.
+    equivalence = (
+        check_layout_against_network(xag, layout) if config.verify else None
+    )
+
+    # DRC on the gate-level layout.
+    violations = check_layout(layout)
+
+    # Step 6: super-tile merging.
+    supertiles = merge_into_supertiles(layout, config.design_rules)
+
+    # Step 7: library application.
+    library = config.library or BestagonLibrary()
+    sidb_layout = apply_library(layout, library)
+
+    return DesignResult(
+        name=name,
+        specification=xag,
+        optimized=optimized,
+        mapped=mapped,
+        layout=layout,
+        supertiles=supertiles,
+        sidb_layout=sidb_layout,
+        equivalence=equivalence,
+        drc_violations=violations,
+        engine_used=engine_used,
+        runtime_seconds=time.time() - start,
+    )
+
+
+def _place_and_route(
+    mapped: LogicNetwork, config: FlowConfiguration
+) -> tuple[GateLevelLayout, str]:
+    if config.engine not in ("exact", "heuristic", "auto"):
+        raise ValueError(f"unknown engine {config.engine!r}")
+    if config.engine in ("exact", "auto"):
+        engine = ExactPhysicalDesign(
+            max_width=config.exact_max_width,
+            extra_rows=config.exact_extra_rows,
+            conflict_limit=config.exact_conflict_limit,
+            clocking=config.clocking,
+            time_limit_seconds=config.exact_time_limit_seconds,
+        )
+        try:
+            return engine.run(mapped, ExactStatistics()), "exact"
+        except PhysicalDesignError:
+            if config.engine == "exact":
+                raise
+    heuristic = HeuristicPhysicalDesign(
+        clocking=config.clocking,
+        max_width=config.heuristic_max_width,
+        restarts_per_width=4,
+        moves_per_restart=2500,
+    )
+    return heuristic.run(mapped, HeuristicStatistics()), "heuristic"

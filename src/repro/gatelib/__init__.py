@@ -1,0 +1,29 @@
+"""The Bestagon gate library: hexagonal standard tiles with dot-accurate
+SiDB designs (contribution 2 of the paper).
+
+* :mod:`repro.gatelib.tile` -- standard-tile geometry: 60 x 46 lattice
+  units, NW/NE input and SW/SE output ports, the logic design canvas;
+* :mod:`repro.gatelib.designs` -- validated dot-accurate designs (BDL
+  wire motifs, Y-shaped gates) discovered by parameter scans and the
+  canvas designer;
+* :mod:`repro.gatelib.designer` -- stochastic canvas search validated by
+  the physics engine (our substitute for the paper's RL agent);
+* :mod:`repro.gatelib.library` -- tile lookup by gate function and port
+  configuration;
+* :mod:`repro.gatelib.apply` -- gate-level layout -> dot-accurate SiDB
+  layout (flow step 7).
+"""
+
+from repro.gatelib.tile import TileGeometry, Port
+from repro.gatelib.designs import GateDesign, builtin_designs
+from repro.gatelib.library import BestagonLibrary
+from repro.gatelib.apply import apply_library
+
+__all__ = [
+    "TileGeometry",
+    "Port",
+    "GateDesign",
+    "builtin_designs",
+    "BestagonLibrary",
+    "apply_library",
+]

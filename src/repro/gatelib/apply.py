@@ -1,0 +1,30 @@
+"""Flow step 7: apply the Bestagon library to a gate-level layout.
+
+Each occupied hexagonal tile is replaced by the dot-accurate SiDB design
+matching its gate function and port configuration, translated to the
+tile's lattice origin, yielding the final dot-accurate SiDB layout.
+"""
+
+from __future__ import annotations
+
+from repro.gatelib.library import BestagonLibrary
+from repro.gatelib.tile import TileGeometry
+from repro.layout.gate_layout import GateLevelLayout
+from repro.sidb.charge import SidbLayout
+
+
+def apply_library(
+    layout: GateLevelLayout,
+    library: BestagonLibrary | None = None,
+    geometry: TileGeometry | None = None,
+) -> SidbLayout:
+    """Translate a gate-level layout into a dot-accurate SiDB layout."""
+    library = library or BestagonLibrary()
+    geometry = geometry or TileGeometry()
+    sidb_layout = SidbLayout()
+    for coord, content in layout.occupied():
+        design = library.design_for(content)
+        column0, row0 = geometry.origin_of(coord)
+        for site in design.sites:
+            sidb_layout.add(site.translated(column0, row0))
+    return sidb_layout

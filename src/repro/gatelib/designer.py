@@ -1,0 +1,130 @@
+"""Automated gate design: parameter scans and canvas search.
+
+The paper designed its Bestagon tiles "with the assistance of a
+reinforcement learning agent [Lupoiu'22] which is allowed to place SiDBs
+within the logic design canvas and toggle through input combinations to
+check for logic correctness", followed by manual review.  This module is
+our substitute generator: a stochastic local search that adds, removes
+and moves SiDBs on a candidate canvas grid, scored by how many input
+patterns the exhaustive ground-state oracle evaluates correctly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.coords.lattice import LatticeSite
+from repro.networks.truth_table import TruthTable
+from repro.sidb.bdl import BdlPair, read_bdl_pair
+from repro.sidb.charge import SidbLayout
+from repro.sidb.exhaustive import exhaustive_ground_state
+from repro.tech.parameters import SiDBSimulationParameters
+
+
+@dataclass
+class CanvasSearchProblem:
+    """A canvas-completion problem for the designer."""
+
+    fixed_sites: list[LatticeSite]
+    candidate_sites: list[LatticeSite]
+    input_stimuli: list[tuple[list[LatticeSite], list[LatticeSite]]]
+    output_pairs: list[BdlPair]
+    outputs: list[TruthTable]
+    parameters: SiDBSimulationParameters = field(
+        default_factory=SiDBSimulationParameters
+    )
+    input_pairs_to_hold: list[tuple[BdlPair, int]] = field(default_factory=list)
+    """Pairs that must retain input ``i``'s value in every ground state."""
+
+
+def score_design(
+    problem: CanvasSearchProblem, canvas: frozenset[LatticeSite]
+) -> tuple[int, int]:
+    """(correct patterns, total patterns) for a canvas choice."""
+    num_inputs = len(problem.input_stimuli)
+    total = 1 << num_inputs
+    correct = 0
+    for pattern in range(total):
+        try:
+            layout = SidbLayout(problem.fixed_sites)
+            layout.extend(sorted(canvas))
+            for bit, (far, close) in enumerate(problem.input_stimuli):
+                layout.extend(close if (pattern >> bit) & 1 else far)
+        except ValueError:
+            return 0, total  # canvas collides with fixed/stimulus sites
+        result = exhaustive_ground_state(layout, problem.parameters)
+        if not result.ground_states:
+            continue
+        ok = True
+        for ground_state in result.ground_states:
+            for index, pair in enumerate(problem.output_pairs):
+                expected = problem.outputs[index].get_bit(pattern)
+                if read_bdl_pair(layout, ground_state, pair) != expected:
+                    ok = False
+                    break
+            for pair, input_bit in problem.input_pairs_to_hold:
+                expected = bool((pattern >> input_bit) & 1)
+                if read_bdl_pair(layout, ground_state, pair) != expected:
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            correct += 1
+    return correct, total
+
+
+def search_canvas_design(
+    problem: CanvasSearchProblem,
+    max_dots: int = 6,
+    iterations: int = 400,
+    seed: int = 0,
+    initial: frozenset[LatticeSite] | None = None,
+) -> tuple[frozenset[LatticeSite], int, int] | None:
+    """Stochastic local search for a correct canvas.
+
+    Returns (canvas sites, correct, total) of the best design found, or
+    None if no candidate scored above zero.  A design is complete when
+    correct == total.
+    """
+    rng = random.Random(seed)
+    candidates = list(problem.candidate_sites)
+    current: frozenset[LatticeSite] = initial or frozenset()
+    best = current
+    best_score = score_design(problem, current)[0]
+    total = 1 << len(problem.input_stimuli)
+    if best_score == total:
+        return best, best_score, total
+    current_score = best_score
+
+    for _ in range(iterations):
+        move = rng.random()
+        next_canvas = set(current)
+        if (move < 0.45 or not next_canvas) and len(next_canvas) < max_dots:
+            addition = rng.choice(candidates)
+            if addition in next_canvas:
+                continue
+            next_canvas.add(addition)
+        elif move < 0.75 and next_canvas:
+            next_canvas.discard(rng.choice(sorted(next_canvas)))
+        elif next_canvas:
+            next_canvas.discard(rng.choice(sorted(next_canvas)))
+            addition = rng.choice(candidates)
+            next_canvas.add(addition)
+        else:
+            continue
+        frozen = frozenset(next_canvas)
+        score = score_design(problem, frozen)[0]
+        # Greedy with sideways moves.
+        if score >= current_score:
+            current = frozen
+            current_score = score
+            if score > best_score:
+                best = frozen
+                best_score = score
+                if best_score == total:
+                    return best, best_score, total
+    if best_score == 0:
+        return None
+    return best, best_score, total

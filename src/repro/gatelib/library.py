@@ -1,0 +1,108 @@
+"""The Bestagon library: tile lookup and physics validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gatelib.designs import GateDesign, builtin_designs
+from repro.gatelib.tile import Port
+from repro.layout.gate_layout import TileContent, TileKind
+from repro.networks.logic_network import GateType
+from repro.sidb.operational import (
+    GateFunctionSpec,
+    OperationalReport,
+    check_operational,
+)
+from repro.sidb.simanneal import SimAnnealParameters
+from repro.tech.parameters import SiDBSimulationParameters
+
+_GATE_KIND = {
+    GateType.BUF: "wire",
+    GateType.INV: "inv",
+    GateType.FANOUT: "fanout",
+    GateType.AND2: "and",
+    GateType.OR2: "or",
+    GateType.NAND2: "nand",
+    GateType.NOR2: "nor",
+    GateType.XOR2: "xor",
+    GateType.XNOR2: "xnor",
+    GateType.PI: "pi",
+    GateType.PO: "po",
+}
+
+
+class BestagonLibrary:
+    """Standard-tile library with lookup by tile content."""
+
+    def __init__(self, designs: dict[str, GateDesign] | None = None) -> None:
+        self.designs = designs if designs is not None else builtin_designs()
+        self._validation: dict[str, OperationalReport] = {}
+
+    def names(self) -> list[str]:
+        return sorted(self.designs)
+
+    def design(self, name: str) -> GateDesign:
+        if name not in self.designs:
+            raise KeyError(f"no Bestagon design named {name!r}")
+        return self.designs[name]
+
+    def design_for(self, content: TileContent) -> GateDesign:
+        """The tile design realizing a gate-level tile content."""
+        if content.kind is TileKind.CROSS:
+            return self.design("cross")
+        if content.kind is TileKind.DOUBLE_WIRE:
+            return self.design("double_wire")
+        assert content.gate_type is not None
+        kind = _GATE_KIND.get(content.gate_type)
+        if kind is None:
+            raise KeyError(
+                f"gate type {content.gate_type.value} has no Bestagon tile"
+            )
+        if kind == "pi":
+            out_port = Port.from_direction(content.output_dirs[0])
+            return self.design(f"pi_{out_port.value}")
+        if kind == "po":
+            in_port = Port.from_direction(content.input_dirs[0])
+            return self.design(f"po_{in_port.value}")
+        if kind == "fanout":
+            in_port = Port.from_direction(content.input_dirs[0])
+            return self.design(f"fanout_{in_port.value}")
+        if kind in ("wire", "inv"):
+            in_port = Port.from_direction(content.input_dirs[0])
+            out_port = Port.from_direction(content.output_dirs[0])
+            return self.design(f"{kind}_{in_port.value}_{out_port.value}")
+        out_port = Port.from_direction(content.output_dirs[0])
+        return self.design(f"{kind}_{out_port.value}")
+
+    # --- physics validation ------------------------------------------------
+    def validate(
+        self,
+        name: str,
+        parameters: SiDBSimulationParameters | None = None,
+        engine: str = "auto",
+        schedule: SimAnnealParameters | None = None,
+    ) -> OperationalReport:
+        """Operational check of a tile design (Figure 5 procedure)."""
+        if name in self._validation:
+            return self._validation[name]
+        design = self.design(name)
+        report = check_operational(
+            body_sites=list(design.sites) + list(design.output_perturbers),
+            input_stimuli=[
+                (list(far), list(close))
+                for far, close in design.input_stimuli
+            ],
+            output_pairs=list(design.output_pairs),
+            spec=GateFunctionSpec(design.functions),
+            parameters=parameters or SiDBSimulationParameters.bestagon(),
+            engine=engine,
+            schedule=schedule,
+        )
+        self._validation[name] = report
+        return report
+
+    def validation_summary(self) -> dict[str, bool]:
+        return {
+            name: report.operational
+            for name, report in self._validation.items()
+        }

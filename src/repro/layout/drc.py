@@ -1,0 +1,103 @@
+"""Design-rule checking for gate-level layouts.
+
+Validates the information-flow discipline of the hexagonal floor plan:
+
+* every operand border is actually driven by the adjacent tile,
+* every driven border is consumed,
+* every hop respects the clocking scheme (target tile one phase later),
+* only library-supported tile contents appear,
+* PIs occupy the first row and POs the last (path balance / throughput).
+"""
+
+from __future__ import annotations
+
+from repro.layout.gate_layout import GateLevelLayout, TileKind
+from repro.networks.logic_network import GateType
+from repro.tech.design_rules import DesignRuleViolation
+
+# Gate types realizable as Bestagon standard tiles.
+SUPPORTED_GATE_TYPES = {
+    GateType.PI,
+    GateType.PO,
+    GateType.BUF,
+    GateType.INV,
+    GateType.FANOUT,
+    GateType.AND2,
+    GateType.NAND2,
+    GateType.OR2,
+    GateType.NOR2,
+    GateType.XOR2,
+    GateType.XNOR2,
+}
+
+
+def check_layout(layout: GateLevelLayout) -> list[DesignRuleViolation]:
+    """All design-rule violations of a gate-level layout."""
+    violations: list[DesignRuleViolation] = []
+
+    def violation(rule: str, message: str, location) -> None:
+        violations.append(DesignRuleViolation(rule, message, location))
+
+    driven: set = set()
+    for coord, content in layout.occupied():
+        # Library support.
+        if content.kind is TileKind.GATE:
+            assert content.gate_type is not None
+            if content.gate_type not in SUPPORTED_GATE_TYPES:
+                violation(
+                    "library",
+                    f"gate type {content.gate_type.value} has no Bestagon tile",
+                    coord,
+                )
+        # Inputs must be driven by adjacent tiles.
+        for in_dir in content.input_dirs:
+            driver = layout.driver_of(coord, in_dir)
+            if driver is None:
+                violation(
+                    "connectivity",
+                    f"input border {in_dir.value} is not driven",
+                    coord,
+                )
+                continue
+            source, _ = driver
+            if not layout.clocking.is_valid_hop(source, coord):
+                violation(
+                    "clocking",
+                    f"hop {source} -> {coord} violates scheme "
+                    f"{layout.clocking.name} (zones "
+                    f"{layout.clock_zone(source)} -> {layout.clock_zone(coord)})",
+                    coord,
+                )
+            driven.add((coord, in_dir))
+        # Outputs must stay in bounds.
+        for out_dir in content.output_dirs:
+            target = coord.neighbor(out_dir)
+            if not layout.in_bounds(target):
+                violation(
+                    "bounds",
+                    f"output border {out_dir.value} leaves the layout",
+                    coord,
+                )
+
+    # Every driven border must be consumed by its target tile.
+    for coord, content in layout.occupied():
+        for out_dir in content.output_dirs:
+            target = coord.neighbor(out_dir)
+            consumed = (target, out_dir.opposite) in driven
+            if not consumed:
+                violation(
+                    "connectivity",
+                    f"signal leaving via {out_dir.value} towards {target} "
+                    "is never consumed",
+                    coord,
+                )
+
+    # Path balance: PIs on top, POs at the bottom.
+    for coord, _ in layout.primary_inputs():
+        if coord.y != 0:
+            violation("balance", "PI not in the first row", coord)
+    for coord, _ in layout.primary_outputs():
+        if coord.y != layout.height - 1:
+            violation("balance", "PO not in the last row", coord)
+
+    return violations

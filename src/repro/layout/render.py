@@ -1,0 +1,121 @@
+"""ASCII and SVG rendering of gate-level layouts (Figure 6 style)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.coords.hexagonal import HexCoord
+from repro.layout.gate_layout import GateLevelLayout, TileContent, TileKind
+from repro.networks.logic_network import GateType
+
+_GATE_SYMBOLS = {
+    GateType.PI: "PI",
+    GateType.PO: "PO",
+    GateType.BUF: "↓",  # down arrow: wire
+    GateType.INV: "INV",
+    GateType.FANOUT: "Y",
+    GateType.AND2: "AND",
+    GateType.NAND2: "NAND",
+    GateType.OR2: "OR",
+    GateType.NOR2: "NOR",
+    GateType.XOR2: "XOR",
+    GateType.XNOR2: "XNOR",
+    GateType.CONST0: "0",
+    GateType.CONST1: "1",
+}
+
+
+def _symbol(content: TileContent) -> str:
+    if content.kind is TileKind.CROSS:
+        return "X"
+    if content.kind is TileKind.DOUBLE_WIRE:
+        return "↓↓"
+    assert content.gate_type is not None
+    return _GATE_SYMBOLS.get(content.gate_type, "?")
+
+
+def layout_to_ascii(layout: GateLevelLayout) -> str:
+    """Row-per-line rendering; odd rows are indented half a tile."""
+    cell = 6
+    lines = []
+    header = " " * (cell // 2) + "".join(
+        f"{x:^{cell}}" for x in range(layout.width)
+    )
+    lines.append(header)
+    for y in range(layout.height):
+        indent = cell // 2 if y % 2 else 0
+        cells = []
+        for x in range(layout.width):
+            content = layout.tile(HexCoord(x, y))
+            text = _symbol(content) if content else "."
+            cells.append(f"{text:^{cell}}")
+        zone = layout.clock_zone(HexCoord(0, y))
+        lines.append(" " * indent + "".join(cells) + f"  | z{zone}")
+    return "\n".join(lines) + "\n"
+
+
+_ZONE_FILLS = ("#dbeafe", "#dcfce7", "#fef9c3", "#fee2e2")
+
+
+def _hexagon_points(cx: float, cy: float, size: float) -> str:
+    points = []
+    for corner in range(6):
+        angle = math.pi / 180.0 * (60.0 * corner - 30.0)
+        points.append(
+            f"{cx + size * math.cos(angle):.1f},"
+            f"{cy + size * math.sin(angle):.1f}"
+        )
+    return " ".join(points)
+
+
+def layout_to_svg(
+    layout: GateLevelLayout, size: float = 32.0, show_zones: bool = True
+) -> str:
+    """Render the layout as an SVG drawing with clock-zone shading."""
+    width_px = (layout.width + 1.0) * size * math.sqrt(3.0) + size
+    height_px = (layout.height * 1.5 + 0.5) * size + size
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width_px:.0f}" height="{height_px:.0f}" '
+        f'viewBox="0 0 {width_px:.0f} {height_px:.0f}">',
+        f'<rect width="100%" height="100%" fill="white"/>',
+    ]
+    for y in range(layout.height):
+        for x in range(layout.width):
+            coord = HexCoord(x, y)
+            px, py = coord.to_pixel(size)
+            px += size * math.sqrt(3.0) / 2.0 + size / 2.0
+            py += size + size / 2.0
+            content = layout.tile(coord)
+            if show_zones:
+                fill = _ZONE_FILLS[layout.clock_zone(coord) % len(_ZONE_FILLS)]
+            else:
+                fill = "white"
+            if content is None:
+                fill = "white" if not show_zones else fill
+            stroke = "#0f172a" if content is not None else "#cbd5e1"
+            parts.append(
+                f'<polygon points="{_hexagon_points(px, py, size)}" '
+                f'fill="{fill}" stroke="{stroke}" stroke-width="1"/>'
+            )
+            if content is not None:
+                label = _symbol(content)
+                parts.append(
+                    f'<text x="{px:.1f}" y="{py + 4:.1f}" '
+                    f'text-anchor="middle" font-family="monospace" '
+                    f'font-size="{size * 0.38:.0f}">{label}</text>'
+                )
+                # Draw connection arrows for incoming borders.
+                for in_dir in content.input_dirs:
+                    source = coord.neighbor(in_dir)
+                    sx, sy = source.to_pixel(size)
+                    sx += size * math.sqrt(3.0) / 2.0 + size / 2.0
+                    sy += size + size / 2.0
+                    mx, my = (px + sx) / 2.0, (py + sy) / 2.0
+                    parts.append(
+                        f'<line x1="{sx:.1f}" y1="{sy:.1f}" '
+                        f'x2="{mx:.1f}" y2="{my:.1f}" '
+                        f'stroke="#334155" stroke-width="1.5"/>'
+                    )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"

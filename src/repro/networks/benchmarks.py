@@ -1,0 +1,281 @@
+"""The benchmark suite of the paper's evaluation (Table 1).
+
+The paper generates layouts for "established QCA benchmarks from
+[Trindade'16, Fontes'18]"; ``c17`` originates from ISCAS-85.  The original
+netlists ship as Verilog with the fiction framework; here they are
+re-created from their published names and I/O signatures:
+
+* functions that are fully determined by their name (xor2, xnor2, par_gen,
+  par_check, mux21, xor5, majority, majority_5, c17, the 1-bit adders,
+  cm82a as a 2-stage ripple adder, clpl as a carry-lookahead propagate
+  chain) are implemented exactly;
+* ``t``, ``t_5``, ``b1_r2`` and ``newtag`` are small control-logic PLAs
+  whose exact cubes are not given in the papers; we implement
+  representative functions with the correct I/O counts and comparable
+  gate counts and note this substitution in EXPERIMENTS.md.
+
+All builders return structurally hashed XAGs;
+:func:`benchmark_verilog` serializes them so the full flow can be
+exercised end-to-end from a Verilog specification (flow step 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.networks.verilog import write_verilog
+from repro.networks.xag import Signal, Xag
+
+
+def _at_least(xag: Xag, k: int, variables: list[Signal]) -> Signal:
+    """Threshold function: true iff at least ``k`` of the inputs are true."""
+    if k <= 0:
+        return xag.get_constant(True)
+    if k > len(variables):
+        return xag.get_constant(False)
+    head, rest = variables[0], variables[1:]
+    with_head = _at_least(xag, k - 1, rest)
+    without_head = _at_least(xag, k, rest)
+    return xag.create_ite(head, with_head, without_head)
+
+
+def _xor2() -> Xag:
+    xag = Xag("xor2")
+    a, b = xag.create_pi("a"), xag.create_pi("b")
+    xag.create_po(xag.create_xor(a, b), "f")
+    return xag
+
+
+def _xnor2() -> Xag:
+    xag = Xag("xnor2")
+    a, b = xag.create_pi("a"), xag.create_pi("b")
+    xag.create_po(xag.create_xnor(a, b), "f")
+    return xag
+
+
+def _par_gen() -> Xag:
+    """3-bit even-parity generator."""
+    xag = Xag("par_gen")
+    a, b, c = (xag.create_pi(n) for n in "abc")
+    xag.create_po(xag.create_xor(xag.create_xor(a, b), c), "parity")
+    return xag
+
+
+def _par_check() -> Xag:
+    """Parity check of 3 data bits plus a parity bit."""
+    xag = Xag("par_check")
+    a, b, c, p = (xag.create_pi(n) for n in ("a", "b", "c", "p"))
+    parity = xag.create_xor(xag.create_xor(a, b), c)
+    xag.create_po(xag.create_xor(parity, p), "error")
+    return xag
+
+
+def _mux21() -> Xag:
+    xag = Xag("mux21")
+    in0, in1, sel = (
+        xag.create_pi("in0"),
+        xag.create_pi("in1"),
+        xag.create_pi("sel"),
+    )
+    xag.create_po(xag.create_ite(sel, in1, in0), "f")
+    return xag
+
+
+def _xor5_r1() -> Xag:
+    xag = Xag("xor5_r1")
+    signal = xag.get_constant(False)
+    for name in "abcde":
+        signal = xag.create_xor(signal, xag.create_pi(name))
+    xag.create_po(signal, "f")
+    return xag
+
+
+def _xor5_majority() -> Xag:
+    """5-input parity as realized via majority-style decomposition.
+
+    The Fontes'18 variant implements the same Boolean function as
+    ``xor5_r1`` but with a different (majority-gate oriented) structure;
+    after XAG construction both reduce to parity.
+    """
+    xag = Xag("xor5_majority")
+    pis = [xag.create_pi(n) for n in "abcde"]
+    left = xag.create_xor(pis[0], pis[1])
+    right = xag.create_xor(pis[2], pis[3])
+    pair = xag.create_xor(left, right)
+    xag.create_po(xag.create_xor(pair, pis[4]), "f")
+    return xag
+
+
+def _majority() -> Xag:
+    xag = Xag("majority")
+    a, b, c = (xag.create_pi(n) for n in "abc")
+    xag.create_po(xag.create_maj(a, b, c), "f")
+    return xag
+
+
+def _majority_5_r1() -> Xag:
+    xag = Xag("majority_5_r1")
+    pis = [xag.create_pi(n) for n in "abcde"]
+    xag.create_po(_at_least(xag, 3, pis), "f")
+    return xag
+
+
+def _c17() -> Xag:
+    """ISCAS-85 c17, netlist taken verbatim from the original BENCH file."""
+    xag = Xag("c17")
+    in1 = xag.create_pi("1")
+    in2 = xag.create_pi("2")
+    in3 = xag.create_pi("3")
+    in6 = xag.create_pi("6")
+    in7 = xag.create_pi("7")
+    n10 = xag.create_nand(in1, in3)
+    n11 = xag.create_nand(in3, in6)
+    n16 = xag.create_nand(in2, n11)
+    n19 = xag.create_nand(n11, in7)
+    xag.create_po(xag.create_nand(n10, n16), "22")
+    xag.create_po(xag.create_nand(n16, n19), "23")
+    return xag
+
+
+def _cm82a_5() -> Xag:
+    """cm82a: a 2-digit ripple adder slice (5 inputs, 3 outputs)."""
+    xag = Xag("cm82a_5")
+    a, b, c, d, e = (xag.create_pi(n) for n in "abcde")
+    sum0 = xag.create_xor(xag.create_xor(a, b), c)
+    carry0 = xag.create_maj(a, b, c)
+    sum1 = xag.create_xor(xag.create_xor(carry0, d), e)
+    carry1 = xag.create_maj(carry0, d, e)
+    xag.create_po(sum0, "f")
+    xag.create_po(sum1, "g")
+    xag.create_po(carry1, "h")
+    return xag
+
+
+def _t() -> Xag:
+    """Reconstruction of Fontes'18 't' (5 inputs, 2 outputs)."""
+    xag = Xag("t")
+    a, b, c, d, e = (xag.create_pi(n) for n in "abcde")
+    shared = xag.create_or(c, d)
+    o1 = xag.create_xor(xag.create_and(a, b), shared)
+    o2 = xag.create_and(shared, xag.create_xor(e, a))
+    xag.create_po(o1, "o1")
+    xag.create_po(o2, "o2")
+    return xag
+
+
+def _t_5() -> Xag:
+    """Reconstruction of Fontes'18 't_5' (5 inputs, 2 outputs)."""
+    xag = Xag("t_5")
+    a, b, c, d, e = (xag.create_pi(n) for n in "abcde")
+    shared = xag.create_and(xag.create_or(a, b), c)
+    o1 = xag.create_xor(shared, xag.create_and(d, e))
+    o2 = xag.create_or(xag.create_xor(shared, d), xag.create_and(b, e))
+    xag.create_po(o1, "o1")
+    xag.create_po(o2, "o2")
+    return xag
+
+
+def _newtag() -> Xag:
+    """Reconstruction of MCNC 'newtag' (8 inputs, 1 output)."""
+    xag = Xag("newtag")
+    a, b, c, d, e, f, g, h = (xag.create_pi(n) for n in "abcdefgh")
+    cube1 = xag.create_and(xag.create_and(a, b), xag.create_not(c))
+    cube2 = xag.create_and(xag.create_and(xag.create_not(d), e), f)
+    cube3 = xag.create_and(g, h)
+    xag.create_po(xag.create_or(xag.create_or(cube1, cube2), cube3), "f")
+    return xag
+
+
+def _b1_r2() -> Xag:
+    """Reconstruction of MCNC 'b1' (3 inputs, 4 outputs)."""
+    xag = Xag("b1_r2")
+    a, b, c = (xag.create_pi(n) for n in "abc")
+    xag.create_po(xag.create_nor(a, b), "o0")
+    xag.create_po(xag.create_xor(a, b), "o1")
+    xag.create_po(xag.create_and(a, c), "o2")
+    xag.create_po(xag.create_or(b, xag.create_not(c)), "o3")
+    return xag
+
+
+def _clpl() -> Xag:
+    """Carry-lookahead propagate logic: c_{i+1} = g_i | (p_i & c_i)."""
+    xag = Xag("clpl")
+    carry = xag.create_pi("c0")
+    for stage in range(5):
+        propagate = xag.create_pi(f"p{stage}")
+        generate = xag.create_pi(f"g{stage}")
+        carry = xag.create_or(generate, xag.create_and(propagate, carry))
+        xag.create_po(carry, f"c{stage + 1}")
+    return xag
+
+
+def _one_bit_adder_aoig() -> Xag:
+    """Full adder in AND-OR-inverter structure."""
+    xag = Xag("1bitAdderAOIG")
+    a, b, cin = (xag.create_pi(n) for n in ("a", "b", "cin"))
+    axb = xag.create_xor(a, b)
+    xag.create_po(xag.create_xor(axb, cin), "sum")
+    cout = xag.create_or(xag.create_and(a, b), xag.create_and(axb, cin))
+    xag.create_po(cout, "cout")
+    return xag
+
+
+def _one_bit_adder_maj() -> Xag:
+    """Full adder in majority structure (same functions, different shape)."""
+    xag = Xag("1bitAdderMaj")
+    a, b, cin = (xag.create_pi(n) for n in ("a", "b", "cin"))
+    cout = xag.create_maj(a, b, cin)
+    xag.create_po(xag.create_xor(xag.create_xor(a, b), cin), "sum")
+    xag.create_po(cout, "cout")
+    return xag
+
+
+_BUILDERS: dict[str, Callable[[], Xag]] = {
+    "xor2": _xor2,
+    "xnor2": _xnor2,
+    "par_gen": _par_gen,
+    "mux21": _mux21,
+    "par_check": _par_check,
+    "xor5_r1": _xor5_r1,
+    "xor5_majority": _xor5_majority,
+    "t": _t,
+    "t_5": _t_5,
+    "c17": _c17,
+    "majority": _majority,
+    "majority_5_r1": _majority_5_r1,
+    "cm82a_5": _cm82a_5,
+    "newtag": _newtag,
+    "b1_r2": _b1_r2,
+    "clpl": _clpl,
+    "1bitAdderAOIG": _one_bit_adder_aoig,
+    "1bitAdderMaj": _one_bit_adder_maj,
+}
+
+TRINDADE16_NAMES = ("xor2", "xnor2", "par_gen", "mux21", "par_check")
+FONTES18_NAMES = (
+    "xor5_r1",
+    "xor5_majority",
+    "t",
+    "t_5",
+    "c17",
+    "majority",
+    "majority_5_r1",
+    "cm82a_5",
+    "newtag",
+)
+BENCHMARK_NAMES = tuple(_BUILDERS)
+TABLE1_NAMES = TRINDADE16_NAMES + FONTES18_NAMES
+
+
+def benchmark_network(name: str) -> Xag:
+    """Build the named benchmark as an XAG."""
+    if name not in _BUILDERS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(_BUILDERS)}"
+        )
+    return _BUILDERS[name]()
+
+
+def benchmark_verilog(name: str) -> str:
+    """The named benchmark as a gate-level Verilog specification."""
+    return write_verilog(benchmark_network(name))

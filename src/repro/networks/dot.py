@@ -1,0 +1,48 @@
+"""Graphviz DOT export for logic networks and XAGs."""
+
+from __future__ import annotations
+
+from repro.networks.logic_network import GateType, LogicNetwork
+from repro.networks.xag import Xag, XagNodeKind, is_complemented, signal_node
+
+
+def xag_to_dot(xag: Xag) -> str:
+    """Render an XAG as a DOT digraph; dashed edges are complemented."""
+    lines = [f'digraph "{xag.name}" {{', "  rankdir=TB;"]
+    for index, pi in enumerate(xag.pis()):
+        label = xag.pi_name(pi) or f"pi{index}"
+        lines.append(f'  n{pi} [shape=triangle, label="{label}"];')
+    for node in xag.gates():
+        shape = "box" if xag.kind(node) is XagNodeKind.AND else "diamond"
+        label = "AND" if xag.kind(node) is XagNodeKind.AND else "XOR"
+        lines.append(f'  n{node} [shape={shape}, label="{label}"];')
+        for fanin in xag.fanins(node):
+            style = ", style=dashed" if is_complemented(fanin) else ""
+            lines.append(f"  n{signal_node(fanin)} -> n{node} [dir=none{style}];")
+    for index, po in enumerate(xag.pos()):
+        label = xag.po_name(index) or f"po{index}"
+        lines.append(f'  o{index} [shape=invtriangle, label="{label}"];')
+        style = ", style=dashed" if is_complemented(po) else ""
+        lines.append(f"  n{signal_node(po)} -> o{index} [dir=none{style}];")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def network_to_dot(network: LogicNetwork) -> str:
+    """Render a technology network as a DOT digraph."""
+    shapes = {
+        GateType.PI: "triangle",
+        GateType.PO: "invtriangle",
+        GateType.FANOUT: "point",
+        GateType.INV: "invhouse",
+    }
+    lines = [f'digraph "{network.name}" {{', "  rankdir=TB;"]
+    for node in network.nodes():
+        gate_type = network.gate_type(node)
+        shape = shapes.get(gate_type, "box")
+        label = network.node_name(node) or gate_type.value.upper()
+        lines.append(f'  n{node} [shape={shape}, label="{label}"];')
+        for fanin in network.fanins(node):
+            lines.append(f"  n{fanin} -> n{node};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,22 @@
+"""Physical design: placement & routing on hexagonal floor plans.
+
+* :mod:`repro.physical_design.levelization` -- path balancing / wire
+  insertion so every edge spans exactly one clock row,
+* :mod:`repro.physical_design.exact` -- SAT-based exact placement &
+  routing (flow step 4, the hexagonal adaptation of [Walter DATE'18]),
+* :mod:`repro.physical_design.heuristic` -- scalable greedy baseline,
+* :mod:`repro.physical_design.topology_study` -- the Cartesian-vs-
+  hexagonal comparison behind Figure 3.
+"""
+
+from repro.physical_design.levelization import levelize, LevelizedNetwork
+from repro.physical_design.exact import ExactPhysicalDesign, PhysicalDesignError
+from repro.physical_design.heuristic import HeuristicPhysicalDesign
+
+__all__ = [
+    "levelize",
+    "LevelizedNetwork",
+    "ExactPhysicalDesign",
+    "HeuristicPhysicalDesign",
+    "PhysicalDesignError",
+]

@@ -1,0 +1,165 @@
+"""Shared machinery of the placement & routing engines.
+
+Both the SAT-based exact engine and the stochastic heuristic operate on
+the same column-assignment model of a levelized network:
+
+* every node of level ``r`` occupies a tile in row ``r``;
+* operands arrive from the NW/NE neighbors, two operands through
+  *different* borders; two consumers leave through different borders;
+* a tile holds one gate, or up to two wire segments forming a crossing /
+  double-wire tile.
+
+This module provides the constraint checker (used as the heuristic's
+energy function and by tests as an independent validity oracle) and the
+decoder that turns a satisfying column assignment into a
+:class:`~repro.layout.gate_layout.GateLevelLayout`.
+"""
+
+from __future__ import annotations
+
+from repro.coords.hexagonal import HexCoord, HexDirection
+from repro.layout.clocking import ClockingScheme
+from repro.layout.gate_layout import (
+    GateLevelLayout,
+    TileContent,
+    TileKind,
+    cross_tile,
+    double_wire_tile,
+)
+from repro.networks.logic_network import GateType, LogicNetwork
+from repro.physical_design.levelization import LevelizedNetwork
+
+
+def north_columns(x: int, row: int) -> tuple[int, int]:
+    """Columns of the NW and NE neighbors of tile (x, row)."""
+    if row % 2 == 0:
+        return x - 1, x
+    return x, x + 1
+
+
+def south_columns(x: int, row: int) -> tuple[int, int]:
+    """Columns of the SW and SE neighbors of tile (x, row)."""
+    if row % 2 == 0:
+        return x - 1, x
+    return x, x + 1
+
+
+def placement_conflicts(
+    levelized: LevelizedNetwork,
+    width: int,
+    columns: dict[int, int],
+    collect: bool = False,
+) -> int | list[str]:
+    """Number (or description list) of violated placement constraints."""
+    network = levelized.network
+    levels = levelized.levels
+    fanouts = network.fanouts()
+    conflicts = 0
+    messages: list[str] = []
+
+    def flag(message: str) -> None:
+        nonlocal conflicts
+        conflicts += 1
+        if collect:
+            messages.append(message)
+
+    # Bounds + adjacency + distinct borders.
+    for node in network.nodes():
+        x = columns[node]
+        row = levels[node]
+        if not 0 <= x < width:
+            flag(f"node {node} column {x} out of bounds")
+        fanins = network.fanins(node)
+        allowed = set(north_columns(x, row))
+        for fanin in fanins:
+            if columns[fanin] not in allowed:
+                flag(f"operand {fanin} of {node} not adjacent")
+        if len(fanins) == 2 and columns[fanins[0]] == columns[fanins[1]]:
+            flag(f"operands of {node} share a border")
+        consumers = fanouts[node]
+        allowed_south = set(south_columns(x, row))
+        for consumer in consumers:
+            if columns[consumer] not in allowed_south:
+                flag(f"consumer {consumer} of {node} not adjacent")
+        if len(consumers) == 2 and columns[consumers[0]] == columns[consumers[1]]:
+            flag(f"consumers of {node} share a border")
+
+    # Tile capacity / co-location legality.
+    by_tile: dict[tuple[int, int], list[int]] = {}
+    for node in network.nodes():
+        by_tile.setdefault((columns[node], levels[node]), []).append(node)
+    for (x, row), nodes in by_tile.items():
+        if len(nodes) == 1:
+            continue
+        wires = [n for n in nodes if network.gate_type(n) is GateType.BUF]
+        if len(nodes) > 2 or len(wires) != len(nodes):
+            flag(f"tile ({x},{row}) overloaded with {nodes}")
+            continue
+        w1, w2 = nodes
+        p1 = columns[network.fanins(w1)[0]]
+        p2 = columns[network.fanins(w2)[0]]
+        if p1 == p2:
+            flag(f"co-located wires at ({x},{row}) share the input border")
+        c1 = fanouts[w1][0] if fanouts[w1] else None
+        c2 = fanouts[w2][0] if fanouts[w2] else None
+        if c1 is not None and c2 is not None:
+            if c1 == c2 or columns[c1] == columns[c2]:
+                flag(
+                    f"co-located wires at ({x},{row}) share the output border"
+                )
+
+    return messages if collect else conflicts
+
+
+def decode_layout(
+    levelized: LevelizedNetwork,
+    width: int,
+    columns: dict[int, int],
+    clocking: ClockingScheme,
+) -> GateLevelLayout:
+    """Turn a legal column assignment into a gate-level layout."""
+    network = levelized.network
+    levels = levelized.levels
+    fanouts = network.fanouts()
+    layout = GateLevelLayout(width, levelized.height, clocking, network.name)
+    layout.source_network = network  # type: ignore[attr-defined]
+
+    by_tile: dict[HexCoord, list[int]] = {}
+    for node in network.nodes():
+        coord = HexCoord(columns[node], levels[node])
+        by_tile.setdefault(coord, []).append(node)
+
+    def direction_of(coord: HexCoord, other: int) -> HexDirection:
+        target = HexCoord(columns[other], levels[other])
+        direction = coord.direction_to(target)
+        if direction is None:
+            raise ValueError(f"decoded neighbor {target} not adjacent to {coord}")
+        return direction
+
+    for coord, nodes in by_tile.items():
+        if len(nodes) == 1:
+            node = nodes[0]
+            layout.place(
+                coord,
+                TileContent(
+                    TileKind.GATE,
+                    network.gate_type(node),
+                    (node,),
+                    tuple(direction_of(coord, f) for f in network.fanins(node)),
+                    tuple(direction_of(coord, c) for c in fanouts[node]),
+                    label=network.node_name(node),
+                ),
+            )
+        else:
+            w1, w2 = nodes
+            if (
+                direction_of(coord, network.fanins(w1)[0])
+                is HexDirection.NORTH_EAST
+            ):
+                w1, w2 = w2, w1
+            child1 = fanouts[w1][0]
+            if direction_of(coord, child1) is HexDirection.SOUTH_EAST:
+                layout.place(coord, cross_tile(w1, w2))
+            else:
+                layout.place(coord, double_wire_tile(w1, w2))
+    return layout

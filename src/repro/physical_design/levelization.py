@@ -1,0 +1,153 @@
+"""Path balancing: levelize a technology network for clocked layouts.
+
+Under the row-based Columnar clocking used by the paper, every tile row
+is one clock stage, and a tile's operands must arrive from the directly
+preceding row.  This module assigns a row (level) to every node and
+materializes wire (BUF) tiles for edges spanning more than one row, so
+that afterwards *every* edge connects adjacent rows.
+
+Because all PIs are pinned to row 0 and all POs to the common last row,
+every PI-to-PO path crosses the same number of clock stages -- the
+"balancing of all signal paths" that gives the paper's layouts their
+1/1 throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.networks.logic_network import GateType, LogicNetwork
+
+
+@dataclass
+class LevelizedNetwork:
+    """A technology network whose edges all span exactly one level."""
+
+    network: LogicNetwork
+    levels: dict[int, int]
+    height: int
+    wires_inserted: int = 0
+    source_of: dict[int, int] = field(default_factory=dict)
+    """Maps inserted wire nodes to the original node whose signal they carry."""
+
+    def nodes_on_level(self, level: int) -> list[int]:
+        return [n for n, l in self.levels.items() if l == level]
+
+    def level_occupancies(self) -> list[int]:
+        return [len(self.nodes_on_level(l)) for l in range(self.height)]
+
+    def validate(self) -> list[str]:
+        """Check the one-row-per-hop invariant."""
+        problems = []
+        for node in self.network.nodes():
+            for fanin in self.network.fanins(node):
+                span = self.levels[node] - self.levels[fanin]
+                if span != 1:
+                    problems.append(
+                        f"edge {fanin}->{node} spans {span} levels"
+                    )
+        for pi in self.network.pis():
+            if self.levels[pi] != 0:
+                problems.append(f"PI {pi} not on level 0")
+        for po in self.network.pos():
+            if self.levels[po] != self.height - 1:
+                problems.append(f"PO {po} not on the last level")
+        return problems
+
+
+def _asap_levels(network: LogicNetwork) -> dict[int, int]:
+    levels: dict[int, int] = {}
+    for node in network.nodes():
+        fanins = network.fanins(node)
+        levels[node] = 0 if not fanins else 1 + max(levels[f] for f in fanins)
+    return levels
+
+
+def _alap_levels(
+    network: LogicNetwork, asap: dict[int, int], height: int
+) -> dict[int, int]:
+    """Pull nodes as late as possible; PIs stay pinned at level 0."""
+    fanouts = network.fanouts()
+    levels: dict[int, int] = {}
+    for node in reversed(list(network.nodes())):
+        if network.gate_type(node) is GateType.PO:
+            levels[node] = height - 1
+        elif network.gate_type(node) is GateType.PI:
+            levels[node] = 0
+        else:
+            consumers = fanouts[node]
+            if not consumers:
+                levels[node] = asap[node]
+            else:
+                levels[node] = min(levels[c] for c in consumers) - 1
+    return levels
+
+
+def _wire_cost(network: LogicNetwork, levels: dict[int, int]) -> int:
+    cost = 0
+    for node in network.nodes():
+        for fanin in network.fanins(node):
+            cost += levels[node] - levels[fanin] - 1
+    return cost
+
+
+def levelize(network: LogicNetwork, mode: str = "auto") -> LevelizedNetwork:
+    """Assign levels and insert balancing wires.
+
+    ``mode`` selects the level assignment before wire insertion:
+    ``"asap"`` (as soon as possible), ``"alap"`` (as late as possible,
+    PIs pinned) or ``"auto"`` (whichever needs fewer wire tiles).
+    """
+    if mode not in ("asap", "alap", "auto"):
+        raise ValueError(f"unknown levelization mode {mode!r}")
+
+    asap = _asap_levels(network)
+    pos = network.pos()
+    height = (max(asap[po] for po in pos) if pos else max(asap.values())) + 1
+    # All POs on the common last level.
+    for po in pos:
+        asap[po] = height - 1
+
+    candidates = {}
+    if mode in ("asap", "auto"):
+        candidates["asap"] = asap
+    if mode in ("alap", "auto"):
+        candidates["alap"] = _alap_levels(network, asap, height)
+    chosen = min(candidates.values(), key=lambda l: _wire_cost(network, l))
+
+    return _insert_wires(network, chosen, height)
+
+
+def _insert_wires(
+    network: LogicNetwork, levels: dict[int, int], height: int
+) -> LevelizedNetwork:
+    """Materialize BUF chains for edges spanning more than one level."""
+    result = LogicNetwork(network.name)
+    new_levels: dict[int, int] = {}
+    mapping: dict[int, int] = {}
+    source_of: dict[int, int] = {}
+    wires = 0
+
+    for node in network.nodes():
+        gate_type = network.gate_type(node)
+        new_fanins = []
+        for fanin in network.fanins(node):
+            current = mapping[fanin]
+            for level in range(levels[fanin] + 1, levels[node]):
+                wire = result.add_node(GateType.BUF, [current])
+                new_levels[wire] = level
+                source_of[wire] = mapping[fanin]
+                current = wire
+                wires += 1
+            new_fanins.append(current)
+        new_node = result.add_node(gate_type, new_fanins, network.node_name(node))
+        mapping[node] = new_node
+        new_levels[new_node] = levels[node]
+
+    return LevelizedNetwork(
+        network=result,
+        levels=new_levels,
+        height=height,
+        wires_inserted=wires,
+        source_of=source_of,
+    )

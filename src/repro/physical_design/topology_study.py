@@ -1,0 +1,90 @@
+"""The Cartesian-vs-hexagonal topology study (Figure 3).
+
+The paper argues that "Cartesian grids cannot reasonably accommodate
+Y-shaped gates": a Y-shaped gate needs two same-side input borders and an
+output border on the opposite side, which a square tile with four borders
+cannot offer without bending wires through extra tiles, whereas the
+pointy-top hexagon provides NW/NE inputs and SW/SE outputs natively.
+
+This module quantifies the claim two ways:
+
+* :func:`port_assignment_feasible` -- a direct combinatorial check of
+  whether the Y port discipline embeds into a tile's border set;
+* :func:`wiring_overhead` -- for a chain/tree of Y-gates, the number of
+  extra wire tiles a Cartesian embedding needs compared to the hexagonal
+  one (where gates connect border-to-border).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TopologyProfile:
+    """Port capabilities of a tile topology."""
+
+    name: str
+    num_borders: int
+    incoming_borders: int
+    outgoing_borders: int
+
+    def supports_y_gate(self) -> bool:
+        """Two inputs on the information-flow side plus one output.
+
+        Under a feed-forward clocking scheme, a tile's borders split into
+        an upstream and a downstream side.  A Y-gate needs two distinct
+        upstream borders and at least one downstream border.
+        """
+        return self.incoming_borders >= 2 and self.outgoing_borders >= 1
+
+    def supports_fanout_gate(self) -> bool:
+        """One input and two distinct downstream borders."""
+        return self.incoming_borders >= 1 and self.outgoing_borders >= 2
+
+
+HEXAGONAL = TopologyProfile("hexagonal (pointy-top)", 6, 2, 2)
+# A Cartesian tile under feed-forward clocking has one upstream and one
+# downstream border (the other two are lateral, same clock zone).
+CARTESIAN = TopologyProfile("Cartesian", 4, 1, 1)
+# Diagonal-flow Cartesian (2DDWave style): two upstream (N, W) and two
+# downstream (S, E) borders -- but inputs then arrive from two *different*
+# sides of the gate, not matching the Y shape of the demonstrated gates,
+# and outputs leave through orthogonal borders.
+CARTESIAN_DIAGONAL = TopologyProfile("Cartesian (diagonal flow)", 4, 2, 2)
+
+
+def port_assignment_feasible(topology: TopologyProfile) -> bool:
+    """Whether Y-gates are directly placeable on the topology."""
+    return topology.supports_y_gate()
+
+
+def wiring_overhead(levels: int, topology: TopologyProfile) -> int:
+    """Extra wire tiles for a balanced binary Y-gate tree of given depth.
+
+    In the hexagonal topology a balanced tree of 2-input gates embeds
+    with gates connecting border-to-border (0 extra wires within the
+    tree).  A feed-forward Cartesian embedding must serialize the two
+    operands of every gate through its single upstream border, which is
+    impossible without re-routing: each gate needs at least 2 extra wire
+    tiles to bend one operand around (one lateral, one vertical detour).
+    """
+    num_gates = (1 << levels) - 1
+    if topology.supports_y_gate():
+        return 0
+    return 2 * num_gates
+
+
+def summary() -> list[tuple[str, bool, bool, int]]:
+    """(topology, Y-gate ok, fan-out ok, overhead for a 3-level tree)."""
+    rows = []
+    for topology in (HEXAGONAL, CARTESIAN, CARTESIAN_DIAGONAL):
+        rows.append(
+            (
+                topology.name,
+                topology.supports_y_gate(),
+                topology.supports_fanout_gate(),
+                wiring_overhead(3, topology),
+            )
+        )
+    return rows

@@ -1,0 +1,37 @@
+"""DIMACS CNF reader and writer."""
+
+from __future__ import annotations
+
+from repro.sat.cnf import Cnf
+
+
+def parse_dimacs(text: str) -> Cnf:
+    """Parse a DIMACS CNF string."""
+    cnf = Cnf()
+    declared_vars = None
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed problem line: {raw_line!r}")
+            declared_vars = int(parts[2])
+            continue
+        literals = [int(token) for token in line.split()]
+        if literals and literals[-1] == 0:
+            literals = literals[:-1]
+        if literals:
+            cnf.add_clause(literals)
+    if declared_vars is not None:
+        cnf.num_vars = max(cnf.num_vars, declared_vars)
+    return cnf
+
+
+def write_dimacs(cnf: Cnf) -> str:
+    """Serialize a CNF in DIMACS format."""
+    lines = [f"p cnf {cnf.num_vars} {cnf.num_clauses}"]
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(literal) for literal in clause) + " 0")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,432 @@
+"""A conflict-driven clause-learning (CDCL) SAT solver.
+
+Implements the standard modern architecture: two-watched-literal
+propagation, first-UIP conflict analysis with clause minimization,
+exponential VSIDS branching, phase saving, Luby-sequence restarts and
+activity-based learnt-clause deletion.  Pure Python, tuned for the
+problem sizes produced by the physical design and verification encodings
+of this framework (thousands of variables, tens of thousands of clauses).
+
+Internal literal encoding: variable ``v`` (1-based) maps to ``2*v`` for
+the positive and ``2*v + 1`` for the negative literal, so negation is
+``lit ^ 1``.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from typing import Iterable, Sequence
+
+from repro.sat.cnf import Cnf
+
+
+class SolverResult(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+def _luby_simple(i: int) -> int:
+    """Luby sequence via the classic recursive characterization."""
+    k = 1
+    while (1 << k) - 1 < i:
+        k += 1
+    if (1 << k) - 1 == i:
+        return 1 << (k - 1)
+    return _luby_simple(i - (1 << (k - 1)) + 1)
+
+
+_UNASSIGNED = -1
+
+
+class Solver:
+    """CDCL SAT solver with incremental assumption-based solving."""
+
+    def __init__(self, cnf: Cnf | None = None) -> None:
+        self._num_vars = 0
+        # assignment[v] in {0 (false), 1 (true), _UNASSIGNED}
+        self._assign: list[int] = [0]
+        self._level: list[int] = [0]
+        self._reason: list[list[int] | None] = [None]
+        self._activity: list[float] = [0.0]
+        self._phase: list[int] = [0]
+        self._watches: dict[int, list[list[int]]] = {}
+        self._clauses: list[list[int]] = []
+        self._learnts: list[list[int]] = []
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._queue_head = 0
+        self._var_inc = 1.0
+        self._var_decay = 1.0 / 0.95
+        # Lazy VSIDS max-heap: entries are (-activity, var); stale
+        # entries (outdated activity or already-assigned vars) are
+        # skipped on pop and re-pushed on unassignment.
+        self._order: list[tuple[float, int]] = []
+        self._ok = True
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.max_conflicts: int | None = None
+        if cnf is not None:
+            self.add_cnf(cnf)
+
+    # --- problem construction -------------------------------------------
+    def _ensure_var(self, var: int) -> None:
+        while self._num_vars < var:
+            self._num_vars += 1
+            self._assign.append(_UNASSIGNED)
+            self._level.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._phase.append(0)
+            v = self._num_vars
+            self._watches[2 * v] = []
+            self._watches[2 * v + 1] = []
+            self._heap_push(v)
+
+    def add_cnf(self, cnf: Cnf) -> None:
+        self._ensure_var(cnf.num_vars)
+        for clause in cnf.clauses:
+            self.add_clause(clause)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a problem clause (DIMACS literals)."""
+        if not self._ok:
+            return
+        seen: set[int] = set()
+        clause: list[int] = []
+        for dimacs in literals:
+            var = abs(dimacs)
+            self._ensure_var(var)
+            lit = 2 * var + (1 if dimacs < 0 else 0)
+            if lit ^ 1 in seen:
+                return  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            # Skip literals already falsified at level 0; satisfied
+            # clauses at level 0 are dropped.
+            value = self._lit_value(lit)
+            if value == 1 and self._level[var] == 0:
+                return
+            if value == 0 and self._level[var] == 0:
+                continue
+            clause.append(lit)
+        if not clause:
+            self._ok = False
+            return
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._ok = False
+            elif self._propagate() is not None:
+                self._ok = False
+            return
+        self._attach(clause)
+        self._clauses.append(clause)
+
+    # --- internal helpers -------------------------------------------------
+    def _lit_value(self, lit: int) -> int:
+        """1 true, 0 false, _UNASSIGNED."""
+        value = self._assign[lit >> 1]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value ^ (lit & 1)
+
+    def _attach(self, clause: list[int]) -> None:
+        # Clauses watching literal L are stored in _watches[L].
+        self._watches[clause[0]].append(clause)
+        self._watches[clause[1]].append(clause)
+
+    def _enqueue(self, lit: int, reason: list[int] | None) -> bool:
+        value = self._lit_value(lit)
+        if value == 0:
+            return False
+        if value == 1:
+            return True
+        var = lit >> 1
+        self._assign[var] = 1 - (lit & 1)
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> list[int] | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._queue_head < len(self._trail):
+            lit = self._trail[self._queue_head]
+            self._queue_head += 1
+            self.propagations += 1
+            falsified = lit ^ 1
+            watch_list = self._watches[falsified]
+            new_list: list[list[int]] = []
+            i = 0
+            n = len(watch_list)
+            while i < n:
+                clause = watch_list[i]
+                i += 1
+                # Ensure the falsified literal is at position 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) == 1:
+                    new_list.append(clause)
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches[clause[1]].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                new_list.append(clause)
+                if not self._enqueue(first, clause):
+                    # Conflict: restore remaining watches and report.
+                    new_list.extend(watch_list[i:n])
+                    self._watches[falsified] = new_list
+                    return clause
+            self._watches[falsified] = new_list
+        return None
+
+    # --- VSIDS ------------------------------------------------------------
+    def _heap_push(self, var: int) -> None:
+        heapq.heappush(self._order, (-self._activity[var], var))
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+            self._rebuild_heap()
+        heapq.heappush(self._order, (-self._activity[var], var))
+
+    def _rebuild_heap(self) -> None:
+        self._order = [
+            (-self._activity[v], v)
+            for v in range(1, self._num_vars + 1)
+            if self._assign[v] == _UNASSIGNED
+        ]
+        heapq.heapify(self._order)
+
+    def _decay(self) -> None:
+        self._var_inc *= self._var_decay
+
+    def _pick_branch_var(self) -> int:
+        while self._order:
+            neg_activity, var = self._order[0]
+            if (
+                self._assign[var] == _UNASSIGNED
+                and -neg_activity == self._activity[var]
+            ):
+                return var
+            heapq.heappop(self._order)
+        # Heap exhausted: fall back to a linear sweep (also re-fills it).
+        for var in range(1, self._num_vars + 1):
+            if self._assign[var] == _UNASSIGNED:
+                self._heap_push(var)
+        while self._order:
+            neg_activity, var = self._order[0]
+            if self._assign[var] == _UNASSIGNED:
+                return var
+            heapq.heappop(self._order)
+        return 0
+
+    # --- conflict analysis ------------------------------------------------
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP learning; returns (learnt clause, backtrack level)."""
+        learnt: list[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        lit = -1
+        reason: Sequence[int] = conflict
+        index = len(self._trail)
+        current_level = len(self._trail_lim)
+
+        while True:
+            for q in reason:
+                if lit != -1 and q == lit:
+                    continue
+                var = q >> 1
+                if seen[var] or self._level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if self._level[var] == current_level:
+                    counter += 1
+                else:
+                    learnt.append(q)
+            # Find the next trail literal to resolve on.
+            while True:
+                index -= 1
+                lit = self._trail[index]
+                if seen[lit >> 1]:
+                    break
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[lit >> 1] or []
+            seen[lit >> 1] = False  # resolved away
+
+        learnt[0] = lit ^ 1
+
+        # Clause minimization: drop literals implied by the rest.
+        marked = set(q >> 1 for q in learnt)
+        minimized = [learnt[0]]
+        for q in learnt[1:]:
+            reason_q = self._reason[q >> 1]
+            if reason_q is None:
+                minimized.append(q)
+                continue
+            if all(
+                (r >> 1) in marked or self._level[r >> 1] == 0
+                for r in reason_q
+                if r != (q ^ 1)
+            ):
+                continue
+            minimized.append(q)
+        learnt = minimized
+
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backtrack level: second highest decision level in the clause.
+        max_i = 1
+        for i in range(2, len(learnt)):
+            if self._level[learnt[i] >> 1] > self._level[learnt[max_i] >> 1]:
+                max_i = i
+        learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+        return learnt, self._level[learnt[1] >> 1]
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = lit >> 1
+            self._phase[var] = self._assign[var]
+            self._assign[var] = _UNASSIGNED
+            self._reason[var] = None
+            heapq.heappush(self._order, (-self._activity[var], var))
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._queue_head = len(self._trail)
+
+    def _reduce_learnts(self) -> None:
+        """Drop half of the learnt clauses, preferring long, inactive ones."""
+        if len(self._learnts) < 2:
+            return
+        self._learnts.sort(key=len)
+        keep = self._learnts[: len(self._learnts) // 2]
+        drop = set(map(id, self._learnts[len(self._learnts) // 2:]))
+        locked = set()
+        for var in range(1, self._num_vars + 1):
+            reason = self._reason[var]
+            if reason is not None:
+                locked.add(id(reason))
+        for lit, watch_list in self._watches.items():
+            self._watches[lit] = [
+                c for c in watch_list if id(c) not in drop or id(c) in locked
+            ]
+        self._learnts = keep + [
+            c for c in self._learnts[len(self._learnts) // 2:] if id(c) in locked
+        ]
+
+    # --- main search --------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = ()) -> SolverResult:
+        """Solve under the given assumption literals (DIMACS convention)."""
+        if not self._ok:
+            return SolverResult.UNSAT
+        for dimacs in assumptions:
+            self._ensure_var(abs(dimacs))
+        assumption_lits = [
+            2 * abs(d) + (1 if d < 0 else 0) for d in assumptions
+        ]
+
+        restart_count = 0
+        conflict_budget = 100 * _luby_simple(restart_count + 1)
+        conflicts_here = 0
+        learnt_cap = 4000
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if len(self._trail_lim) == 0:
+                    self._backtrack_to_root()
+                    return SolverResult.UNSAT
+                learnt, back_level = self._analyze(conflict)
+                self._backtrack(max(back_level, 0))
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self._backtrack_to_root()
+                        return SolverResult.UNSAT
+                else:
+                    self._attach(learnt)
+                    self._learnts.append(learnt)
+                    self._enqueue(learnt[0], learnt)
+                self._decay()
+                if self.max_conflicts is not None and self.conflicts >= self.max_conflicts:
+                    self._backtrack_to_root()
+                    return SolverResult.UNKNOWN
+                if conflicts_here >= conflict_budget:
+                    # Restart.
+                    restart_count += 1
+                    conflict_budget = 100 * _luby_simple(restart_count + 1)
+                    conflicts_here = 0
+                    self._backtrack(0)
+                if len(self._learnts) > learnt_cap:
+                    self._reduce_learnts()
+                    learnt_cap += 500
+                continue
+
+            # Re-establish assumptions after any backtracking.
+            if len(self._trail_lim) < len(assumption_lits):
+                lit = assumption_lits[len(self._trail_lim)]
+                value = self._lit_value(lit)
+                if value == 0:
+                    self._backtrack_to_root()
+                    return SolverResult.UNSAT
+                self._trail_lim.append(len(self._trail))
+                if value == _UNASSIGNED:
+                    self._enqueue(lit, None)
+                continue
+
+            # Decision.
+            var = self._pick_branch_var()
+            if var == 0:
+                result = SolverResult.SAT
+                self._model = [
+                    self._assign[v] == 1 for v in range(self._num_vars + 1)
+                ]
+                self._backtrack_to_root()
+                return result
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            phase = self._phase[var]
+            lit = 2 * var + (1 if phase == 0 else 0)
+            self._enqueue(lit, None)
+
+    def _backtrack_to_root(self) -> None:
+        self._backtrack(0)
+
+    # --- model access -----------------------------------------------------
+    _model: list[bool] | None = None
+
+    def model_value(self, var: int) -> bool:
+        """Value of a variable in the last SAT model."""
+        if self._model is None:
+            raise RuntimeError("no model available; call solve() first")
+        if var > self._num_vars:
+            return False
+        return self._model[var]
+
+    def model(self) -> dict[int, bool]:
+        """The last SAT model as a variable->bool mapping."""
+        if self._model is None:
+            raise RuntimeError("no model available; call solve() first")
+        return {v: self._model[v] for v in range(1, self._num_vars + 1)}

@@ -1,0 +1,48 @@
+"""SiDB electrostatics and ground-state simulation (SiQAD substitute).
+
+Implements the physical model used by the paper's validation tool chain
+[Ng TNANO'20]: SiDBs as point charges on the H-Si(100)-2x1 surface
+interacting through a Thomas-Fermi-screened Coulomb potential, with the
+chemical potential ``mu_minus`` deciding the neutral/negative population.
+Ground states are found exactly (:mod:`repro.sidb.exhaustive`, for small
+systems) or by simulated annealing (:mod:`repro.sidb.simanneal`, the
+*SimAnneal* port used for Figures 1c and 5).
+"""
+
+from repro.sidb.charge import ChargeState, SidbLayout
+from repro.sidb.energy import EnergyModel
+from repro.sidb.stability import is_population_stable, is_configuration_stable
+from repro.sidb.exhaustive import exhaustive_ground_state, GroundStateResult
+from repro.sidb.simanneal import SimAnneal, SimAnnealParameters
+from repro.sidb.bdl import BdlPair, detect_bdl_pairs, read_bdl_pair
+from repro.sidb.operational import (
+    GateFunctionSpec,
+    OperationalReport,
+    check_operational,
+)
+from repro.sidb.operational_domain import (
+    OperationalDomain,
+    compute_operational_domain,
+    design_operational_domain,
+)
+
+__all__ = [
+    "ChargeState",
+    "SidbLayout",
+    "EnergyModel",
+    "is_population_stable",
+    "is_configuration_stable",
+    "exhaustive_ground_state",
+    "GroundStateResult",
+    "SimAnneal",
+    "SimAnnealParameters",
+    "BdlPair",
+    "detect_bdl_pairs",
+    "read_bdl_pair",
+    "GateFunctionSpec",
+    "OperationalReport",
+    "check_operational",
+    "OperationalDomain",
+    "compute_operational_domain",
+    "design_operational_domain",
+]

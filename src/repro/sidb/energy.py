@@ -1,0 +1,100 @@
+"""Electrostatic energy model of SiDB systems.
+
+Charges interact through a Thomas-Fermi-screened Coulomb potential
+
+    V_ij = e^2 / (4 pi eps_0 eps_r) * exp(-d_ij / lambda_TF) / d_ij
+
+(in eV with d in nm).  A charge configuration assigns each site an
+electron occupation ``n_i`` (1 = DB-, 0 = DB0); its energy functional is
+
+    E(n) = sum_{i<j} V_ij n_i n_j  +  mu_minus * sum_i n_i
+
+whose single-site local optimality conditions are exactly the
+*population stability* criteria of SiQAD's engines: occupied sites must
+satisfy ``v_i + mu_minus <= 0`` and empty sites ``v_i + mu_minus >= 0``,
+where ``v_i = sum_j V_ij n_j`` is the local potential.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sidb.charge import SidbLayout
+from repro.tech.constants import COULOMB_CONSTANT_EV_NM
+from repro.tech.parameters import SiDBSimulationParameters
+
+
+class EnergyModel:
+    """Precomputed interaction matrix for one SiDB layout."""
+
+    def __init__(
+        self,
+        layout: SidbLayout,
+        parameters: SiDBSimulationParameters | None = None,
+    ) -> None:
+        self.layout = layout
+        self.parameters = parameters or SiDBSimulationParameters()
+        positions = np.asarray(layout.positions_nm(), dtype=float)
+        n = len(layout)
+        if n == 0:
+            self.potential_matrix = np.zeros((0, 0))
+            return
+        deltas = positions[:, None, :] - positions[None, :, :]
+        distances = np.sqrt((deltas**2).sum(axis=2))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            matrix = (
+                COULOMB_CONSTANT_EV_NM
+                / self.parameters.epsilon_r
+                * np.exp(-distances / self.parameters.lambda_tf)
+                / distances
+            )
+        np.fill_diagonal(matrix, 0.0)
+        if n > 1:
+            min_distance = distances[~np.eye(n, dtype=bool)].min()
+            if min_distance < 1e-9:
+                raise ValueError("two SiDBs coincide")
+        self.potential_matrix = matrix
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.layout)
+
+    def local_potentials(self, occupation: np.ndarray) -> np.ndarray:
+        """v_i = sum_j V_ij n_j for one occupation vector."""
+        return self.potential_matrix @ np.asarray(occupation, dtype=float)
+
+    def electrostatic_energy(self, occupation: np.ndarray) -> float:
+        """Pairwise repulsion energy sum_{i<j} V_ij n_i n_j (eV)."""
+        n = np.asarray(occupation, dtype=float)
+        return float(0.5 * n @ self.potential_matrix @ n)
+
+    def energy(self, occupation: np.ndarray) -> float:
+        """Full energy functional including the chemical-potential term."""
+        n = np.asarray(occupation, dtype=float)
+        return self.electrostatic_energy(n) + self.parameters.mu_minus * float(
+            n.sum()
+        )
+
+    def energy_delta_flip(
+        self, occupation: np.ndarray, site: int, potentials: np.ndarray
+    ) -> float:
+        """Energy change from toggling one site's occupation.
+
+        ``potentials`` must be the current local potentials of
+        ``occupation`` (kept incrementally by the annealer).
+        """
+        if occupation[site]:
+            return -(potentials[site] + self.parameters.mu_minus)
+        return potentials[site] + self.parameters.mu_minus
+
+    def batched_energies(self, occupations: np.ndarray) -> np.ndarray:
+        """Energies of many configurations at once (rows = configs)."""
+        n = np.asarray(occupations, dtype=float)
+        interaction = 0.5 * np.einsum(
+            "ki,ij,kj->k", n, self.potential_matrix, n
+        )
+        return interaction + self.parameters.mu_minus * n.sum(axis=1)
+
+    def batched_local_potentials(self, occupations: np.ndarray) -> np.ndarray:
+        """Local potentials of many configurations (rows = configs)."""
+        return np.asarray(occupations, dtype=float) @ self.potential_matrix

@@ -1,0 +1,110 @@
+"""Exhaustive ground-state search (ExGS).
+
+Enumerates all 2^N occupation vectors of an N-site layout, filters for
+population (and optionally configuration) stability, and returns the
+minimum-energy configurations.  Vectorized with numpy and chunked, this
+is practical up to roughly 22 sites and serves as the exact oracle that
+validates the simulated-annealing engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sidb.charge import SidbLayout
+from repro.sidb.energy import EnergyModel
+from repro.sidb.stability import POPULATION_TOLERANCE, is_configuration_stable
+from repro.tech.parameters import SiDBSimulationParameters
+
+_MAX_EXHAUSTIVE_SITES = 24
+_CHUNK_BITS = 16
+
+
+@dataclass
+class GroundStateResult:
+    """Outcome of a ground-state search."""
+
+    layout: SidbLayout
+    ground_states: list[np.ndarray] = field(default_factory=list)
+    ground_energy: float = float("inf")
+    valid_count: int = 0
+    total_count: int = 0
+
+    @property
+    def degeneracy(self) -> int:
+        return len(self.ground_states)
+
+    def occupation(self) -> np.ndarray:
+        """The (first) ground-state occupation vector."""
+        if not self.ground_states:
+            raise RuntimeError("no valid configuration found")
+        return self.ground_states[0]
+
+
+def exhaustive_ground_state(
+    layout: SidbLayout,
+    parameters: SiDBSimulationParameters | None = None,
+    require_configuration_stability: bool = True,
+    energy_tolerance: float = 1e-9,
+) -> GroundStateResult:
+    """Exact ground state(s) of a small SiDB layout."""
+    n = len(layout)
+    if n > _MAX_EXHAUSTIVE_SITES:
+        raise ValueError(
+            f"{n} sites exceed the exhaustive limit of {_MAX_EXHAUSTIVE_SITES}"
+        )
+    model = EnergyModel(layout, parameters)
+    result = GroundStateResult(layout, total_count=1 << n)
+    if n == 0:
+        result.ground_states = [np.zeros(0, dtype=np.int8)]
+        result.ground_energy = 0.0
+        result.valid_count = 1
+        return result
+
+    mu = model.parameters.mu_minus
+    best_energy = float("inf")
+    best: list[np.ndarray] = []
+    valid_count = 0
+
+    chunk = 1 << min(_CHUNK_BITS, n)
+    bits = np.arange(n, dtype=np.uint32)
+    for start in range(0, 1 << n, chunk):
+        indices = np.arange(start, min(start + chunk, 1 << n), dtype=np.uint64)
+        configs = ((indices[:, None] >> bits[None, :]) & 1).astype(np.int8)
+        potentials = model.batched_local_potentials(configs)
+        occupied = configs > 0
+        stable = np.all(
+            np.where(
+                occupied,
+                potentials + mu <= POPULATION_TOLERANCE,
+                potentials + mu >= -POPULATION_TOLERANCE,
+            ),
+            axis=1,
+        )
+        if not stable.any():
+            continue
+        stable_configs = configs[stable]
+        valid_count += int(stable.sum())
+        energies = model.batched_energies(stable_configs)
+        order = np.argsort(energies)
+        for position in order:
+            energy = float(energies[position])
+            if energy > best_energy + energy_tolerance:
+                break
+            config = stable_configs[position]
+            if require_configuration_stability and not is_configuration_stable(
+                model, config
+            ):
+                continue
+            if energy < best_energy - energy_tolerance:
+                best_energy = energy
+                best = [config.copy()]
+            else:
+                best.append(config.copy())
+
+    result.valid_count = valid_count
+    result.ground_energy = best_energy
+    result.ground_states = best
+    return result

@@ -1,0 +1,146 @@
+"""Operational check of SiDB gate designs (the Figure 1c / 5 procedure).
+
+A gate design is *operational* when, for every input combination, the
+simulated ground state of the design-plus-input-stimuli exhibits the
+expected logic value on every output BDL pair.
+
+Input stimuli follow the paper's refinement of Huff et al.'s method:
+instead of representing logic 1 by the presence of a perturber and
+logic 0 by its absence, *both* states place a perturber -- at a closer
+location for 1 and a farther one for 0 -- which "constitutes a more
+realistic representation of the repulsion exerted by upstream input
+logic wires" (Section 4.1).  A design therefore specifies, per input,
+one SiDB set for logic 0 and one for logic 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.coords.lattice import LatticeSite
+from repro.networks.truth_table import TruthTable
+from repro.sidb.bdl import BdlPair, read_bdl_pair
+from repro.sidb.charge import SidbLayout
+from repro.sidb.exhaustive import exhaustive_ground_state
+from repro.sidb.simanneal import SimAnneal, SimAnnealParameters
+from repro.tech.parameters import SiDBSimulationParameters
+
+
+@dataclass(frozen=True)
+class GateFunctionSpec:
+    """What a dot-accurate gate design must compute.
+
+    ``outputs[k]`` is the truth table of output pair ``k`` over the gate
+    inputs (in input order).
+    """
+
+    outputs: tuple[TruthTable, ...]
+
+    @property
+    def num_inputs(self) -> int:
+        return self.outputs[0].num_vars if self.outputs else 0
+
+
+@dataclass
+class PatternResult:
+    """Simulation outcome for one input combination."""
+
+    pattern: int
+    expected: tuple[bool, ...]
+    observed: tuple[bool | None, ...]
+    ground_energy: float
+    correct: bool
+
+
+@dataclass
+class OperationalReport:
+    """Aggregated operational-domain result of a gate design."""
+
+    operational: bool
+    patterns: list[PatternResult] = field(default_factory=list)
+
+    def truth_table_observed(self) -> list[tuple[bool | None, ...]]:
+        return [p.observed for p in self.patterns]
+
+
+def check_operational(
+    body_sites: list[LatticeSite],
+    input_stimuli: list[tuple[list[LatticeSite], list[LatticeSite]]],
+    output_pairs: list[BdlPair],
+    spec: GateFunctionSpec,
+    parameters: SiDBSimulationParameters | None = None,
+    engine: str = "auto",
+    schedule: SimAnnealParameters | None = None,
+) -> OperationalReport:
+    """Simulate a gate design over all input patterns.
+
+    ``input_stimuli[i]`` is the pair (sites_for_0, sites_for_1) of input
+    ``i`` -- the far/close perturber sets.  ``engine`` selects the ground
+    state finder: ``"exhaustive"``, ``"simanneal"`` or ``"auto"``
+    (exhaustive when the system is small enough).
+    """
+    parameters = parameters or SiDBSimulationParameters()
+    num_inputs = len(input_stimuli)
+    if spec.num_inputs != num_inputs:
+        raise ValueError("spec arity does not match the number of inputs")
+
+    report = OperationalReport(operational=True)
+    for pattern in range(1 << num_inputs):
+        layout = SidbLayout(body_sites)
+        for bit, (sites0, sites1) in enumerate(input_stimuli):
+            chosen = sites1 if (pattern >> bit) & 1 else sites0
+            layout.extend(chosen)
+
+        result = _ground_state(layout, parameters, engine, schedule)
+        expected = tuple(
+            table.get_bit(pattern) for table in spec.outputs
+        )
+        if result.ground_states:
+            occupation = result.occupation()
+            observed = tuple(
+                read_bdl_pair(layout, occupation, pair)
+                for pair in output_pairs
+            )
+        else:
+            observed = tuple(None for _ in output_pairs)
+        correct = all(
+            obs is not None and obs == exp
+            for obs, exp in zip(observed, expected)
+        )
+        # Degenerate ground states must agree on the outputs.
+        if correct and len(result.ground_states) > 1:
+            for other in result.ground_states[1:]:
+                other_observed = tuple(
+                    read_bdl_pair(layout, other, pair)
+                    for pair in output_pairs
+                )
+                if other_observed != observed:
+                    correct = False
+                    break
+        report.patterns.append(
+            PatternResult(
+                pattern=pattern,
+                expected=expected,
+                observed=observed,
+                ground_energy=result.ground_energy,
+                correct=correct,
+            )
+        )
+        if not correct:
+            report.operational = False
+    return report
+
+
+def _ground_state(
+    layout: SidbLayout,
+    parameters: SiDBSimulationParameters,
+    engine: str,
+    schedule: SimAnnealParameters | None,
+):
+    if engine not in ("auto", "exhaustive", "simanneal"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if engine == "exhaustive" or (engine == "auto" and len(layout) <= 18):
+        return exhaustive_ground_state(layout, parameters)
+    return SimAnneal(layout, parameters, schedule).run()

@@ -1,0 +1,138 @@
+"""Operational-domain evaluation for SiDB gate designs.
+
+The paper's outlook (Section 6) calls for "a streamlined operational
+domain evaluation framework ... since the existing work is
+computationally heavy and not trivially quantifiable".  This module
+provides exactly that: it sweeps the physical parameter plane
+(epsilon_r x lambda_TF by default, or mu_minus on one axis) and records,
+per grid point, whether a gate design remains operational -- yielding
+the gate's *operational domain* and its area fraction as a robustness
+figure of merit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.coords.lattice import LatticeSite
+from repro.networks.truth_table import TruthTable
+from repro.sidb.bdl import BdlPair
+from repro.sidb.operational import GateFunctionSpec, check_operational
+from repro.sidb.simanneal import SimAnnealParameters
+from repro.tech.parameters import SiDBSimulationParameters
+
+
+@dataclass(frozen=True)
+class DomainPoint:
+    """One sample of the operational domain."""
+
+    x: float
+    y: float
+    operational: bool
+    correct_patterns: int
+    total_patterns: int
+
+
+@dataclass
+class OperationalDomain:
+    """The sampled operational domain of a gate design."""
+
+    x_parameter: str
+    y_parameter: str
+    points: list[DomainPoint] = field(default_factory=list)
+
+    @property
+    def num_operational(self) -> int:
+        return sum(1 for p in self.points if p.operational)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of sampled parameter points where the gate works."""
+        if not self.points:
+            return 0.0
+        return self.num_operational / len(self.points)
+
+    def to_ascii(self) -> str:
+        """Grid rendering: '#' operational, '.' not."""
+        xs = sorted({p.x for p in self.points})
+        ys = sorted({p.y for p in self.points})
+        value = {(p.x, p.y): p.operational for p in self.points}
+        lines = []
+        for y in reversed(ys):
+            row = "".join(
+                "#" if value.get((x, y), False) else "." for x in xs
+            )
+            lines.append(f"{y:8.3f} |{row}|")
+        lines.append(" " * 10 + "".join("-" for _ in xs))
+        return "\n".join(lines)
+
+
+_PARAMETERS = ("epsilon_r", "lambda_tf", "mu_minus")
+
+
+def compute_operational_domain(
+    body_sites: Sequence[LatticeSite],
+    input_stimuli: Sequence[tuple[list[LatticeSite], list[LatticeSite]]],
+    output_pairs: Sequence[BdlPair],
+    outputs: Sequence[TruthTable],
+    x_parameter: str = "epsilon_r",
+    x_values: Sequence[float] = (4.6, 5.1, 5.6, 6.1, 6.6),
+    y_parameter: str = "lambda_tf",
+    y_values: Sequence[float] = (3.0, 4.0, 5.0, 6.0, 7.0),
+    base: SiDBSimulationParameters | None = None,
+    engine: str = "auto",
+    schedule: SimAnnealParameters | None = None,
+) -> OperationalDomain:
+    """Sweep two physical parameters; returns the operational domain."""
+    for parameter in (x_parameter, y_parameter):
+        if parameter not in _PARAMETERS:
+            raise ValueError(
+                f"unknown parameter {parameter!r}; know {_PARAMETERS}"
+            )
+    if x_parameter == y_parameter:
+        raise ValueError("x and y must sweep different parameters")
+    base = base or SiDBSimulationParameters.bestagon()
+    spec = GateFunctionSpec(tuple(outputs))
+    domain = OperationalDomain(x_parameter, y_parameter)
+
+    for x in x_values:
+        for y in y_values:
+            values = {
+                "mu_minus": base.mu_minus,
+                "epsilon_r": base.epsilon_r,
+                "lambda_tf": base.lambda_tf,
+            }
+            values[x_parameter] = x
+            values[y_parameter] = y
+            parameters = SiDBSimulationParameters(**values)
+            report = check_operational(
+                body_sites=list(body_sites),
+                input_stimuli=[(list(f), list(c)) for f, c in input_stimuli],
+                output_pairs=list(output_pairs),
+                spec=spec,
+                parameters=parameters,
+                engine=engine,
+                schedule=schedule,
+            )
+            domain.points.append(
+                DomainPoint(
+                    x=x,
+                    y=y,
+                    operational=report.operational,
+                    correct_patterns=sum(p.correct for p in report.patterns),
+                    total_patterns=len(report.patterns),
+                )
+            )
+    return domain
+
+
+def design_operational_domain(design, **kwargs) -> OperationalDomain:
+    """Operational domain of a :class:`~repro.gatelib.designs.GateDesign`."""
+    return compute_operational_domain(
+        body_sites=list(design.sites) + list(design.output_perturbers),
+        input_stimuli=design.input_stimuli,
+        output_pairs=design.output_pairs,
+        outputs=design.functions,
+        **kwargs,
+    )

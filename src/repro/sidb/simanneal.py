@@ -1,0 +1,227 @@
+"""*SimAnneal*: simulated-annealing ground-state finder (SiQAD port).
+
+The engine of [Ng TNANO'20] used by the paper to validate the Bestagon
+gates (Figures 1c and 5): multiple annealing instances explore the
+occupation space with single-electron add/remove and hop moves under a
+geometric cooling schedule; the best *population-stable* configuration
+encountered is reported.  The exhaustive engine certifies its results on
+small systems (see the cross-validation tests).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sidb.charge import SidbLayout
+from repro.sidb.energy import EnergyModel
+from repro.sidb.exhaustive import GroundStateResult
+from repro.sidb.stability import is_metastable, is_population_stable
+from repro.tech.parameters import SiDBSimulationParameters
+
+
+@dataclass
+class SimAnnealParameters:
+    """Annealing schedule parameters (SiQAD-like defaults)."""
+
+    instances: int = 16
+    sweeps: int = 300
+    initial_temperature: float = 0.25  # eV-scale effective temperature
+    final_temperature: float = 0.002
+    hop_fraction: float = 0.6
+    seed: int = 0
+
+
+class SimAnneal:
+    """Simulated-annealing ground-state search."""
+
+    def __init__(
+        self,
+        layout: SidbLayout,
+        parameters: SiDBSimulationParameters | None = None,
+        schedule: SimAnnealParameters | None = None,
+    ) -> None:
+        self.layout = layout
+        self.model = EnergyModel(layout, parameters)
+        self.schedule = schedule or SimAnnealParameters()
+
+    def run(self) -> GroundStateResult:
+        """Anneal; returns the best stable configuration(s) found."""
+        n = len(self.layout)
+        result = GroundStateResult(self.layout, total_count=1 << n)
+        if n == 0:
+            result.ground_states = [np.zeros(0, dtype=np.int8)]
+            result.ground_energy = 0.0
+            result.valid_count = 1
+            return result
+
+        best_energy = float("inf")
+        best: np.ndarray | None = None
+        rng = random.Random(self.schedule.seed)
+
+        for instance in range(self.schedule.instances):
+            candidate, energy = self._run_instance(rng)
+            if candidate is None:
+                continue
+            if energy < best_energy - 1e-9:
+                best_energy = energy
+                best = candidate
+
+        if best is not None:
+            # Greedy descent to the bottom of the basin, then collect.
+            best = self._greedy_descent(best)
+            best_energy = self.model.energy(best)
+            result.ground_states = [best]
+            result.ground_energy = best_energy
+            result.valid_count = 1
+        return result
+
+    # --- single annealing instance --------------------------------------
+    def _run_instance(
+        self, rng: random.Random
+    ) -> tuple[np.ndarray | None, float]:
+        model = self.model
+        n = model.num_sites
+        mu = model.parameters.mu_minus
+        matrix = model.potential_matrix
+
+        occupation = np.array(
+            [1 if rng.random() < 0.5 else 0 for _ in range(n)], dtype=np.int8
+        )
+        potentials = model.local_potentials(occupation)
+        energy = model.energy(occupation)
+
+        best: np.ndarray | None = None
+        best_energy = float("inf")
+
+        temperature = self.schedule.initial_temperature
+        cooling = (
+            self.schedule.final_temperature / self.schedule.initial_temperature
+        ) ** (1.0 / max(1, self.schedule.sweeps - 1))
+
+        for _ in range(self.schedule.sweeps):
+            for _ in range(n):
+                if rng.random() < self.schedule.hop_fraction:
+                    delta = self._try_hop(
+                        rng, occupation, potentials, matrix, temperature
+                    )
+                else:
+                    delta = self._try_flip(
+                        rng, occupation, potentials, matrix, mu, temperature
+                    )
+                energy += delta
+            if is_population_stable(model, occupation):
+                if energy < best_energy - 1e-12:
+                    best_energy = energy
+                    best = occupation.copy()
+            temperature *= cooling
+        if best is None:
+            # Final chance: greedy-repair the last configuration.
+            repaired = self._greedy_descent(occupation)
+            if is_population_stable(model, repaired):
+                return repaired, self.model.energy(repaired)
+            return None, float("inf")
+        return best, best_energy
+
+    def _try_flip(
+        self,
+        rng: random.Random,
+        occupation: np.ndarray,
+        potentials: np.ndarray,
+        matrix: np.ndarray,
+        mu: float,
+        temperature: float,
+    ) -> float:
+        site = rng.randrange(len(occupation))
+        if occupation[site]:
+            delta = -(potentials[site] + mu)
+        else:
+            delta = potentials[site] + mu
+        if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+            if occupation[site]:
+                occupation[site] = 0
+                potentials -= matrix[site]
+            else:
+                occupation[site] = 1
+                potentials += matrix[site]
+            return float(delta)
+        return 0.0
+
+    def _try_hop(
+        self,
+        rng: random.Random,
+        occupation: np.ndarray,
+        potentials: np.ndarray,
+        matrix: np.ndarray,
+        temperature: float,
+    ) -> float:
+        occupied = np.flatnonzero(occupation)
+        empty = np.flatnonzero(occupation == 0)
+        if len(occupied) == 0 or len(empty) == 0:
+            return 0.0
+        source = int(occupied[rng.randrange(len(occupied))])
+        target = int(empty[rng.randrange(len(empty))])
+        delta = (
+            potentials[target] - potentials[source] - matrix[source, target]
+        )
+        if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+            occupation[source] = 0
+            occupation[target] = 1
+            potentials -= matrix[source]
+            potentials += matrix[target]
+            return float(delta)
+        return 0.0
+
+    # --- deterministic polishing ------------------------------------------
+    def _greedy_descent(self, occupation: np.ndarray) -> np.ndarray:
+        """Apply strictly improving flips/hops until none remain."""
+        model = self.model
+        mu = model.parameters.mu_minus
+        matrix = model.potential_matrix
+        occupation = occupation.copy()
+        potentials = model.local_potentials(occupation)
+        improved = True
+        while improved:
+            improved = False
+            # Population moves.
+            for site in range(len(occupation)):
+                if occupation[site]:
+                    delta = -(potentials[site] + mu)
+                else:
+                    delta = potentials[site] + mu
+                if delta < -1e-12:
+                    if occupation[site]:
+                        occupation[site] = 0
+                        potentials -= matrix[site]
+                    else:
+                        occupation[site] = 1
+                        potentials += matrix[site]
+                    improved = True
+            # Hop moves.
+            occupied = np.flatnonzero(occupation)
+            empty = np.flatnonzero(occupation == 0)
+            for source in occupied:
+                for target in empty:
+                    delta = (
+                        potentials[target]
+                        - potentials[source]
+                        - matrix[source, target]
+                    )
+                    if delta < -1e-12:
+                        occupation[source] = 0
+                        occupation[target] = 1
+                        potentials -= matrix[source]
+                        potentials += matrix[target]
+                        improved = True
+                        break
+                if improved:
+                    break
+        return occupation
+
+    def is_result_metastable(self, result: GroundStateResult) -> bool:
+        return bool(result.ground_states) and is_metastable(
+            self.model, result.occupation()
+        )

@@ -1,0 +1,72 @@
+"""Metastability criteria for charge configurations.
+
+A configuration is *population stable* when no single site wants to gain
+or lose an electron, and *configuration stable* when no single electron
+hop to an empty site lowers the energy.  Configurations satisfying both
+are the physically meaningful (meta)stable states among which the ground
+state is selected -- the same notion SiQAD's engines use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sidb.energy import EnergyModel
+
+# Numerical tolerance for the stability inequalities (eV).
+POPULATION_TOLERANCE = 1e-9
+
+
+def is_population_stable(
+    model: EnergyModel, occupation: np.ndarray, tolerance: float = POPULATION_TOLERANCE
+) -> bool:
+    """No site can lower the energy by gaining/losing one electron."""
+    n = np.asarray(occupation, dtype=float)
+    potentials = model.local_potentials(n)
+    mu = model.parameters.mu_minus
+    occupied = n > 0.5
+    # Occupied sites must be happy to keep their electron...
+    if np.any(potentials[occupied] + mu > tolerance):
+        return False
+    # ...and empty sites must not want one.
+    if np.any(potentials[~occupied] + mu < -tolerance):
+        return False
+    return True
+
+
+def is_configuration_stable(
+    model: EnergyModel, occupation: np.ndarray, tolerance: float = POPULATION_TOLERANCE
+) -> bool:
+    """No single electron hop to an empty site lowers the energy."""
+    n = np.asarray(occupation, dtype=float)
+    potentials = model.local_potentials(n)
+    occupied = np.flatnonzero(n > 0.5)
+    empty = np.flatnonzero(n < 0.5)
+    for source in occupied:
+        for target in empty:
+            delta = (
+                potentials[target]
+                - potentials[source]
+                - model.potential_matrix[source, target]
+            )
+            if delta < -tolerance:
+                return False
+    return True
+
+
+def is_metastable(model: EnergyModel, occupation: np.ndarray) -> bool:
+    """Population and configuration stability combined."""
+    return is_population_stable(model, occupation) and is_configuration_stable(
+        model, occupation
+    )
+
+
+def population_stability_margin(
+    model: EnergyModel, occupation: np.ndarray
+) -> float:
+    """Smallest slack of the population criteria (negative = violated)."""
+    n = np.asarray(occupation, dtype=float)
+    potentials = model.local_potentials(n)
+    mu = model.parameters.mu_minus
+    margins = np.where(n > 0.5, -(potentials + mu), potentials + mu)
+    return float(margins.min()) if margins.size else float("inf")

@@ -1,0 +1,5 @@
+"""SiQAD design-file (.sqd) I/O (flow step 8)."""
+
+from repro.sqd.sqd import read_sqd, write_sqd
+
+__all__ = ["read_sqd", "write_sqd"]

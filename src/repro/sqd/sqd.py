@@ -1,0 +1,86 @@
+"""SiQAD ``.sqd`` design-file writer and reader.
+
+The paper's flow ends by "generat[ing] a design file from the SiDB layout
+for physical simulation and/or fabrication" (step 8); SiQAD's XML format
+is the interchange format of the SiDB community.  We emit the ``DB``
+layer with both lattice coordinates (``latcoord n m l``) and physical
+locations in angstroms (``physloc``), which SiQAD and fiction can read.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from xml.dom import minidom
+
+from repro.coords.lattice import LatticeSite
+from repro.sidb.charge import SidbLayout
+
+_PROGRAM_NAME = "repro-bestagon"
+_PROGRAM_VERSION = "1.0.0"
+
+
+def write_sqd(layout: SidbLayout, design_name: str = "layout") -> str:
+    """Serialize an SiDB layout as a SiQAD .sqd XML document."""
+    root = ET.Element("siqad")
+    program = ET.SubElement(root, "program")
+    ET.SubElement(program, "file_purpose").text = "save"
+    ET.SubElement(program, "name").text = _PROGRAM_NAME
+    ET.SubElement(program, "version").text = _PROGRAM_VERSION
+
+    gui = ET.SubElement(root, "gui")
+    ET.SubElement(gui, "zoom").text = "1"
+
+    design = ET.SubElement(root, "design", {"name": design_name})
+    ET.SubElement(
+        design,
+        "layer_prop",
+        {"name": "Lattice", "type": "Lattice", "role": "Design"},
+    )
+    db_layer = ET.SubElement(
+        design, "layer", {"type": "DB", "name": "Surface"}
+    )
+    for site in layout.sites():
+        dbdot = ET.SubElement(db_layer, "dbdot")
+        ET.SubElement(dbdot, "layer_id").text = "2"
+        ET.SubElement(
+            dbdot,
+            "latcoord",
+            {"n": str(site.n), "m": str(site.m), "l": str(site.l)},
+        )
+        x_nm, y_nm = site.position_nm
+        ET.SubElement(
+            dbdot,
+            "physloc",
+            {"x": f"{x_nm * 10:.6f}", "y": f"{y_nm * 10:.6f}"},
+        )
+    raw = ET.tostring(root, encoding="unicode")
+    return minidom.parseString(raw).toprettyxml(indent="  ")
+
+
+def read_sqd(text: str) -> SidbLayout:
+    """Parse a SiQAD .sqd XML document into an SiDB layout."""
+    root = ET.fromstring(text)
+    layout = SidbLayout()
+    for dbdot in root.iter("dbdot"):
+        latcoord = dbdot.find("latcoord")
+        if latcoord is None:
+            raise ValueError("dbdot without latcoord")
+        site = LatticeSite(
+            int(latcoord.get("n", "0")),
+            int(latcoord.get("m", "0")),
+            int(latcoord.get("l", "0")),
+        )
+        layout.add(site)
+    return layout
+
+
+def save_sqd(layout: SidbLayout, path: str, design_name: str = "layout") -> None:
+    """Write a .sqd file to disk."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_sqd(layout, design_name))
+
+
+def load_sqd(path: str) -> SidbLayout:
+    """Read a .sqd file from disk."""
+    with open(path, encoding="utf-8") as handle:
+        return read_sqd(handle.read())

@@ -1,0 +1,153 @@
+"""k-feasible cut enumeration on XAGs.
+
+A *cut* of node ``n`` is a set of nodes (leaves) such that every path
+from a PI to ``n`` passes through a leaf.  Cut-based rewriting (flow
+step 2) enumerates all cuts with at most ``k`` leaves, evaluates the local
+function of each cut and replaces the cone by a pre-computed optimal
+implementation when beneficial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.networks.truth_table import TruthTable
+from repro.networks.xag import Xag, XagNodeKind, is_complemented, signal_node
+
+
+@dataclass(frozen=True)
+class Cut:
+    """A cut: root node plus a sorted tuple of leaf nodes."""
+
+    root: int
+    leaves: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.leaves)
+
+    def is_trivial(self) -> bool:
+        return self.leaves == (self.root,)
+
+
+def _merge(a: tuple[int, ...], b: tuple[int, ...], k: int) -> tuple[int, ...] | None:
+    """Union of two leaf sets if it stays within ``k`` leaves."""
+    union = sorted(set(a) | set(b))
+    if len(union) > k:
+        return None
+    return tuple(union)
+
+
+def enumerate_cuts(
+    xag: Xag, k: int = 4, max_cuts_per_node: int = 16
+) -> dict[int, list[Cut]]:
+    """All k-feasible cuts of every node, including the trivial cut.
+
+    Cut sets are pruned by dominance (a cut whose leaves are a superset of
+    another cut's is dropped) and capped at ``max_cuts_per_node`` to keep
+    enumeration polynomial in practice.
+    """
+    cuts: dict[int, list[Cut]] = {}
+    for node in range(xag.num_nodes):
+        if xag.is_constant(node):
+            cuts[node] = [Cut(node, (node,))]
+            continue
+        if xag.is_pi(node):
+            cuts[node] = [Cut(node, (node,))]
+            continue
+        f0, f1 = xag.fanins(node)
+        n0, n1 = signal_node(f0), signal_node(f1)
+        leaf_sets: list[tuple[int, ...]] = []
+        for cut0 in cuts[n0]:
+            for cut1 in cuts[n1]:
+                merged = _merge(cut0.leaves, cut1.leaves, k)
+                if merged is not None:
+                    leaf_sets.append(merged)
+        leaf_sets.append((node,))  # trivial cut
+        # Dominance pruning.
+        unique = sorted(set(leaf_sets), key=lambda s: (len(s), s))
+        kept: list[tuple[int, ...]] = []
+        for candidate in unique:
+            candidate_set = set(candidate)
+            if any(set(existing) <= candidate_set for existing in kept):
+                continue
+            kept.append(candidate)
+        cuts[node] = [Cut(node, leaves) for leaves in kept[:max_cuts_per_node]]
+    return cuts
+
+
+def cut_function(xag: Xag, cut: Cut) -> TruthTable:
+    """Local function of the cut root over the cut leaves (in leaf order)."""
+    n = cut.size
+    values: dict[int, TruthTable] = {}
+    for position, leaf in enumerate(cut.leaves):
+        values[leaf] = TruthTable.variable(position, n)
+    if 0 not in values:
+        values[0] = TruthTable.constant(False, n)
+
+    def evaluate(node: int) -> TruthTable:
+        if node in values:
+            return values[node]
+        if not xag.is_gate(node):
+            raise ValueError(f"cut does not cover node {node}")
+        f0, f1 = xag.fanins(node)
+        a = evaluate(signal_node(f0))
+        if is_complemented(f0):
+            a = ~a
+        b = evaluate(signal_node(f1))
+        if is_complemented(f1):
+            b = ~b
+        result = a & b if xag.kind(node) is XagNodeKind.AND else a ^ b
+        values[node] = result
+        return result
+
+    return evaluate(cut.root)
+
+
+def cone_nodes(xag: Xag, cut: Cut) -> set[int]:
+    """Gate nodes strictly inside the cut cone (root included)."""
+    cone: set[int] = set()
+    stack = [cut.root]
+    leaves = set(cut.leaves)
+    while stack:
+        node = stack.pop()
+        if node in leaves and node != cut.root:
+            continue
+        if node in cone or not xag.is_gate(node):
+            continue
+        cone.add(node)
+        f0, f1 = xag.fanins(node)
+        for fanin in (signal_node(f0), signal_node(f1)):
+            if fanin not in leaves:
+                stack.append(fanin)
+    return cone
+
+
+def mffc_size(xag: Xag, cut: Cut, fanout_counts: dict[int, int]) -> int:
+    """Size of the maximum fanout-free cone of the root w.r.t. the cut.
+
+    Counts the gates that would become dangling if the root were replaced:
+    gates in the cone whose every fanout path stays inside the cone.
+    """
+    cone = cone_nodes(xag, cut)
+    # Iteratively remove nodes that have fanout outside the cone.
+    internal_uses: dict[int, int] = {node: 0 for node in cone}
+    for node in cone:
+        f0, f1 = xag.fanins(node)
+        for fanin in (signal_node(f0), signal_node(f1)):
+            if fanin in internal_uses:
+                internal_uses[fanin] += 1
+    mffc = {cut.root}
+    # Process in reverse topological order (higher index = later).
+    for node in sorted(cone - {cut.root}, reverse=True):
+        # node is in the MFFC iff all its uses are from MFFC nodes.
+        uses_total = fanout_counts.get(node, 0)
+        uses_from_mffc = 0
+        for consumer in mffc:
+            if consumer == node:
+                continue
+            f0, f1 = xag.fanins(consumer)
+            uses_from_mffc += (signal_node(f0) == node) + (signal_node(f1) == node)
+        if uses_total == uses_from_mffc and uses_total > 0:
+            mffc.add(node)
+    return len(mffc)

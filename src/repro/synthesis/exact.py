@@ -1,0 +1,282 @@
+"""SAT-based exact synthesis of minimum-size XAGs.
+
+Implements the single-selection-variable (SSV) encoding in the style of
+Knuth / Soeken et al., restricted to the XAG gate alphabet: every gate is
+either an AND with arbitrary input polarities or an XOR.  The encoding is
+solved for an increasing number of gates ``r`` until satisfiable, which
+yields a size-optimal XAG for the specification -- the backbone of the
+"exact NPN database" used by cut rewriting [Riener'19] (flow step 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.networks.truth_table import TruthTable
+from repro.networks.xag import Signal, Xag
+from repro.sat import Cnf, Solver, SolverResult
+from repro.sat.encodings import exactly_one
+
+
+# Gate operations: four AND polarities plus XOR.
+_OPS = (
+    ("and", False, False),
+    ("and", True, False),
+    ("and", False, True),
+    ("and", True, True),
+    ("xor", False, False),
+)
+
+
+@dataclass(frozen=True)
+class RecipeGate:
+    """One gate of a synthesized XAG fragment.
+
+    Fanin indices < ``num_vars`` refer to leaf variables; larger indices
+    refer to previous gates (index - num_vars).
+    """
+
+    op: str
+    fanin0: int
+    fanin1: int
+    negate0: bool
+    negate1: bool
+
+
+@dataclass(frozen=True)
+class XagRecipe:
+    """A compact, network-independent XAG implementation of a function."""
+
+    num_vars: int
+    gates: tuple[RecipeGate, ...] = ()
+    output_gate: int = -1  # -1: constant or projection (see output_leaf)
+    output_leaf: int = -1  # leaf index for projections, -2 for constants
+    output_negate: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.gates)
+
+    def build(self, xag: Xag, leaves: list[Signal]) -> Signal:
+        """Instantiate the recipe on leaf signals inside an XAG."""
+        if len(leaves) != self.num_vars:
+            raise ValueError("wrong number of leaves")
+        if self.output_leaf == -2:
+            return xag.get_constant(self.output_negate)
+        values: list[Signal] = list(leaves)
+        for gate in self.gates:
+            a = values[gate.fanin0] ^ int(gate.negate0)
+            b = values[gate.fanin1] ^ int(gate.negate1)
+            if gate.op == "and":
+                values.append(xag.create_and(a, b))
+            else:
+                values.append(xag.create_xor(a, b))
+        if self.output_gate >= 0:
+            result = values[self.num_vars + self.output_gate]
+        else:
+            result = values[self.output_leaf]
+        return result ^ int(self.output_negate)
+
+    def simulate(self) -> TruthTable:
+        """Truth table the recipe realizes (for verification)."""
+        xag = Xag("recipe")
+        leaves = [xag.create_pi(f"x{i}") for i in range(self.num_vars)]
+        xag.create_po(self.build(xag, leaves))
+        return xag.simulate()[0]
+
+
+@dataclass
+class SynthesisSpec:
+    """Specification handed to the exact synthesis engine."""
+
+    function: TruthTable
+    max_gates: int = 12
+    conflict_limit: int | None = 60_000
+    statistics: dict = field(default_factory=dict)
+
+
+def _trivial_recipe(function: TruthTable) -> XagRecipe | None:
+    """Handle constants and (possibly negated) projections without SAT."""
+    n = function.num_vars
+    if function.is_constant():
+        return XagRecipe(
+            n, (), output_gate=-1, output_leaf=-2,
+            output_negate=bool(function.bits),
+        )
+    for var in range(n):
+        projection = TruthTable.variable(var, n)
+        if function == projection:
+            return XagRecipe(n, (), -1, var, False)
+        if function == ~projection:
+            return XagRecipe(n, (), -1, var, True)
+    return None
+
+
+def exact_xag_synthesis(spec: SynthesisSpec) -> XagRecipe | None:
+    """Find a size-minimal XAG for the specification.
+
+    Returns None if the conflict budget was exhausted before a solution
+    (or proof of impossibility within ``max_gates``) was found.
+    """
+    trivial = _trivial_recipe(spec.function)
+    if trivial is not None:
+        spec.statistics["gates"] = 0
+        return trivial
+    for num_gates in range(1, spec.max_gates + 1):
+        result = _synthesize_with_size(spec, num_gates)
+        if result == "timeout":
+            spec.statistics["timeout_at"] = num_gates
+            return None
+        if result is not None:
+            spec.statistics["gates"] = num_gates
+            recipe = result
+            assert recipe.simulate() == spec.function, "unsound synthesis"
+            return recipe
+    return None
+
+
+def _synthesize_with_size(
+    spec: SynthesisSpec, num_gates: int
+) -> XagRecipe | str | None:
+    n = spec.function.num_vars
+    rows = 1 << n
+    cnf = Cnf()
+
+    # Selection variables: gate i uses operand pair (j, k), j < k, over
+    # leaves 0..n-1 and gates n..n+i-1.
+    pair_vars: list[dict[tuple[int, int], int]] = []
+    op_vars: list[list[int]] = []
+    truth_vars: list[list[int]] = []
+    for i in range(num_gates):
+        available = list(range(n + i))
+        pairs = {pair: cnf.new_var() for pair in combinations(available, 2)}
+        pair_vars.append(pairs)
+        exactly_one(cnf, list(pairs.values()))
+        ops = cnf.new_vars(len(_OPS))
+        op_vars.append(ops)
+        exactly_one(cnf, ops)
+        truth_vars.append(cnf.new_vars(rows))
+
+    output_negate = cnf.new_var()
+
+    def operand_literal(operand: int, row: int) -> int | bool:
+        """SAT literal (or constant) for an operand's value on a row."""
+        if operand < n:
+            return bool((row >> operand) & 1)
+        return truth_vars[operand - n][row]
+
+    for i in range(num_gates):
+        for (j, k), selector in pair_vars[i].items():
+            for op_index, (op, neg_a, neg_b) in enumerate(_OPS):
+                guard = [-selector, -op_vars[i][op_index]]
+                for row in range(rows):
+                    t = truth_vars[i][row]
+                    a = operand_literal(j, row)
+                    b = operand_literal(k, row)
+                    _encode_gate_row(cnf, guard, t, op, a, neg_a, b, neg_b)
+
+    # Output: the last gate realizes the function up to global polarity.
+    for row in range(rows):
+        target = spec.function.get_bit(row)
+        t = truth_vars[num_gates - 1][row]
+        # output_negate=False -> t == target ; True -> t == !target
+        cnf.add_clause([output_negate, t if target else -t])
+        cnf.add_clause([-output_negate, -t if target else t])
+
+    # Structure: every non-final gate must feed some later gate.
+    for i in range(num_gates - 1):
+        uses = []
+        for later in range(i + 1, num_gates):
+            for (j, k), selector in pair_vars[later].items():
+                if j == n + i or k == n + i:
+                    uses.append(selector)
+        cnf.add_clause(uses)
+
+    solver = Solver(cnf)
+    solver.max_conflicts = spec.conflict_limit
+    outcome = solver.solve()
+    if outcome is SolverResult.UNKNOWN:
+        return "timeout"
+    if outcome is SolverResult.UNSAT:
+        return None
+
+    gates = []
+    for i in range(num_gates):
+        pair = next(
+            p for p, v in pair_vars[i].items() if solver.model_value(v)
+        )
+        op_index = next(
+            o for o in range(len(_OPS)) if solver.model_value(op_vars[i][o])
+        )
+        op, neg_a, neg_b = _OPS[op_index]
+        gates.append(RecipeGate(op, pair[0], pair[1], neg_a, neg_b))
+    return XagRecipe(
+        num_vars=n,
+        gates=tuple(gates),
+        output_gate=num_gates - 1,
+        output_leaf=-1,
+        output_negate=solver.model_value(output_negate),
+    )
+
+
+def _encode_gate_row(
+    cnf: Cnf,
+    guard: list[int],
+    t: int,
+    op: str,
+    a: int | bool,
+    neg_a: bool,
+    b: int | bool,
+    neg_b: bool,
+) -> None:
+    """Clauses for t == op(a ^ neg_a, b ^ neg_b) under a guard."""
+    if isinstance(a, bool):
+        a_value: int | None = None
+        a_const: bool | None = a ^ neg_a
+    else:
+        a_value = -a if neg_a else a
+        a_const = None
+    if isinstance(b, bool):
+        b_value: int | None = None
+        b_const: bool | None = b ^ neg_b
+    else:
+        b_value = -b if neg_b else b
+        b_const = None
+
+    if op == "and":
+        if a_const is not None and b_const is not None:
+            cnf.add_clause(guard + [t if (a_const and b_const) else -t])
+            return
+        if a_const is not None or b_const is not None:
+            const = a_const if a_const is not None else b_const
+            variable = b_value if a_const is not None else a_value
+            if not const:
+                cnf.add_clause(guard + [-t])
+            else:
+                cnf.add_clause(guard + [-t, variable])
+                cnf.add_clause(guard + [t, -variable])
+            return
+        cnf.add_clause(guard + [-t, a_value])
+        cnf.add_clause(guard + [-t, b_value])
+        cnf.add_clause(guard + [t, -a_value, -b_value])
+        return
+
+    # XOR
+    if a_const is not None and b_const is not None:
+        cnf.add_clause(guard + [t if (a_const != b_const) else -t])
+        return
+    if a_const is not None or b_const is not None:
+        const = a_const if a_const is not None else b_const
+        variable = b_value if a_const is not None else a_value
+        if const:
+            cnf.add_clause(guard + [-t, -variable])
+            cnf.add_clause(guard + [t, variable])
+        else:
+            cnf.add_clause(guard + [-t, variable])
+            cnf.add_clause(guard + [t, -variable])
+        return
+    cnf.add_clause(guard + [-t, a_value, b_value])
+    cnf.add_clause(guard + [-t, -a_value, -b_value])
+    cnf.add_clause(guard + [t, a_value, -b_value])
+    cnf.add_clause(guard + [t, -a_value, b_value])

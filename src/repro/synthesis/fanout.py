@@ -1,0 +1,79 @@
+"""Fan-out tree insertion.
+
+Bestagon fan-out tiles are 1-in-2-out, so any net driving more than one
+consumer must be split by a tree of FANOUT nodes.  Balanced trees keep
+the clocking-induced path-length skew minimal, which in turn reduces the
+number of balancing wire tiles the physical design has to insert.
+"""
+
+from __future__ import annotations
+
+from repro.networks.logic_network import GateType, LogicNetwork
+
+
+def insert_fanout_trees(
+    network: LogicNetwork, balanced: bool = True
+) -> LogicNetwork:
+    """Return a copy of the network satisfying the fan-out discipline.
+
+    Every node with more than one consumer is post-fixed by a tree of
+    1-in-2-out FANOUT nodes; with ``balanced=False`` a degenerate chain
+    is built instead (useful as an ablation: chains are cheaper in fanout
+    count but deepen some paths).
+    """
+    result = LogicNetwork(network.name)
+    mapping: dict[int, int] = {}
+    fanouts = network.fanouts()
+
+    # Pre-compute, per node, the list of consumer slots to feed.
+    def consumer_count(node: int) -> int:
+        return len(fanouts[node])
+
+    # supply[node] is a list of result-net ids handed out to consumers.
+    supply: dict[int, list[int]] = {}
+
+    def build_tree(root_net: int, needed: int) -> list[int]:
+        """Create FANOUT nodes so that ``needed`` consumers can be fed."""
+        if needed <= 1:
+            return [root_net]
+        outlets = [root_net]
+        while len(outlets) < needed:
+            if balanced:
+                source = outlets.pop(0)
+            else:
+                source = outlets.pop()
+            fanout = result.add_node(GateType.FANOUT, [source])
+            outlets.append(fanout)
+            outlets.append(fanout)
+        return outlets
+
+    # Track how many outlets of each source were already consumed.
+    outlet_queues: dict[int, list[int]] = {}
+
+    def take_outlet(node: int) -> int:
+        queue = outlet_queues[node]
+        if not queue:
+            raise RuntimeError(f"fanout tree of node {node} exhausted")
+        return queue.pop(0)
+
+    for node in network.nodes():
+        gate_type = network.gate_type(node)
+        new_fanins = [take_outlet(f) for f in network.fanins(node)]
+        new_node = result.add_node(gate_type, new_fanins, network.node_name(node))
+        mapping[node] = new_node
+        outlet_queues[node] = build_tree(new_node, consumer_count(node))
+        supply[node] = list(outlet_queues[node])
+
+    return result
+
+
+def fanout_tree_depth(consumers: int) -> int:
+    """Depth (in FANOUT tiles) of a balanced tree feeding ``consumers``."""
+    if consumers <= 1:
+        return 0
+    depth = 0
+    width = 1
+    while width < consumers:
+        width *= 2
+        depth += 1
+    return depth

@@ -1,0 +1,150 @@
+"""Technology mapping onto the Bestagon gate set (flow step 3).
+
+Restructures an optimized XAG into a technology network whose node types
+correspond one-to-one to Bestagon standard tiles: the 2-input gates
+OR/AND/NOR/NAND/XOR/XNOR, explicit inverters, explicit 1-in-2-out
+fan-outs, and primary-output pins [Calvino'22].
+
+The pass performs *inverter minimization*: complemented XAG edges are
+absorbed into gate flavors wherever possible --
+
+* an AND whose output is (mostly) used complemented becomes a NAND,
+* an AND of two complemented operands becomes a NOR (De Morgan),
+* complemented XOR operands/outputs toggle between XOR and XNOR at no
+  cost -- XOR tiles never need inverters,
+
+and only the remaining polarity mismatches materialize as INV tiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.networks.logic_network import GateType, LogicNetwork
+from repro.networks.xag import Xag, XagNodeKind, is_complemented, signal_node
+from repro.synthesis.fanout import insert_fanout_trees
+
+
+@dataclass
+class MappingStatistics:
+    """Bookkeeping of a technology-mapping run."""
+
+    gates: int = 0
+    inverters: int = 0
+    fanouts: int = 0
+    by_type: dict = field(default_factory=dict)
+
+
+def map_to_bestagon(
+    xag: Xag,
+    statistics: MappingStatistics | None = None,
+    balance_fanout_trees: bool = True,
+) -> LogicNetwork:
+    """Map an XAG to a Bestagon-compatible technology network.
+
+    The result satisfies the library's structural constraints: all gates
+    have at most two inputs, fan-out degree is at most one except for
+    dedicated FANOUT nodes (degree two), and every PO is a dedicated node.
+    """
+    statistics = statistics or MappingStatistics()
+    network = LogicNetwork(xag.name)
+
+    # --- polarity planning -------------------------------------------------
+    # Count how often each node is needed plain vs. complemented.
+    plain_uses: dict[int, int] = {}
+    complemented_uses: dict[int, int] = {}
+    for node in xag.gates():
+        for fanin in xag.fanins(node):
+            target = complemented_uses if is_complemented(fanin) else plain_uses
+            target[signal_node(fanin)] = target.get(signal_node(fanin), 0) + 1
+    for po in xag.pos():
+        target = complemented_uses if is_complemented(po) else plain_uses
+        target[signal_node(po)] = target.get(signal_node(po), 0) + 1
+
+    # realized_polarity[node] is True if the net we build for the node
+    # carries the *complemented* function.
+    realized_polarity: dict[int, bool] = {}
+    for node in xag.gates():
+        realized_polarity[node] = complemented_uses.get(
+            node, 0
+        ) > plain_uses.get(node, 0)
+
+    # --- construction -------------------------------------------------
+    net_of: dict[int, int] = {}  # node -> net realizing realized_polarity
+    inverted_net: dict[int, int] = {}  # node -> INV net of net_of[node]
+    const_net: dict[bool, int] = {}
+
+    for pi in xag.pis():
+        net_of[pi] = network.add_pi(xag.pi_name(pi))
+        realized_polarity[pi] = False
+
+    def get_net(node: int, want_complemented: bool) -> int:
+        """Net carrying the node's function at the requested polarity."""
+        if xag.is_constant(node):
+            if want_complemented not in const_net:
+                gate_type = GateType.CONST1 if want_complemented else GateType.CONST0
+                const_net[want_complemented] = network.add_node(gate_type)
+            return const_net[want_complemented]
+        if realized_polarity[node] == want_complemented:
+            return net_of[node]
+        if node not in inverted_net:
+            inverted_net[node] = network.add_node(
+                GateType.INV, [net_of[node]]
+            )
+            statistics.inverters += 1
+        return inverted_net[node]
+
+    for node in xag.gates():
+        f0, f1 = xag.fanins(node)
+        n0, c0 = signal_node(f0), is_complemented(f0)
+        n1, c1 = signal_node(f1), is_complemented(f1)
+        out_complemented = realized_polarity[node]
+
+        if xag.kind(node) is XagNodeKind.XOR:
+            # XOR absorbs every polarity: feed the realized nets directly
+            # and fold all pending complements into the gate flavor.
+            in0 = net_of[n0] if not xag.is_constant(n0) else get_net(n0, False)
+            in1 = net_of[n1] if not xag.is_constant(n1) else get_net(n1, False)
+            pending = (
+                (c0 ^ realized_polarity[n0])
+                ^ (c1 ^ realized_polarity[n1])
+                ^ out_complemented
+            )
+            gate_type = GateType.XNOR2 if pending else GateType.XOR2
+            net_of[node] = network.add_node(gate_type, [in0, in1])
+        else:
+            # AND node: try to absorb operand complements via De Morgan.
+            need0 = c0 ^ realized_polarity[n0] if not xag.is_constant(n0) else c0
+            need1 = c1 ^ realized_polarity[n1] if not xag.is_constant(n1) else c1
+            if xag.is_constant(n0) or xag.is_constant(n1):
+                in0 = get_net(n0, c0)
+                in1 = get_net(n1, c1)
+                gate_type = GateType.NAND2 if out_complemented else GateType.AND2
+            elif need0 and need1:
+                # ~a & ~b == NOR(a, b); complemented output -> OR.
+                in0, in1 = net_of[n0], net_of[n1]
+                gate_type = GateType.OR2 if out_complemented else GateType.NOR2
+            elif not need0 and not need1:
+                in0, in1 = net_of[n0], net_of[n1]
+                gate_type = GateType.NAND2 if out_complemented else GateType.AND2
+            else:
+                # Mixed polarities: one inverter is unavoidable.
+                in0 = get_net(n0, c0)
+                in1 = get_net(n1, c1)
+                gate_type = GateType.NAND2 if out_complemented else GateType.AND2
+            net_of[node] = network.add_node(gate_type, [in0, in1])
+        statistics.gates += 1
+
+    for index, po in enumerate(xag.pos()):
+        node = signal_node(po)
+        driver = get_net(node, is_complemented(po))
+        network.add_po(driver, xag.po_name(index))
+
+    result = insert_fanout_trees(network, balanced=balance_fanout_trees)
+    statistics.fanouts = result.count_type(GateType.FANOUT)
+    for node in result.nodes():
+        gate_type = result.gate_type(node)
+        statistics.by_type[gate_type.value] = (
+            statistics.by_type.get(gate_type.value, 0) + 1
+        )
+    return result

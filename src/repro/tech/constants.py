@@ -1,0 +1,37 @@
+"""Physical and geometric constants of the SiDB platform."""
+
+# --- H-Si(100)-2x1 surface lattice constants (nanometers) ----------------
+# Pitch along a dimer row (x direction).
+LATTICE_A_NM = 0.384
+# Pitch between dimer rows (y direction, one unit cell = two H sites).
+LATTICE_B_NM = 0.768
+# Intra-dimer-pair separation (y offset of the second site in a cell).
+LATTICE_C_NM = 0.225
+
+# --- Electrostatics -------------------------------------------------------
+# e^2 / (4 pi eps_0) expressed in eV * nm, so that dividing by a relative
+# permittivity and a distance in nm yields an interaction energy in eV.
+COULOMB_CONSTANT_EV_NM = 1.439964548
+
+# --- Bestagon standard-tile geometry --------------------------------------
+# Reverse-engineered from Table 1 of the paper: every reported area obeys
+#   area = ((60 w - 1) * 0.384 nm) * ((46 h - 1) * 0.384 nm)
+# exactly, hence a Bestagon tile spans 60 columns x 46 rows of the
+# half-pitch bounding-box grid.
+TILE_WIDTH_COLUMNS = 60
+TILE_HEIGHT_ROWS = 46
+
+# Half-pitch used by the paper's bounding-box arithmetic for both axes.
+BOUNDING_BOX_PITCH_NM = LATTICE_A_NM
+
+# --- Fabrication / clocking -----------------------------------------------
+# Minimum metal pitch of state-of-the-art 7 nm lithography [Wu et al. 2016],
+# the datum that forces clock zones to span multiple tiles (super-tiles).
+MIN_METAL_PITCH_NM = 40.0
+
+# Minimum separation between logic design canvases of adjacent tiles
+# required to suppress direct Coulombic interference (Section 4.1).
+MIN_CANVAS_SEPARATION_NM = 10.0
+
+# Number of clock phases in the standard FCN clocking scheme.
+CLOCK_PHASES = 4

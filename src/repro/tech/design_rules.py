@@ -1,0 +1,104 @@
+"""The physical design-rule framework (contribution 3 of the paper).
+
+Three families of rules are enforced:
+
+* **Clocking-electrode rules** -- at state-of-the-art 7 nm lithography the
+  minimum metal pitch is 40 nm, so an individually addressable clock zone
+  must span at least that pitch.  A Bestagon tile row is only
+  46 * 0.384 nm = 17.664 nm tall, hence several tile rows must be grouped
+  into one *super-tile* (Figure 4); :func:`DesignRules.min_tile_rows_per_zone`
+  computes the required grouping factor.
+
+* **Coulombic-bias rules** -- logic design canvases of adjacent tiles must
+  keep at least 10 nm distance to suppress direct interference between
+  logic components (Section 4.1).
+
+* **Information-flow rules** -- feed-forward clocking: tiles receive
+  signals only through their north-west/north-east borders and emit only
+  through south-west/south-east; a signal crossing a zone boundary must
+  enter the next clock phase.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.tech.constants import (
+    BOUNDING_BOX_PITCH_NM,
+    MIN_CANVAS_SEPARATION_NM,
+    MIN_METAL_PITCH_NM,
+    TILE_HEIGHT_ROWS,
+)
+
+
+@dataclass(frozen=True)
+class DesignRuleViolation:
+    """A single violated design rule."""
+
+    rule: str
+    message: str
+    location: object | None = None
+
+    def __str__(self) -> str:
+        where = f" at {self.location}" if self.location is not None else ""
+        return f"[{self.rule}]{where}: {self.message}"
+
+
+@dataclass
+class DesignRules:
+    """The design-rule set, parameterized by fabrication capabilities."""
+
+    min_metal_pitch_nm: float = MIN_METAL_PITCH_NM
+    min_canvas_separation_nm: float = MIN_CANVAS_SEPARATION_NM
+    tile_height_nm: float = TILE_HEIGHT_ROWS * BOUNDING_BOX_PITCH_NM
+    violations: list[DesignRuleViolation] = field(default_factory=list)
+
+    def min_tile_rows_per_zone(self) -> int:
+        """Tile rows a clock zone must span to satisfy the metal pitch.
+
+        This is the super-tile grouping factor of Figure 4: with 17.664 nm
+        tall tiles and a 40 nm minimum metal pitch, a zone needs to cover
+        at least 3 tile rows.
+        """
+        return max(1, math.ceil(self.min_metal_pitch_nm / self.tile_height_nm))
+
+    def electrode_pitch_ok(self, zone_height_nm: float) -> bool:
+        """Whether a clock zone of the given height is fabricable."""
+        return zone_height_nm + 1e-9 >= self.min_metal_pitch_nm
+
+    def check_zone_height(
+        self, zone_rows: int, location: object | None = None
+    ) -> DesignRuleViolation | None:
+        """Check a zone spanning ``zone_rows`` tile rows against the pitch."""
+        height = zone_rows * self.tile_height_nm
+        if self.electrode_pitch_ok(height):
+            return None
+        violation = DesignRuleViolation(
+            rule="metal-pitch",
+            message=(
+                f"clock zone of {zone_rows} tile row(s) is {height:.3f} nm "
+                f"tall, below the minimum metal pitch of "
+                f"{self.min_metal_pitch_nm:.1f} nm"
+            ),
+            location=location,
+        )
+        self.violations.append(violation)
+        return violation
+
+    def check_canvas_separation(
+        self, separation_nm: float, location: object | None = None
+    ) -> DesignRuleViolation | None:
+        """Check the distance between two adjacent logic design canvases."""
+        if separation_nm + 1e-9 >= self.min_canvas_separation_nm:
+            return None
+        violation = DesignRuleViolation(
+            rule="canvas-separation",
+            message=(
+                f"logic canvases only {separation_nm:.3f} nm apart, below "
+                f"the {self.min_canvas_separation_nm:.1f} nm minimum"
+            ),
+            location=location,
+        )
+        self.violations.append(violation)
+        return violation

@@ -1,0 +1,28 @@
+"""Formal verification (flow step 5): SAT-based equivalence checking.
+
+Port of the approach of [Walter DAC'20]: the gate-level layout is
+re-extracted into a logic network purely from tile geometry (not from any
+placement bookkeeping), a miter against the specification is encoded into
+CNF and handed to the CDCL solver.  UNSAT proves the layout implements
+the specification.
+"""
+
+from repro.verification.extract import extract_network, ExtractionError
+from repro.verification.miter import build_miter
+from repro.verification.equivalence import (
+    EquivalenceResult,
+    check_equivalence,
+    check_layout_against_network,
+)
+from repro.verification.bdd import Bdd, bdd_equivalent
+
+__all__ = [
+    "extract_network",
+    "ExtractionError",
+    "build_miter",
+    "EquivalenceResult",
+    "check_equivalence",
+    "check_layout_against_network",
+    "Bdd",
+    "bdd_equivalent",
+]

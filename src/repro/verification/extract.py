@@ -1,0 +1,99 @@
+"""Re-extract a logic network from a gate-level layout.
+
+Extraction deliberately uses *only* tile geometry -- positions, gate
+types and border directions -- so the subsequent equivalence check
+validates the layout itself rather than the placement algorithm's
+bookkeeping.  Signals are traced from the PI tiles downwards through
+wire, fan-out, crossing and gate tiles.
+"""
+
+from __future__ import annotations
+
+from repro.coords.hexagonal import HexCoord, HexDirection
+from repro.layout.gate_layout import GateLevelLayout, TileContent, TileKind
+from repro.networks.logic_network import GateType, LogicNetwork
+
+
+class ExtractionError(ValueError):
+    """Raised when a layout is not a well-formed circuit."""
+
+
+def extract_network(layout: GateLevelLayout) -> LogicNetwork:
+    """Rebuild the logic network realized by a layout.
+
+    PIs are ordered left-to-right (then top-to-bottom) as are POs, which
+    matches the placement convention of the physical design engines.
+    """
+    network = LogicNetwork(layout.name)
+    # signal_at[(coord, out_dir)] = net id leaving that tile border.
+    signal_at: dict[tuple[HexCoord, HexDirection], int] = {}
+
+    occupied = layout.occupied()  # row-major: drivers precede consumers
+
+    def incoming_signal(coord: HexCoord, in_dir: HexDirection) -> int:
+        source = coord.neighbor(in_dir)
+        key = (source, in_dir.opposite)
+        if key not in signal_at:
+            raise ExtractionError(
+                f"tile {coord} expects a signal through {in_dir.value} "
+                f"but {source} provides none"
+            )
+        return signal_at[key]
+
+    for coord, content in occupied:
+        if content.kind is TileKind.GATE:
+            assert content.gate_type is not None
+            gate_type = content.gate_type
+            fanins = [
+                incoming_signal(coord, d) for d in content.input_dirs
+            ]
+            if gate_type is GateType.PI:
+                net = network.add_pi(name=content.label or f"pi@{coord}")
+            elif gate_type is GateType.PO:
+                if len(fanins) != 1:
+                    raise ExtractionError(f"PO tile {coord} needs one input")
+                net = network.add_po(fanins[0], name=content.label or f"po@{coord}")
+            else:
+                net = network.add_node(gate_type, fanins)
+            for out_dir in content.output_dirs:
+                if (coord, out_dir) in signal_at:
+                    raise ExtractionError(
+                        f"border {out_dir.value} of {coord} driven twice"
+                    )
+                signal_at[(coord, out_dir)] = net
+        else:
+            # Two-signal tiles: trace each path independently as a BUF.
+            for in_dir in content.input_dirs:
+                source_net = incoming_signal(coord, in_dir)
+                out_dir = content.signal_through(in_dir)
+                net = network.add_node(GateType.BUF, [source_net])
+                signal_at[(coord, out_dir)] = net
+
+    _check_all_consumed(layout, signal_at)
+    return network
+
+
+def _check_all_consumed(
+    layout: GateLevelLayout,
+    signal_at: dict[tuple[HexCoord, HexDirection], int],
+) -> None:
+    """Every driven border must face a tile that consumes it."""
+    for (coord, out_dir), _ in signal_at.items():
+        target = coord.neighbor(out_dir)
+        content = layout.tile(target)
+        if content is None:
+            raise ExtractionError(
+                f"signal leaving {coord} via {out_dir.value} dangles"
+            )
+        if content.kind is TileKind.GATE:
+            if out_dir.opposite not in content.input_dirs:
+                raise ExtractionError(
+                    f"tile {target} does not consume the signal arriving "
+                    f"from {coord}"
+                )
+        else:
+            if out_dir.opposite not in content.input_dirs:
+                raise ExtractionError(
+                    f"two-signal tile {target} does not accept a signal "
+                    f"from {coord}"
+                )

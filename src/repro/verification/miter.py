@@ -1,0 +1,149 @@
+"""Miter construction for SAT-based equivalence checking."""
+
+from __future__ import annotations
+
+from repro.networks.logic_network import GateType, LogicNetwork
+from repro.networks.xag import Xag, XagNodeKind, is_complemented, signal_node
+from repro.sat import Cnf
+from repro.sat.encodings import (
+    tseitin_and,
+    tseitin_equal,
+    tseitin_or,
+    tseitin_xor,
+)
+
+
+def network_from_xag(xag: Xag) -> LogicNetwork:
+    """Straightforward XAG -> technology-network conversion.
+
+    Complemented edges become explicit INV nodes; no optimization is
+    applied (this conversion only feeds the verification miter).
+    """
+    network = LogicNetwork(xag.name)
+    net_of: dict[int, int] = {}
+    inv_of: dict[int, int] = {}
+    const_net: dict[bool, int] = {}
+
+    for pi in xag.pis():
+        net_of[pi] = network.add_pi(xag.pi_name(pi))
+
+    def literal_net(signal: int) -> int:
+        node = signal_node(signal)
+        if xag.is_constant(node):
+            value = is_complemented(signal)
+            if value not in const_net:
+                gate = GateType.CONST1 if value else GateType.CONST0
+                const_net[value] = network.add_node(gate)
+            return const_net[value]
+        if not is_complemented(signal):
+            return net_of[node]
+        if node not in inv_of:
+            inv_of[node] = network.add_node(GateType.INV, [net_of[node]])
+        return inv_of[node]
+
+    for node in xag.gates():
+        f0, f1 = xag.fanins(node)
+        inputs = [literal_net(f0), literal_net(f1)]
+        gate = (
+            GateType.AND2
+            if xag.kind(node) is XagNodeKind.AND
+            else GateType.XOR2
+        )
+        net_of[node] = network.add_node(gate, inputs)
+
+    for index, po in enumerate(xag.pos()):
+        network.add_po(literal_net(po), xag.po_name(index))
+    return network
+
+
+def encode_network(
+    cnf: Cnf, network: LogicNetwork, input_vars: list[int]
+) -> list[int]:
+    """Tseitin-encode a network over given PI variables; returns PO vars."""
+    if len(input_vars) != network.num_pis:
+        raise ValueError("wrong number of input variables")
+    var_of: dict[int, int] = {}
+    pi_position = {pi: i for i, pi in enumerate(network.pis())}
+
+    for node in network.nodes():
+        gate_type = network.gate_type(node)
+        fanins = network.fanins(node)
+        if gate_type is GateType.PI:
+            var_of[node] = input_vars[pi_position[node]]
+            continue
+        if gate_type in (GateType.CONST0, GateType.CONST1):
+            var = cnf.new_var()
+            cnf.add_clause([var if gate_type is GateType.CONST1 else -var])
+            var_of[node] = var
+            continue
+        if gate_type in (GateType.BUF, GateType.FANOUT, GateType.PO):
+            var_of[node] = var_of[fanins[0]]
+            continue
+        var = cnf.new_var()
+        operands = [var_of[f] for f in fanins]
+        if gate_type is GateType.INV:
+            tseitin_equal(cnf, var, -operands[0])
+        elif gate_type is GateType.AND2:
+            tseitin_and(cnf, var, operands)
+        elif gate_type is GateType.NAND2:
+            aux = cnf.new_var()
+            tseitin_and(cnf, aux, operands)
+            tseitin_equal(cnf, var, -aux)
+        elif gate_type is GateType.OR2:
+            tseitin_or(cnf, var, operands)
+        elif gate_type is GateType.NOR2:
+            aux = cnf.new_var()
+            tseitin_or(cnf, aux, operands)
+            tseitin_equal(cnf, var, -aux)
+        elif gate_type is GateType.XOR2:
+            tseitin_xor(cnf, var, operands[0], operands[1])
+        elif gate_type is GateType.XNOR2:
+            tseitin_xor(cnf, var, operands[0], -operands[1])
+        else:
+            raise ValueError(f"cannot encode gate type {gate_type}")
+        var_of[node] = var
+
+    return [var_of[po] for po in network.pos()]
+
+
+def build_miter(
+    cnf: Cnf,
+    golden: LogicNetwork,
+    candidate: LogicNetwork,
+    pi_permutation: list[int] | None = None,
+    po_permutation: list[int] | None = None,
+) -> tuple[list[int], list[int]]:
+    """Encode a miter: returns (shared input vars, per-output XOR vars).
+
+    ``pi_permutation[i]`` gives the candidate PI index corresponding to
+    golden PI ``i`` (identity if omitted); likewise for POs.  The caller
+    asserts the disjunction of the XOR vars and solves: UNSAT means the
+    networks are equivalent.
+    """
+    if golden.num_pis != candidate.num_pis:
+        raise ValueError("PI count mismatch")
+    if golden.num_pos != candidate.num_pos:
+        raise ValueError("PO count mismatch")
+    n = golden.num_pis
+    pi_permutation = pi_permutation or list(range(n))
+    po_permutation = po_permutation or list(range(golden.num_pos))
+
+    shared = cnf.new_vars(n)
+    candidate_inputs = [0] * n
+    for golden_index, candidate_index in enumerate(pi_permutation):
+        candidate_inputs[candidate_index] = shared[golden_index]
+
+    golden_outputs = encode_network(cnf, golden, shared)
+    candidate_outputs = encode_network(cnf, candidate, candidate_inputs)
+
+    differences = []
+    for golden_index, candidate_index in enumerate(po_permutation):
+        diff = cnf.new_var()
+        tseitin_xor(
+            cnf,
+            diff,
+            golden_outputs[golden_index],
+            candidate_outputs[candidate_index],
+        )
+        differences.append(diff)
+    return shared, differences

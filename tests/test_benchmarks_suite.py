@@ -1,0 +1,103 @@
+"""Tests pinning the semantics of the benchmark suite (Table 1 inputs)."""
+
+import pytest
+
+from repro.networks import (
+    BENCHMARK_NAMES,
+    FONTES18_NAMES,
+    TRINDADE16_NAMES,
+    benchmark_network,
+)
+from repro.networks.benchmarks import TABLE1_NAMES
+from repro.networks.truth_table import TruthTable
+
+
+class TestSuiteStructure:
+    def test_table1_names_covered(self):
+        assert set(TABLE1_NAMES) == set(TRINDADE16_NAMES) | set(FONTES18_NAMES)
+        assert len(TABLE1_NAMES) == 14
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            benchmark_network("nonexistent")
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_all_buildable_and_nontrivial(self, name):
+        xag = benchmark_network(name)
+        assert xag.num_pis >= 2
+        assert xag.num_pos >= 1
+        for table in xag.simulate():
+            assert not table.is_constant()
+
+
+class TestFunctions:
+    def test_xor2(self):
+        assert benchmark_network("xor2").simulate()[0] == TruthTable(2, 0b0110)
+
+    def test_xnor2(self):
+        assert benchmark_network("xnor2").simulate()[0] == TruthTable(2, 0b1001)
+
+    def test_par_gen_is_parity3(self):
+        table = benchmark_network("par_gen").simulate()[0]
+        for pattern in range(8):
+            assert table.get_bit(pattern) == (bin(pattern).count("1") % 2 == 1)
+
+    def test_par_check_is_parity4(self):
+        table = benchmark_network("par_check").simulate()[0]
+        for pattern in range(16):
+            assert table.get_bit(pattern) == (bin(pattern).count("1") % 2 == 1)
+
+    def test_mux21(self):
+        xag = benchmark_network("mux21")
+        # inputs: in0, in1, sel
+        assert xag.evaluate([True, False, False]) == [True]
+        assert xag.evaluate([True, False, True]) == [False]
+        assert xag.evaluate([False, True, True]) == [True]
+
+    def test_xor5_variants_same_function(self):
+        a = benchmark_network("xor5_r1").simulate()
+        b = benchmark_network("xor5_majority").simulate()
+        assert a == b
+
+    def test_majority3(self):
+        table = benchmark_network("majority").simulate()[0]
+        for pattern in range(8):
+            assert table.get_bit(pattern) == (bin(pattern).count("1") >= 2)
+
+    def test_majority5(self):
+        table = benchmark_network("majority_5_r1").simulate()[0]
+        for pattern in range(32):
+            assert table.get_bit(pattern) == (bin(pattern).count("1") >= 3)
+
+    def test_c17_truth_tables(self):
+        """c17 netlist semantics, derived from the original ISCAS netlist."""
+        xag = benchmark_network("c17")
+        for pattern in range(32):
+            i1, i2, i3, i6, i7 = (bool(pattern >> k & 1) for k in range(5))
+            n10 = not (i1 and i3)
+            n11 = not (i3 and i6)
+            n16 = not (i2 and n11)
+            n19 = not (n11 and i7)
+            expected = [not (n10 and n16), not (n16 and n19)]
+            assert xag.evaluate([i1, i2, i3, i6, i7]) == expected
+
+    def test_cm82a_is_two_stage_adder(self):
+        xag = benchmark_network("cm82a_5")
+        for pattern in range(32):
+            a, b, c, d, e = (bool(pattern >> k & 1) for k in range(5))
+            s0 = a ^ b ^ c
+            c0 = (a + b + c) >= 2
+            s1 = c0 ^ d ^ e
+            c1 = (c0 + d + e) >= 2
+            assert xag.evaluate([a, b, c, d, e]) == [s0, s1, c1]
+
+    def test_clpl_carry_chain(self):
+        xag = benchmark_network("clpl")
+        # All propagate, carry in 1 -> all carries 1.
+        inputs = [True] + [True, False] * 5  # c0, (p,g) x 5
+        assert xag.evaluate(inputs) == [True] * 5
+
+    def test_full_adders_equivalent(self):
+        a = benchmark_network("1bitAdderAOIG").simulate()
+        b = benchmark_network("1bitAdderMaj").simulate()
+        assert a == b

@@ -1,0 +1,96 @@
+"""Tests for the H-Si(100)-2x1 surface lattice."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coords.cartesian import CartesianCoord, CartesianDirection
+from repro.coords.lattice import LatticeSite, SurfaceLattice
+from repro.tech.constants import LATTICE_A_NM, LATTICE_B_NM, LATTICE_C_NM
+
+
+class TestLatticeSite:
+    def test_position_origin(self):
+        assert LatticeSite(0, 0, 0).position_nm == (0.0, 0.0)
+
+    def test_dimer_pair_offset(self):
+        x, y = LatticeSite(0, 0, 1).position_nm
+        assert x == 0.0
+        assert y == pytest.approx(LATTICE_C_NM)
+
+    def test_unit_cell_pitch(self):
+        x, y = LatticeSite(1, 1, 0).position_nm
+        assert x == pytest.approx(LATTICE_A_NM)
+        assert y == pytest.approx(LATTICE_B_NM)
+
+    def test_invalid_dimer_index(self):
+        with pytest.raises(ValueError):
+            LatticeSite(0, 0, 2)
+
+    @given(st.integers(-100, 100), st.integers(-200, 200))
+    def test_row_roundtrip(self, n, row):
+        site = LatticeSite.from_row(n, row)
+        assert site.row == row
+        assert site.n == n
+
+    @given(
+        st.integers(-50, 50), st.integers(-50, 50),
+        st.integers(-20, 20), st.integers(-20, 20),
+    )
+    def test_translation_composes(self, n, row, dn, drow):
+        site = LatticeSite.from_row(n, row)
+        assert site.translated(dn, drow).translated(-dn, -drow) == site
+
+    def test_row_spacing_alternates(self):
+        y = [LatticeSite.from_row(0, r).position_nm[1] for r in range(4)]
+        assert y[1] - y[0] == pytest.approx(LATTICE_C_NM)
+        assert y[2] - y[1] == pytest.approx(LATTICE_B_NM - LATTICE_C_NM)
+        assert y[3] - y[2] == pytest.approx(LATTICE_C_NM)
+
+
+class TestSurfaceLattice:
+    def test_distance_along_row(self):
+        a, b = LatticeSite(0, 0, 0), LatticeSite(2, 0, 0)
+        assert SurfaceLattice.distance_nm(a, b) == pytest.approx(2 * LATTICE_A_NM)
+
+    def test_distance_symmetric(self):
+        a, b = LatticeSite(1, 2, 0), LatticeSite(4, 0, 1)
+        assert SurfaceLattice.distance_nm(a, b) == pytest.approx(
+            SurfaceLattice.distance_nm(b, a)
+        )
+
+    def test_bounding_box(self):
+        sites = [LatticeSite(0, 0, 0), LatticeSite(3, 2, 1)]
+        min_x, min_y, max_x, max_y = SurfaceLattice.bounding_box_nm(sites)
+        assert (min_x, min_y) == (0.0, 0.0)
+        assert max_x == pytest.approx(3 * LATTICE_A_NM)
+        assert max_y == pytest.approx(2 * LATTICE_B_NM + LATTICE_C_NM)
+
+    def test_empty_bounding_box(self):
+        assert SurfaceLattice.bounding_box_nm([]) == (0.0, 0.0, 0.0, 0.0)
+
+    def test_extent(self):
+        sites = [LatticeSite(0, 0, 0), LatticeSite(10, 0, 0)]
+        width, height = SurfaceLattice.extent_nm(sites)
+        assert width == pytest.approx(10 * LATTICE_A_NM)
+        assert height == 0.0
+
+
+class TestCartesianCoord:
+    def test_neighbors(self):
+        c = CartesianCoord(2, 2)
+        assert c.neighbor(CartesianDirection.NORTH) == CartesianCoord(2, 1)
+        assert c.neighbor(CartesianDirection.SOUTH) == CartesianCoord(2, 3)
+        assert c.neighbor(CartesianDirection.EAST) == CartesianCoord(3, 2)
+        assert c.neighbor(CartesianDirection.WEST) == CartesianCoord(1, 2)
+
+    def test_opposites(self):
+        for direction in CartesianDirection:
+            assert direction.opposite.opposite is direction
+
+    @given(st.integers(-50, 50), st.integers(-50, 50))
+    def test_manhattan_distance_to_self(self, x, y):
+        c = CartesianCoord(x, y)
+        assert c.manhattan_distance(c) == 0
+
+    def test_manhattan_distance(self):
+        assert CartesianCoord(0, 0).manhattan_distance(CartesianCoord(3, 4)) == 7

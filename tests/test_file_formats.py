@@ -1,0 +1,143 @@
+"""Tests for Verilog, BENCH, DOT and SQD I/O."""
+
+import pytest
+
+from repro.coords.lattice import LatticeSite
+from repro.networks import BENCHMARK_NAMES, benchmark_network, benchmark_verilog
+from repro.networks.bench_format import BenchError, parse_bench, write_bench
+from repro.networks.dot import network_to_dot, xag_to_dot
+from repro.networks.simulation import exhaustive_equivalent
+from repro.networks.verilog import VerilogError, parse_verilog, write_verilog
+from repro.networks.xag import Xag
+from repro.sidb.charge import SidbLayout
+from repro.sqd.sqd import read_sqd, write_sqd
+from repro.synthesis.mapping import map_to_bestagon
+
+
+class TestVerilogParser:
+    def test_assign_expressions(self):
+        xag = parse_verilog(
+            """
+            module m (a, b, c, f);
+              input a, b, c;
+              output f;
+              wire w;
+              assign w = a & ~b;
+              assign f = w | (b ^ c);
+            endmodule
+            """
+        )
+        assert xag.num_pis == 3 and xag.num_pos == 1
+        reference = Xag()
+        a, b, c = (reference.create_pi() for _ in range(3))
+        w = reference.create_and(a, reference.create_not(b))
+        reference.create_po(reference.create_or(w, reference.create_xor(b, c)))
+        assert exhaustive_equivalent(xag, reference)
+
+    def test_ternary_operator(self):
+        xag = parse_verilog(
+            "module m (s, a, b, f); input s, a, b; output f;\n"
+            "assign f = s ? a : b; endmodule"
+        )
+        assert xag.evaluate([True, True, False]) == [True]
+        assert xag.evaluate([False, True, False]) == [False]
+
+    def test_gate_primitives(self):
+        xag = parse_verilog(
+            "module m (a, b, f); input a, b; output f;\n"
+            "nand g1 (f, a, b); endmodule"
+        )
+        assert xag.evaluate([True, True]) == [False]
+        assert xag.evaluate([True, False]) == [True]
+
+    def test_comments_stripped(self):
+        xag = parse_verilog(
+            "// comment\nmodule m (a, f); /* block */ input a; output f;\n"
+            "assign f = ~a; endmodule"
+        )
+        assert xag.evaluate([False]) == [True]
+
+    def test_undefined_net_rejected(self):
+        with pytest.raises(VerilogError):
+            parse_verilog(
+                "module m (a, f); input a; output f; assign f = ghost; endmodule"
+            )
+
+    def test_double_assignment_rejected(self):
+        with pytest.raises(VerilogError):
+            parse_verilog(
+                "module m (a, f); input a; output f;\n"
+                "assign f = a; assign f = ~a; endmodule"
+            )
+
+    def test_assign_to_input_rejected(self):
+        with pytest.raises(VerilogError):
+            parse_verilog(
+                "module m (a, f); input a; output f;\n"
+                "assign a = f; endmodule"
+            )
+
+    def test_combinational_cycle_rejected(self):
+        with pytest.raises(VerilogError):
+            parse_verilog(
+                "module m (a, f); input a; output f; wire x, y;\n"
+                "assign x = y & a; assign y = x; assign f = y; endmodule"
+            )
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_roundtrip_all_benchmarks(self, name):
+        xag = benchmark_network(name)
+        parsed = parse_verilog(write_verilog(xag))
+        assert exhaustive_equivalent(xag, parsed)
+
+
+class TestBench:
+    def test_parse_simple(self):
+        xag = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = NAND(a, b)\n"
+        )
+        assert xag.evaluate([True, True]) == [False]
+
+    def test_comments_and_blank_lines(self):
+        xag = parse_bench("# header\n\nINPUT(a)\nOUTPUT(f)\nf = NOT(a)\n")
+        assert xag.evaluate([False]) == [True]
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(BenchError):
+            parse_bench("INPUT(a)\nOUTPUT(f)\nf = FROB(a, a)\n")
+
+    @pytest.mark.parametrize("name", ["c17", "mux21", "cm82a_5"])
+    def test_roundtrip(self, name):
+        xag = benchmark_network(name)
+        parsed = parse_bench(write_bench(xag))
+        assert exhaustive_equivalent(xag, parsed)
+
+
+class TestDot:
+    def test_xag_dot_contains_nodes(self):
+        xag = benchmark_network("xor2")
+        dot = xag_to_dot(xag)
+        assert "digraph" in dot and "XOR" in dot
+
+    def test_network_dot(self):
+        network = map_to_bestagon(benchmark_network("mux21"))
+        dot = network_to_dot(network)
+        assert "digraph" in dot and "->" in dot
+
+
+class TestSqd:
+    def test_roundtrip(self):
+        layout = SidbLayout(
+            [LatticeSite(0, 0, 0), LatticeSite(3, 1, 1), LatticeSite(7, 2, 0)]
+        )
+        parsed = read_sqd(write_sqd(layout, "test"))
+        assert sorted(parsed.sites()) == sorted(layout.sites())
+
+    def test_physloc_in_angstroms(self):
+        layout = SidbLayout([LatticeSite(1, 0, 0)])
+        text = write_sqd(layout)
+        assert 'x="3.840000"' in text
+
+    def test_missing_latcoord_rejected(self):
+        with pytest.raises(ValueError):
+            read_sqd("<siqad><design><layer><dbdot/></layer></design></siqad>")

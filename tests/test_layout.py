@@ -1,0 +1,211 @@
+"""Tests for clocking schemes, gate-level layouts, super-tiles, DRC and
+rendering."""
+
+import pytest
+
+from repro.coords.hexagonal import HexCoord, HexDirection
+from repro.layout.clocking import (
+    columnar_rows,
+    open_clocking,
+    scheme_by_name,
+    two_d_d_wave,
+    use_scheme,
+)
+from repro.layout.drc import check_layout
+from repro.layout.gate_layout import (
+    GateLevelLayout,
+    TileContent,
+    TileKind,
+    cross_tile,
+    double_wire_tile,
+    wire_tile,
+)
+from repro.layout.render import layout_to_ascii, layout_to_svg
+from repro.layout.supertile import merge_into_supertiles
+from repro.networks.logic_network import GateType
+
+NW, NE = HexDirection.NORTH_WEST, HexDirection.NORTH_EAST
+SW, SE = HexDirection.SOUTH_WEST, HexDirection.SOUTH_EAST
+
+
+def tiny_wire_layout():
+    """PI -> wire -> PO straight column."""
+    layout = GateLevelLayout(2, 3, columnar_rows(), "wire3")
+    layout.place(
+        HexCoord(0, 0),
+        TileContent(TileKind.GATE, GateType.PI, (0,), (), (SE,), label="a"),
+    )
+    layout.place(HexCoord(0, 1), wire_tile(1, NW, SW))
+    layout.place(
+        HexCoord(0, 2),
+        TileContent(TileKind.GATE, GateType.PO, (2,), (NE,), (), label="f"),
+    )
+    return layout
+
+
+class TestClocking:
+    def test_columnar_rows_zone(self):
+        scheme = columnar_rows()
+        assert scheme.zone_of(HexCoord(4, 6)) == 2
+        assert scheme.zone_of(HexCoord(0, 4)) == 0
+
+    def test_valid_hop_down_one_row(self):
+        scheme = columnar_rows()
+        assert scheme.is_valid_hop(HexCoord(1, 2), HexCoord(1, 3))
+        assert not scheme.is_valid_hop(HexCoord(1, 2), HexCoord(2, 2))
+        assert not scheme.is_valid_hop(HexCoord(1, 3), HexCoord(1, 2))
+
+    def test_2ddwave_only_se_advances(self):
+        scheme = two_d_d_wave()
+        start = HexCoord(2, 2)
+        assert scheme.is_valid_hop(start, start.neighbor(SE))
+        assert not scheme.is_valid_hop(start, start.neighbor(SW))
+
+    def test_use_not_feed_forward(self):
+        assert not use_scheme().feed_forward
+
+    def test_open_clocking_always_valid(self):
+        scheme = open_clocking()
+        assert scheme.is_valid_hop(HexCoord(0, 0), HexCoord(5, 9))
+
+    def test_registry(self):
+        assert scheme_by_name("columnar-rows").name == "columnar-rows"
+        with pytest.raises(KeyError):
+            scheme_by_name("spiral")
+
+
+class TestGateLayout:
+    def test_place_and_query(self):
+        layout = tiny_wire_layout()
+        assert layout.tile(HexCoord(0, 1)) is not None
+        assert layout.is_empty(HexCoord(1, 1))
+        assert layout.num_tiles == 6
+
+    def test_double_placement_rejected(self):
+        layout = tiny_wire_layout()
+        with pytest.raises(ValueError):
+            layout.place(HexCoord(0, 0), wire_tile(9, NW, SW))
+
+    def test_out_of_bounds_rejected(self):
+        layout = tiny_wire_layout()
+        with pytest.raises(ValueError):
+            layout.place(HexCoord(5, 5), wire_tile(9, NW, SW))
+
+    def test_tile_content_validation(self):
+        with pytest.raises(ValueError):
+            TileContent(TileKind.GATE, GateType.BUF, (1,), (SW,), (SE,))
+        with pytest.raises(ValueError):
+            TileContent(TileKind.GATE, None, (1,), (NW,), (SE,))
+        with pytest.raises(ValueError):
+            TileContent(TileKind.CROSS, None, (1,), (NW, NE), (SW, SE))
+
+    def test_cross_signal_routing(self):
+        content = cross_tile(10, 11)
+        assert content.signal_through(NW) is SE
+        assert content.signal_through(NE) is SW
+
+    def test_double_wire_signal_routing(self):
+        content = double_wire_tile(10, 11)
+        assert content.signal_through(NW) is SW
+        assert content.signal_through(NE) is SE
+
+    def test_driver_of(self):
+        layout = tiny_wire_layout()
+        driver = layout.driver_of(HexCoord(0, 1), NW)
+        assert driver is not None
+        assert driver[0] == HexCoord(0, 0)
+
+    def test_gate_census_and_wires(self):
+        layout = tiny_wire_layout()
+        census = layout.gate_census()
+        assert census == {"pi": 1, "buf": 1, "po": 1}
+        assert layout.num_wire_tiles() == 1
+        assert layout.num_crossings() == 0
+
+    def test_path_balanced(self):
+        assert tiny_wire_layout().is_path_balanced()
+
+    def test_area_model_integration(self):
+        layout = GateLevelLayout(4, 7)
+        assert layout.area_nm2() == pytest.approx(11312.68, abs=0.005)
+
+
+class TestSuperTiles:
+    def test_default_grouping_is_three_rows(self):
+        layout = GateLevelLayout(3, 9)
+        plan = merge_into_supertiles(layout)
+        assert plan.rows_per_zone == 3
+        assert plan.is_fabricable
+        assert plan.zone_of_row(0) == 0
+        assert plan.zone_of_row(3) == 1
+        assert plan.zone_of_row(8) == 2
+
+    def test_trailing_partial_zone_absorbed(self):
+        layout = GateLevelLayout(3, 7)
+        plan = merge_into_supertiles(layout)
+        spans = plan.electrode_rows()
+        assert spans[-1][1] == 6
+        assert plan.is_fabricable
+
+    def test_forced_small_zone_violates(self):
+        layout = GateLevelLayout(3, 6)
+        plan = merge_into_supertiles(layout, rows_per_zone=1)
+        assert not plan.is_fabricable
+        assert plan.violations
+
+    def test_tiles_per_supertile(self):
+        layout = GateLevelLayout(5, 9)
+        plan = merge_into_supertiles(layout)
+        assert plan.tiles_per_supertile == 15
+
+
+class TestDrc:
+    def test_clean_layout_passes(self):
+        assert check_layout(tiny_wire_layout()) == []
+
+    def test_undriven_input_flagged(self):
+        layout = GateLevelLayout(2, 2)
+        layout.place(HexCoord(0, 1), wire_tile(0, NW, SW))
+        violations = check_layout(layout)
+        assert any(v.rule == "connectivity" for v in violations)
+
+    def test_unconsumed_output_flagged(self):
+        layout = GateLevelLayout(2, 2)
+        layout.place(
+            HexCoord(0, 0),
+            TileContent(TileKind.GATE, GateType.PI, (0,), (), (SE,)),
+        )
+        violations = check_layout(layout)
+        assert any(v.rule == "connectivity" for v in violations)
+
+    def test_pi_below_first_row_flagged(self):
+        layout = GateLevelLayout(2, 3)
+        layout.place(
+            HexCoord(0, 1),
+            TileContent(TileKind.GATE, GateType.PI, (0,), (), (SW,)),
+        )
+        layout.place(HexCoord(0, 2), wire_tile(1, NE, SW))
+        violations = check_layout(layout)
+        assert any(v.rule == "balance" for v in violations)
+
+    def test_output_leaving_layout_flagged(self):
+        layout = GateLevelLayout(1, 1)
+        layout.place(
+            HexCoord(0, 0),
+            TileContent(TileKind.GATE, GateType.PI, (0,), (), (SE,)),
+        )
+        violations = check_layout(layout)
+        assert any(v.rule == "bounds" for v in violations)
+
+
+class TestRender:
+    def test_ascii_contains_symbols(self):
+        text = layout_to_ascii(tiny_wire_layout())
+        assert "PI" in text and "PO" in text
+        assert text.count("\n") >= 3
+
+    def test_svg_well_formed(self):
+        svg = layout_to_svg(tiny_wire_layout())
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "polygon" in svg

@@ -1,0 +1,117 @@
+"""Tests for technology-level logic networks."""
+
+import pytest
+
+from repro.networks.logic_network import GateType, LogicNetwork
+from repro.networks.truth_table import TruthTable
+
+
+def _xor_network():
+    net = LogicNetwork("xor")
+    a, b = net.add_pi("a"), net.add_pi("b")
+    x = net.add_node(GateType.XOR2, [a, b])
+    net.add_po(x, "f")
+    return net
+
+
+class TestConstruction:
+    def test_arity_enforced(self):
+        net = LogicNetwork()
+        a = net.add_pi()
+        with pytest.raises(ValueError):
+            net.add_node(GateType.AND2, [a])
+
+    def test_fanins_must_precede(self):
+        net = LogicNetwork()
+        a = net.add_pi()
+        with pytest.raises(ValueError):
+            net.add_node(GateType.INV, [a + 5])
+
+    def test_counts(self):
+        net = _xor_network()
+        assert net.num_pis == 2
+        assert net.num_pos == 1
+        assert net.num_gates() == 1
+
+
+class TestSemantics:
+    def test_simulation_xor(self):
+        net = _xor_network()
+        assert net.simulate()[0] == TruthTable(2, 0b0110)
+
+    @pytest.mark.parametrize(
+        "gate_type,bits",
+        [
+            (GateType.AND2, 0b1000),
+            (GateType.NAND2, 0b0111),
+            (GateType.OR2, 0b1110),
+            (GateType.NOR2, 0b0001),
+            (GateType.XOR2, 0b0110),
+            (GateType.XNOR2, 0b1001),
+        ],
+    )
+    def test_gate_semantics(self, gate_type, bits):
+        net = LogicNetwork()
+        a, b = net.add_pi(), net.add_pi()
+        net.add_po(net.add_node(gate_type, [a, b]))
+        assert net.simulate()[0] == TruthTable(2, bits)
+
+    def test_inverter_and_buffer(self):
+        net = LogicNetwork()
+        a = net.add_pi()
+        inv = net.add_node(GateType.INV, [a])
+        buf = net.add_node(GateType.BUF, [inv])
+        net.add_po(buf)
+        assert net.simulate()[0] == ~TruthTable.variable(0, 1)
+
+    def test_constants(self):
+        net = LogicNetwork()
+        net.add_pi()
+        net.add_po(net.add_node(GateType.CONST1))
+        assert net.simulate()[0] == TruthTable.constant(True, 1)
+
+    def test_evaluate_matches_simulate(self):
+        net = _xor_network()
+        table = net.simulate()[0]
+        for pattern in range(4):
+            inputs = [bool(pattern & 1), bool(pattern >> 1 & 1)]
+            assert net.evaluate(inputs) == [table.get_bit(pattern)]
+
+
+class TestInvariants:
+    def test_fanout_discipline_flags_overloaded_gate(self):
+        net = LogicNetwork()
+        a = net.add_pi()
+        net.add_po(net.add_node(GateType.INV, [a]))
+        net.add_po(a)  # PI now drives two consumers
+        problems = net.check_fanout_discipline()
+        assert len(problems) == 1
+
+    def test_fanout_node_may_drive_two(self):
+        net = LogicNetwork()
+        a = net.add_pi()
+        fan = net.add_node(GateType.FANOUT, [a])
+        net.add_po(fan)
+        net.add_po(fan)
+        assert net.check_fanout_discipline() == []
+
+    def test_fanout_node_may_not_drive_three(self):
+        net = LogicNetwork()
+        a = net.add_pi()
+        fan = net.add_node(GateType.FANOUT, [a])
+        for _ in range(3):
+            net.add_po(fan)
+        assert len(net.check_fanout_discipline()) == 1
+
+    def test_depth(self):
+        net = LogicNetwork()
+        a, b = net.add_pi(), net.add_pi()
+        g1 = net.add_node(GateType.AND2, [a, b])
+        g2 = net.add_node(GateType.XOR2, [g1, b])
+        net.add_po(g2)
+        assert net.depth() == 3
+
+    def test_count_type(self):
+        net = _xor_network()
+        assert net.count_type(GateType.XOR2) == 1
+        assert net.count_type(GateType.AND2) == 0

@@ -1,0 +1,214 @@
+"""Tests for the CDCL SAT solver and CNF encodings."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import Cnf, Solver, SolverResult
+from repro.sat.dimacs import parse_dimacs, write_dimacs
+from repro.sat.encodings import (
+    at_most_k,
+    at_most_one,
+    exactly_one,
+    tseitin_and,
+    tseitin_ite,
+    tseitin_or,
+    tseitin_xor,
+)
+
+
+def brute_force_sat(cnf: Cnf) -> bool:
+    for bits in itertools.product([False, True], repeat=cnf.num_vars):
+        def value(literal):
+            return bits[abs(literal) - 1] ^ (literal < 0)
+        if all(any(value(l) for l in clause) for clause in cnf.clauses):
+            return True
+    return False
+
+
+def model_satisfies(solver: Solver, cnf: Cnf) -> bool:
+    model = solver.model()
+    def value(literal):
+        return model[abs(literal)] ^ (literal < 0)
+    return all(any(value(l) for l in clause) for clause in cnf.clauses)
+
+
+random_cnfs = st.builds(
+    lambda n, clause_specs: (n, clause_specs),
+    st.integers(2, 9),
+    st.lists(
+        st.lists(st.tuples(st.integers(1, 9), st.booleans()), min_size=1, max_size=3),
+        min_size=1,
+        max_size=30,
+    ),
+)
+
+
+class TestSolverCorrectness:
+    @settings(max_examples=150, deadline=None)
+    @given(random_cnfs)
+    def test_agrees_with_brute_force(self, spec):
+        n, clause_specs = spec
+        cnf = Cnf()
+        cnf.num_vars = n
+        for clause in clause_specs:
+            cnf.add_clause(
+                [(v if v <= n else (v % n) + 1) * (1 if pos else -1) for v, pos in clause]
+            )
+        solver = Solver(cnf)
+        result = solver.solve()
+        expected = brute_force_sat(cnf)
+        assert result is (SolverResult.SAT if expected else SolverResult.UNSAT)
+        if result is SolverResult.SAT:
+            assert model_satisfies(solver, cnf)
+
+    def test_empty_formula_sat(self):
+        assert Solver(Cnf()).solve() is SolverResult.SAT
+
+    def test_empty_clause_unsat(self):
+        cnf = Cnf()
+        cnf.num_vars = 1
+        cnf.clauses.append([])
+        # Empty clause via add_clause marks the solver unsat.
+        solver = Solver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve() is SolverResult.UNSAT
+
+    def test_unit_propagation_chain(self):
+        solver = Solver()
+        solver.add_clause([1])
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        assert solver.solve() is SolverResult.SAT
+        assert solver.model_value(3)
+
+    def test_pigeonhole_unsat(self):
+        pigeons, holes = 5, 4
+        cnf = Cnf()
+        def var(p, h):
+            return p * holes + h + 1
+        cnf.num_vars = pigeons * holes
+        for p in range(pigeons):
+            cnf.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    cnf.add_clause([-var(p1, h), -var(p2, h)])
+        assert Solver(cnf).solve() is SolverResult.UNSAT
+
+    def test_tautology_dropped(self):
+        solver = Solver()
+        solver.add_clause([1, -1])
+        assert solver.solve() is SolverResult.SAT
+
+    def test_conflict_budget_returns_unknown(self):
+        # A hard pigeonhole with a tiny budget must give UNKNOWN.
+        pigeons, holes = 8, 7
+        cnf = Cnf()
+        def var(p, h):
+            return p * holes + h + 1
+        cnf.num_vars = pigeons * holes
+        for p in range(pigeons):
+            cnf.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    cnf.add_clause([-var(p1, h), -var(p2, h)])
+        solver = Solver(cnf)
+        solver.max_conflicts = 5
+        assert solver.solve() is SolverResult.UNKNOWN
+
+
+class TestAssumptions:
+    def test_assumption_forces_unsat(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        assert solver.solve([-2]) is SolverResult.UNSAT
+        assert solver.solve([2]) is SolverResult.SAT
+        assert solver.solve() is SolverResult.SAT
+
+    def test_incremental_reuse(self):
+        solver = Solver()
+        solver.add_clause([1, 2, 3])
+        for literal in (1, 2, 3):
+            assert solver.solve([literal]) is SolverResult.SAT
+            assert solver.model_value(literal)
+
+    def test_contradictory_assumptions(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        assert solver.solve([1, -1]) is SolverResult.UNSAT
+
+
+class TestEncodings:
+    @given(st.integers(2, 8))
+    def test_exactly_one(self, n):
+        cnf = Cnf()
+        xs = cnf.new_vars(n)
+        exactly_one(cnf, xs)
+        solver = Solver(cnf)
+        assert solver.solve() is SolverResult.SAT
+        assert sum(solver.model_value(x) for x in xs) == 1
+
+    @given(st.integers(2, 10), st.integers(0, 10))
+    def test_at_most_one_blocks_pairs(self, n, seed):
+        cnf = Cnf()
+        xs = cnf.new_vars(n)
+        at_most_one(cnf, xs)
+        i, j = seed % n, (seed + 1) % n
+        if i == j:
+            return
+        solver = Solver(cnf)
+        assert solver.solve([xs[i], xs[j]]) is SolverResult.UNSAT
+
+    @settings(deadline=None)
+    @given(st.integers(2, 7), st.integers(0, 7), st.integers(0, 7))
+    def test_at_most_k_boundary(self, n, k, j):
+        k, j = min(k, n), min(j, n)
+        cnf = Cnf()
+        xs = cnf.new_vars(n)
+        at_most_k(cnf, xs, k)
+        assumptions = [xs[i] if i < j else -xs[i] for i in range(n)]
+        expected = SolverResult.SAT if j <= k else SolverResult.UNSAT
+        assert Solver(cnf).solve(assumptions) is expected
+
+    def test_tseitin_gates(self):
+        cnf = Cnf()
+        a, b = cnf.new_vars(2)
+        and_out, or_out, xor_out, ite_out = cnf.new_vars(4)
+        tseitin_and(cnf, and_out, [a, b])
+        tseitin_or(cnf, or_out, [a, b])
+        tseitin_xor(cnf, xor_out, a, b)
+        tseitin_ite(cnf, ite_out, a, b, -b)
+        for pattern in range(4):
+            va, vb = bool(pattern & 1), bool(pattern >> 1 & 1)
+            solver = Solver(cnf)
+            assumptions = [a if va else -a, b if vb else -b]
+            assert solver.solve(assumptions) is SolverResult.SAT
+            assert solver.model_value(and_out) == (va and vb)
+            assert solver.model_value(or_out) == (va or vb)
+            assert solver.model_value(xor_out) == (va != vb)
+            assert solver.model_value(ite_out) == (vb if va else not vb)
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        cnf = Cnf()
+        cnf.add_clause([1, -2, 3])
+        cnf.add_clause([-1])
+        text = write_dimacs(cnf)
+        parsed = parse_dimacs(text)
+        assert parsed.clauses == cnf.clauses
+        assert parsed.num_vars == cnf.num_vars
+
+    def test_comments_ignored(self):
+        parsed = parse_dimacs("c hello\np cnf 2 1\n1 -2 0\n")
+        assert parsed.clauses == [[1, -2]]
+        assert parsed.num_vars == 2
+
+    def test_malformed_problem_line(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("p dnf 2 1\n1 0\n")

@@ -1,0 +1,262 @@
+"""Tests for NPN canonicalization, cuts, exact synthesis, the database,
+rewriting and technology mapping."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.networks import benchmark_network
+from repro.networks.logic_network import GateType
+from repro.networks.simulation import exhaustive_equivalent
+from repro.networks.truth_table import TruthTable
+from repro.networks.xag import Xag
+from repro.synthesis.cuts import Cut, cone_nodes, cut_function, enumerate_cuts
+from repro.synthesis.database import NpnDatabase, shannon_recipe
+from repro.synthesis.exact import SynthesisSpec, exact_xag_synthesis
+from repro.synthesis.fanout import fanout_tree_depth, insert_fanout_trees
+from repro.synthesis.mapping import MappingStatistics, map_to_bestagon
+from repro.synthesis.npn import apply_npn_transform, npn_canonical
+from repro.synthesis.rewrite import RewriteStatistics, cut_rewrite
+
+
+def tables(n):
+    return st.builds(TruthTable, st.just(n), st.integers(0, (1 << (1 << n)) - 1))
+
+
+class TestNpn:
+    @settings(deadline=None)
+    @given(st.integers(1, 3).flatmap(tables))
+    def test_roundtrip(self, table):
+        canon, transform = npn_canonical(table)
+        assert apply_npn_transform(canon, transform) == table
+
+    @settings(deadline=None, max_examples=30)
+    @given(tables(3), st.permutations(range(3)), st.integers(0, 7), st.booleans())
+    def test_npn_equivalent_functions_share_canon(self, table, perm, negs, out):
+        transformed = table.permute_inputs(list(perm))
+        for var in range(3):
+            if negs >> var & 1:
+                transformed = transformed.flip_input(var)
+        if out:
+            transformed = ~transformed
+        assert npn_canonical(table)[0] == npn_canonical(transformed)[0]
+
+    def test_and_class_members(self):
+        and2 = TruthTable(2, 0b1000)
+        nor2 = TruthTable(2, 0b0001)
+        assert npn_canonical(and2)[0] == npn_canonical(nor2)[0]
+
+    def test_xor_not_in_and_class(self):
+        assert npn_canonical(TruthTable(2, 0b0110))[0] != npn_canonical(
+            TruthTable(2, 0b1000)
+        )[0]
+
+
+class TestCuts:
+    def test_trivial_cut_always_present(self):
+        xag = benchmark_network("c17")
+        cuts = enumerate_cuts(xag)
+        for node, node_cuts in cuts.items():
+            assert Cut(node, (node,)) in node_cuts
+
+    def test_cut_functions_match_simulation(self):
+        xag = benchmark_network("mux21")
+        cuts = enumerate_cuts(xag, k=3)
+        pis = set(xag.pis())
+        for node, node_cuts in cuts.items():
+            if not xag.is_gate(node):
+                continue
+            for cut in node_cuts:
+                if set(cut.leaves) <= pis and len(cut.leaves) == xag.num_pis:
+                    # Full-input cut: local function equals global function
+                    # of the node up to PI ordering.
+                    table = cut_function(xag, cut)
+                    assert table.num_vars == xag.num_pis
+
+    def test_cone_nodes_contains_root(self):
+        xag = benchmark_network("par_check")
+        cuts = enumerate_cuts(xag)
+        for node, node_cuts in cuts.items():
+            if xag.is_gate(node):
+                for cut in node_cuts:
+                    assert node in cone_nodes(xag, cut)
+
+    def test_dominated_cuts_pruned(self):
+        xag = benchmark_network("c17")
+        cuts = enumerate_cuts(xag)
+        for node_cuts in cuts.values():
+            leaf_sets = [set(c.leaves) for c in node_cuts]
+            for i, a in enumerate(leaf_sets):
+                for j, b in enumerate(leaf_sets):
+                    if i != j:
+                        assert not (a < b)
+
+
+class TestExactSynthesis:
+    @pytest.mark.parametrize("bits", range(16))
+    def test_all_two_variable_functions(self, bits):
+        table = TruthTable(2, bits)
+        recipe = exact_xag_synthesis(SynthesisSpec(table, max_gates=3))
+        assert recipe is not None
+        assert recipe.simulate() == table
+
+    def test_xor3_needs_two_gates(self):
+        recipe = exact_xag_synthesis(
+            SynthesisSpec(TruthTable(3, 0b10010110), max_gates=4)
+        )
+        assert recipe is not None and recipe.size == 2
+
+    def test_maj3_needs_four_gates(self):
+        recipe = exact_xag_synthesis(
+            SynthesisSpec(TruthTable(3, 0b11101000), max_gates=6)
+        )
+        assert recipe is not None and recipe.size == 4
+
+    def test_projection_is_free(self):
+        recipe = exact_xag_synthesis(
+            SynthesisSpec(TruthTable.variable(1, 3))
+        )
+        assert recipe is not None and recipe.size == 0
+
+    def test_constant_is_free(self):
+        recipe = exact_xag_synthesis(
+            SynthesisSpec(TruthTable.constant(True, 2))
+        )
+        assert recipe is not None and recipe.size == 0
+        assert recipe.simulate() == TruthTable.constant(True, 2)
+
+
+class TestDatabase:
+    def test_shannon_fallback_correct(self):
+        table = TruthTable(4, 0b1101_0110_0010_1001)
+        recipe = shannon_recipe(table)
+        assert recipe.simulate() == table
+
+    def test_lookup_caches(self):
+        db = NpnDatabase()
+        db.lookup(TruthTable(2, 0b1000))
+        calls = db.synthesis_calls
+        db.lookup(TruthTable(2, 0b0001))  # same NPN class
+        assert db.synthesis_calls == calls
+
+    def test_implement_builds_correct_logic(self):
+        db = NpnDatabase()
+        table = TruthTable(3, 0b11101000)
+        xag = Xag()
+        leaves = [xag.create_pi() for _ in range(3)]
+        xag.create_po(db.implement(xag, table, leaves))
+        assert xag.simulate()[0] == table
+
+    def test_implementation_size_optimal_for_and(self):
+        db = NpnDatabase()
+        assert db.implementation_size(TruthTable(2, 0b1000)) == 1
+
+
+class TestRewrite:
+    @pytest.mark.parametrize(
+        "name", ["xor2", "mux21", "par_check", "c17", "majority", "t_5"]
+    )
+    def test_preserves_function(self, name):
+        xag = benchmark_network(name)
+        rewritten = cut_rewrite(xag, NpnDatabase())
+        assert exhaustive_equivalent(xag, rewritten)
+
+    def test_never_increases_size(self):
+        for name in ("c17", "majority", "cm82a_5"):
+            xag = benchmark_network(name)
+            stats = RewriteStatistics()
+            rewritten = cut_rewrite(xag, NpnDatabase(), statistics=stats)
+            assert rewritten.num_gates <= xag.num_gates
+            assert stats.gates_after <= stats.gates_before
+
+    def test_reduces_redundant_structure(self):
+        # maj5 built by naive threshold expansion shrinks significantly.
+        xag = benchmark_network("majority_5_r1")
+        rewritten = cut_rewrite(xag, NpnDatabase())
+        assert rewritten.num_gates < xag.num_gates
+
+
+class TestMapping:
+    @pytest.mark.parametrize(
+        "name", ["xor2", "mux21", "par_check", "c17", "majority", "newtag"]
+    )
+    def test_mapped_network_equivalent(self, name):
+        xag = benchmark_network(name)
+        network = map_to_bestagon(xag)
+        assert exhaustive_equivalent(xag, network)
+
+    @pytest.mark.parametrize("name", ["c17", "t_5", "clpl"])
+    def test_fanout_discipline_satisfied(self, name):
+        network = map_to_bestagon(benchmark_network(name))
+        assert network.check_fanout_discipline() == []
+
+    def test_all_gates_two_input_library_types(self):
+        network = map_to_bestagon(benchmark_network("cm82a_5"))
+        allowed = {
+            GateType.PI, GateType.PO, GateType.BUF, GateType.INV,
+            GateType.FANOUT, GateType.AND2, GateType.NAND2, GateType.OR2,
+            GateType.NOR2, GateType.XOR2, GateType.XNOR2,
+        }
+        for node in network.nodes():
+            assert network.gate_type(node) in allowed
+
+    def test_inverter_absorption_nand(self):
+        # ~(a & b) should map to a NAND, not AND + INV.
+        xag = Xag()
+        a, b = xag.create_pi(), xag.create_pi()
+        xag.create_po(xag.create_nand(a, b))
+        stats = MappingStatistics()
+        network = map_to_bestagon(xag, stats)
+        assert network.count_type(GateType.NAND2) == 1
+        assert network.count_type(GateType.INV) == 0
+
+    def test_inverter_absorption_nor(self):
+        # ~a & ~b should map to a single NOR.
+        xag = Xag()
+        a, b = xag.create_pi(), xag.create_pi()
+        xag.create_po(xag.create_and(a ^ 1, b ^ 1))
+        network = map_to_bestagon(xag)
+        assert network.count_type(GateType.NOR2) == 1
+        assert network.count_type(GateType.INV) == 0
+
+    def test_xor_never_needs_inverters(self):
+        xag = Xag()
+        a, b = xag.create_pi(), xag.create_pi()
+        f = xag.create_xor(a ^ 1, b)
+        xag.create_po(xag.create_xor(f, b ^ 1) ^ 1)
+        network = map_to_bestagon(xag)
+        assert network.count_type(GateType.INV) == 0
+
+
+class TestFanoutTrees:
+    def test_depth_formula(self):
+        assert fanout_tree_depth(1) == 0
+        assert fanout_tree_depth(2) == 1
+        assert fanout_tree_depth(3) == 2
+        assert fanout_tree_depth(4) == 2
+
+    def test_high_fanout_split(self):
+        from repro.networks.logic_network import LogicNetwork
+
+        network = LogicNetwork()
+        a = network.add_pi()
+        for _ in range(5):
+            network.add_po(network.add_node(GateType.INV, [a]))
+        # PI drives 5 inverters -> needs a fanout tree.
+        rebuilt = insert_fanout_trees(network)
+        assert rebuilt.check_fanout_discipline() == []
+        assert rebuilt.count_type(GateType.FANOUT) == 4
+        assert exhaustive_equivalent(network, rebuilt)
+
+    def test_chain_variant_deeper(self):
+        from repro.networks.logic_network import LogicNetwork
+
+        def build():
+            network = LogicNetwork()
+            a = network.add_pi()
+            for _ in range(6):
+                network.add_po(network.add_node(GateType.BUF, [a]))
+            return network
+
+        balanced = insert_fanout_trees(build(), balanced=True)
+        chain = insert_fanout_trees(build(), balanced=False)
+        assert chain.depth() >= balanced.depth()

@@ -1,0 +1,95 @@
+"""Tests for technology constants, the area model and the design rules."""
+
+import pytest
+
+from repro.flow.reporting import TABLE1_REFERENCE, reference_area_consistency
+from repro.tech.area import layout_area_nm2, layout_extent_nm
+from repro.tech.constants import (
+    MIN_METAL_PITCH_NM,
+    TILE_HEIGHT_ROWS,
+    TILE_WIDTH_COLUMNS,
+)
+from repro.tech.design_rules import DesignRules
+from repro.tech.parameters import SiDBSimulationParameters
+
+
+class TestAreaModel:
+    """The reverse-engineered Table-1 area model must be digit-exact."""
+
+    @pytest.mark.parametrize("name", sorted(TABLE1_REFERENCE))
+    def test_matches_paper_to_printed_precision(self, name):
+        row = TABLE1_REFERENCE[name]
+        area = layout_area_nm2(row.width, row.height)
+        assert area == pytest.approx(row.area_nm2, abs=0.005)
+
+    def test_all_reference_deltas_tiny(self):
+        assert max(reference_area_consistency().values()) < 0.005
+
+    def test_extent_par_check(self):
+        width, height = layout_extent_nm(4, 7)
+        assert width == pytest.approx((4 * 60 - 1) * 0.384)
+        assert height == pytest.approx((7 * 46 - 1) * 0.384)
+
+    def test_area_monotone_in_both_dimensions(self):
+        assert layout_area_nm2(3, 3) < layout_area_nm2(4, 3)
+        assert layout_area_nm2(3, 3) < layout_area_nm2(3, 4)
+
+    def test_rejects_degenerate_layouts(self):
+        with pytest.raises(ValueError):
+            layout_area_nm2(0, 5)
+
+
+class TestDesignRules:
+    def test_tile_row_height(self):
+        rules = DesignRules()
+        assert rules.tile_height_nm == pytest.approx(46 * 0.384)
+
+    def test_single_row_violates_metal_pitch(self):
+        rules = DesignRules()
+        assert rules.check_zone_height(1) is not None
+
+    def test_three_rows_satisfy_metal_pitch(self):
+        rules = DesignRules()
+        assert rules.check_zone_height(3) is None
+
+    def test_min_rows_per_zone(self):
+        # 17.664 nm per row against a 40 nm pitch -> 3 rows.
+        assert DesignRules().min_tile_rows_per_zone() == 3
+
+    def test_electrode_pitch_boundary(self):
+        rules = DesignRules()
+        assert rules.electrode_pitch_ok(MIN_METAL_PITCH_NM)
+        assert not rules.electrode_pitch_ok(MIN_METAL_PITCH_NM - 1.0)
+
+    def test_canvas_separation(self):
+        rules = DesignRules()
+        assert rules.check_canvas_separation(12.0) is None
+        assert rules.check_canvas_separation(5.0) is not None
+        assert len(rules.violations) == 1
+
+    def test_violation_format(self):
+        rules = DesignRules()
+        violation = rules.check_zone_height(1, location="row 0")
+        assert "metal-pitch" in str(violation)
+        assert "row 0" in str(violation)
+
+
+class TestParameters:
+    def test_defaults_are_bestagon(self):
+        assert SiDBSimulationParameters() == SiDBSimulationParameters.bestagon()
+
+    def test_figure1c_parameters(self):
+        p = SiDBSimulationParameters.huff_or_gate()
+        assert p.mu_minus == pytest.approx(-0.28)
+        assert p.epsilon_r == pytest.approx(5.6)
+        assert p.lambda_tf == pytest.approx(5.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SiDBSimulationParameters(epsilon_r=-1.0)
+        with pytest.raises(ValueError):
+            SiDBSimulationParameters(lambda_tf=0.0)
+
+    def test_tile_dimensions(self):
+        assert TILE_WIDTH_COLUMNS == 60
+        assert TILE_HEIGHT_ROWS == 46

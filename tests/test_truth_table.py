@@ -1,0 +1,117 @@
+"""Tests for truth tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.networks.truth_table import TruthTable
+
+
+def tables(max_vars=4):
+    return st.integers(0, max_vars).flatmap(
+        lambda n: st.builds(
+            TruthTable, st.just(n), st.integers(0, (1 << (1 << n)) - 1)
+        )
+    )
+
+
+class TestConstruction:
+    def test_constants(self):
+        assert TruthTable.constant(False, 2).bits == 0
+        assert TruthTable.constant(True, 2).bits == 0b1111
+
+    def test_variable_projections(self):
+        x0 = TruthTable.variable(0, 2)
+        x1 = TruthTable.variable(1, 2)
+        assert x0.bits == 0b1010
+        assert x1.bits == 0b1100
+
+    def test_variable_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable.variable(2, 2)
+
+    def test_binary_string_roundtrip(self):
+        t = TruthTable.from_binary_string("0110")
+        assert t.num_vars == 2
+        assert t.to_binary_string() == "0110"
+
+    def test_hex_string_roundtrip(self):
+        t = TruthTable.from_hex_string("8", 2)
+        assert t.bits == 0b1000
+        assert t.to_hex_string() == "8"
+
+    def test_bits_are_masked(self):
+        assert TruthTable(1, 0b111).bits == 0b11
+
+
+class TestAlgebra:
+    @given(tables(3))
+    def test_double_negation(self, t):
+        assert ~~t == t
+
+    @given(tables(3))
+    def test_and_or_de_morgan(self, t):
+        other = TruthTable.variable(0, t.num_vars) if t.num_vars else t
+        assert ~(t & other) == (~t | ~other)
+
+    @given(tables(3))
+    def test_xor_self_is_zero(self, t):
+        assert (t ^ t).bits == 0
+
+    def test_incompatible_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable(2, 0) & TruthTable(3, 0)
+
+    def test_evaluate_and(self):
+        t = TruthTable.variable(0, 2) & TruthTable.variable(1, 2)
+        assert t.evaluate([True, True]) is True
+        assert t.evaluate([True, False]) is False
+
+
+class TestTransforms:
+    @given(tables(4), st.integers(0, 3))
+    def test_flip_involution(self, t, var):
+        if var >= t.num_vars:
+            return
+        assert t.flip_input(var).flip_input(var) == t
+
+    @given(tables(3))
+    def test_cofactors_recombine(self, t):
+        for var in range(t.num_vars):
+            positive = t.cofactor(var, True)
+            negative = t.cofactor(var, False)
+            x = TruthTable.variable(var, t.num_vars)
+            assert (x & positive) | (~x & negative) == t
+
+    def test_permute_swap(self):
+        t = TruthTable.variable(0, 2)
+        swapped = t.permute_inputs([1, 0])
+        assert swapped == TruthTable.variable(1, 2)
+
+    @given(tables(4))
+    def test_identity_permutation(self, t):
+        assert t.permute_inputs(list(range(t.num_vars))) == t
+
+    def test_extend_preserves_function(self):
+        t = TruthTable.variable(0, 1)
+        extended = t.extend_to(3)
+        assert extended == TruthTable.variable(0, 3)
+
+    @given(tables(4))
+    def test_support_matches_dependency(self, t):
+        for var in range(t.num_vars):
+            assert (var in t.support()) == t.depends_on(var)
+
+    def test_shrink_to_support(self):
+        t = TruthTable.variable(1, 3)
+        shrunk, support = t.shrink_to_support()
+        assert support == [1]
+        assert shrunk == TruthTable.variable(0, 1)
+
+    @given(tables(4))
+    def test_shrink_preserves_minterm_structure(self, t):
+        shrunk, support = t.shrink_to_support()
+        assert shrunk.num_vars == len(support)
+        assert shrunk.support() == list(range(len(support)))
+
+    def test_count_ones(self):
+        assert TruthTable(2, 0b0110).count_ones() == 2

@@ -1,0 +1,157 @@
+"""Tests for layout extraction, miters and equivalence checking."""
+
+import pytest
+
+from repro.coords.hexagonal import HexCoord, HexDirection
+from repro.layout.gate_layout import (
+    GateLevelLayout,
+    TileContent,
+    TileKind,
+    cross_tile,
+    wire_tile,
+)
+from repro.networks import benchmark_network
+from repro.networks.logic_network import GateType, LogicNetwork
+from repro.networks.truth_table import TruthTable
+from repro.networks.xag import Xag
+from repro.synthesis import NpnDatabase, cut_rewrite, map_to_bestagon
+from repro.physical_design import ExactPhysicalDesign
+from repro.verification import (
+    ExtractionError,
+    check_equivalence,
+    check_layout_against_network,
+    extract_network,
+)
+from repro.verification.miter import network_from_xag
+
+NW, NE = HexDirection.NORTH_WEST, HexDirection.NORTH_EAST
+SW, SE = HexDirection.SOUTH_WEST, HexDirection.SOUTH_EAST
+
+_DB = NpnDatabase()
+
+
+def xor_layout():
+    """Hand-built 2x3 layout computing a XOR b."""
+    layout = GateLevelLayout(2, 3, name="xor2")
+    layout.place(
+        HexCoord(0, 0),
+        TileContent(TileKind.GATE, GateType.PI, (0,), (), (SE,), label="a"),
+    )
+    layout.place(
+        HexCoord(1, 0),
+        TileContent(TileKind.GATE, GateType.PI, (1,), (), (SW,), label="b"),
+    )
+    layout.place(
+        HexCoord(0, 1),
+        TileContent(
+            TileKind.GATE, GateType.XOR2, (2,), (NW, NE), (SE,)
+        ),
+    )
+    layout.place(
+        HexCoord(1, 2),
+        TileContent(TileKind.GATE, GateType.PO, (3,), (NW,), (), label="f"),
+    )
+    return layout
+
+
+class TestExtraction:
+    def test_extracts_xor(self):
+        network = extract_network(xor_layout())
+        assert network.num_pis == 2 and network.num_pos == 1
+        assert network.simulate()[0] == TruthTable(2, 0b0110)
+
+    def test_pin_labels_preserved(self):
+        network = extract_network(xor_layout())
+        names = {network.node_name(pi) for pi in network.pis()}
+        assert names == {"a", "b"}
+        assert network.node_name(network.pos()[0]) == "f"
+
+    def test_crossing_swaps_signals(self):
+        layout = GateLevelLayout(2, 3, name="swap")
+        layout.place(
+            HexCoord(0, 0),
+            TileContent(TileKind.GATE, GateType.PI, (0,), (), (SE,), label="a"),
+        )
+        layout.place(
+            HexCoord(1, 0),
+            TileContent(TileKind.GATE, GateType.PI, (1,), (), (SW,), label="b"),
+        )
+        layout.place(HexCoord(0, 1), cross_tile(0, 1))
+        layout.place(
+            HexCoord(0, 2),
+            TileContent(TileKind.GATE, GateType.PO, (2,), (NE,), (), label="x"),
+        )
+        layout.place(
+            HexCoord(1, 2),
+            TileContent(TileKind.GATE, GateType.PO, (3,), (NW,), (), label="y"),
+        )
+        network = extract_network(layout)
+        # Output x (left) must carry input a (which crossed NW->SE...
+        # i.e. left PO gets the NE input's signal and vice versa).
+        assert network.evaluate([True, False]) == [False, True]
+
+    def test_dangling_signal_rejected(self):
+        layout = GateLevelLayout(2, 2)
+        layout.place(
+            HexCoord(0, 0),
+            TileContent(TileKind.GATE, GateType.PI, (0,), (), (SE,)),
+        )
+        with pytest.raises(ExtractionError):
+            extract_network(layout)
+
+    def test_missing_driver_rejected(self):
+        layout = GateLevelLayout(2, 2)
+        layout.place(HexCoord(0, 1), wire_tile(0, NW, SW))
+        with pytest.raises(ExtractionError):
+            extract_network(layout)
+
+
+class TestMiter:
+    def test_network_from_xag_equivalent(self):
+        xag = benchmark_network("cm82a_5")
+        network = network_from_xag(xag)
+        assert network.simulate() == xag.simulate()
+
+    def test_equivalent_networks_proved(self):
+        a = benchmark_network("xor5_r1")
+        b = benchmark_network("xor5_majority")
+        assert check_equivalence(a, b).equivalent
+
+    def test_inequivalent_networks_counterexample(self):
+        a = benchmark_network("xor2")
+        b = benchmark_network("xnor2")
+        result = check_equivalence(a, b)
+        assert not result.equivalent
+        assert result.counterexample is not None
+        inputs = result.counterexample
+        assert a.evaluate(inputs) != b.evaluate(inputs)
+
+    def test_pi_permutation_respected(self):
+        # f(a, b) = a & ~b vs g(x, y) = y & ~x are equivalent under swap.
+        f = Xag()
+        a, b = f.create_pi("a"), f.create_pi("b")
+        f.create_po(f.create_and(a, b ^ 1))
+        g = Xag()
+        x, y = g.create_pi("x"), g.create_pi("y")
+        g.create_po(g.create_and(y, x ^ 1))
+        assert not check_equivalence(f, g).equivalent
+        assert check_equivalence(f, g, pi_permutation=[1, 0]).equivalent
+
+
+class TestLayoutEquivalence:
+    def test_hand_layout_verifies(self):
+        xag = benchmark_network("xor2")
+        assert check_layout_against_network(xag, xor_layout()).equivalent
+
+    def test_wrong_function_refuted(self):
+        xag = benchmark_network("xnor2")
+        result = check_layout_against_network(xag, xor_layout())
+        assert not result.equivalent
+
+    @pytest.mark.parametrize("name", ["par_check", "t", "1bitAdderAOIG"])
+    def test_flow_layouts_verify(self, name):
+        xag = benchmark_network(name)
+        layout = ExactPhysicalDesign().run(
+            map_to_bestagon(cut_rewrite(xag, _DB))
+        )
+        assert check_layout_against_network(xag, layout).equivalent

@@ -1,0 +1,146 @@
+"""Tests for XOR-AND-inverter graphs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.networks.truth_table import TruthTable
+from repro.networks.xag import (
+    Xag,
+    is_complemented,
+    make_signal,
+    signal_node,
+)
+
+
+class TestSignals:
+    @given(st.integers(0, 10_000), st.booleans())
+    def test_signal_roundtrip(self, node, complemented):
+        signal = make_signal(node, complemented)
+        assert signal_node(signal) == node
+        assert is_complemented(signal) == complemented
+
+    def test_not_is_xor_one(self):
+        xag = Xag()
+        a = xag.create_pi()
+        assert xag.create_not(a) == a ^ 1
+        assert xag.create_not(xag.create_not(a)) == a
+
+
+class TestConstruction:
+    def test_constants(self):
+        xag = Xag()
+        assert xag.get_constant(False) == 0
+        assert xag.get_constant(True) == 1
+
+    def test_structural_hashing(self):
+        xag = Xag()
+        a, b = xag.create_pi(), xag.create_pi()
+        assert xag.create_and(a, b) == xag.create_and(b, a)
+        assert xag.num_gates == 1
+
+    def test_xor_polarity_normalization(self):
+        xag = Xag()
+        a, b = xag.create_pi(), xag.create_pi()
+        plain = xag.create_xor(a, b)
+        assert xag.create_xor(a ^ 1, b) == plain ^ 1
+        assert xag.create_xor(a ^ 1, b ^ 1) == plain
+        assert xag.num_gates == 1
+
+    def test_and_trivial_cases(self):
+        xag = Xag()
+        a = xag.create_pi()
+        assert xag.create_and(a, a) == a
+        assert xag.create_and(a, a ^ 1) == xag.get_constant(False)
+        assert xag.create_and(a, xag.get_constant(True)) == a
+        assert xag.create_and(a, xag.get_constant(False)) == xag.get_constant(False)
+
+    def test_xor_trivial_cases(self):
+        xag = Xag()
+        a = xag.create_pi()
+        assert xag.create_xor(a, a) == xag.get_constant(False)
+        assert xag.create_xor(a, a ^ 1) == xag.get_constant(True)
+        assert xag.create_xor(a, xag.get_constant(False)) == a
+        assert xag.create_xor(a, xag.get_constant(True)) == a ^ 1
+
+
+class TestSemantics:
+    def test_or_gate(self):
+        xag = Xag()
+        a, b = xag.create_pi("a"), xag.create_pi("b")
+        xag.create_po(xag.create_or(a, b))
+        assert xag.simulate()[0] == TruthTable(2, 0b1110)
+
+    def test_derived_gates(self):
+        xag = Xag()
+        a, b = xag.create_pi(), xag.create_pi()
+        cases = {
+            xag.create_nand(a, b): 0b0111,
+            xag.create_nor(a, b): 0b0001,
+            xag.create_xnor(a, b): 0b1001,
+        }
+        for signal, bits in cases.items():
+            index = xag.create_po(signal)
+            assert xag.simulate()[index] == TruthTable(2, bits)
+
+    def test_majority(self):
+        xag = Xag()
+        a, b, c = (xag.create_pi() for _ in range(3))
+        xag.create_po(xag.create_maj(a, b, c))
+        assert xag.simulate()[0] == TruthTable(3, 0b11101000)
+
+    def test_ite(self):
+        xag = Xag()
+        s, t, e = (xag.create_pi() for _ in range(3))
+        xag.create_po(xag.create_ite(s, t, e))
+        table = xag.simulate()[0]
+        for pattern in range(8):
+            sel = bool(pattern & 1)
+            then = bool(pattern >> 1 & 1)
+            other = bool(pattern >> 2 & 1)
+            assert table.get_bit(pattern) == (then if sel else other)
+
+    @given(st.integers(0, 255))
+    def test_evaluate_matches_simulate(self, bits):
+        xag = Xag()
+        a, b, c = (xag.create_pi() for _ in range(3))
+        f = xag.create_xor(xag.create_and(a, b), c)
+        xag.create_po(f)
+        table = xag.simulate()[0]
+        pattern = bits % 8
+        inputs = [bool(pattern >> i & 1) for i in range(3)]
+        assert xag.evaluate(inputs) == [table.get_bit(pattern)]
+
+
+class TestAnalysis:
+    def test_depth_and_levels(self):
+        xag = Xag()
+        a, b, c = (xag.create_pi() for _ in range(3))
+        f = xag.create_and(xag.create_and(a, b), c)
+        xag.create_po(f)
+        assert xag.depth() == 2
+
+    def test_fanout_counts(self):
+        xag = Xag()
+        a, b = xag.create_pi(), xag.create_pi()
+        shared = xag.create_and(a, b)
+        xag.create_po(xag.create_xor(shared, a))
+        xag.create_po(shared)
+        counts = xag.fanout_counts()
+        assert counts[signal_node(shared)] == 2
+
+    def test_cleanup_removes_dangling(self):
+        xag = Xag()
+        a, b = xag.create_pi(), xag.create_pi()
+        xag.create_and(a, b)  # dangling
+        xag.create_po(xag.create_xor(a, b))
+        cleaned = xag.cleanup()
+        assert cleaned.num_gates == 1
+        assert cleaned.simulate() == xag.simulate()
+
+    def test_cleanup_preserves_names(self):
+        xag = Xag("named")
+        a = xag.create_pi("alpha")
+        xag.create_po(a ^ 1, "omega")
+        cleaned = xag.cleanup()
+        assert cleaned.pi_name(cleaned.pis()[0]) == "alpha"
+        assert cleaned.po_name(0) == "omega"
