@@ -15,11 +15,16 @@ from repro.gatelib.designs import core_parameters
 from repro.networks.truth_table import TruthTable
 from repro.sidb.bdl import BdlPair
 from repro.sidb.operational_domain import compute_operational_domain
+from repro.sidb.parallel import workers_from_env
 
 S = LatticeSite.from_row
 
 X_VALUES = (4.6, 5.1, 5.6, 6.1, 6.6)
 Y_VALUES = (3.5, 4.25, 5.0, 5.75, 6.5)
+
+# Grid points fan out over this many worker processes (results are
+# bit-identical to the serial default of 1).
+WORKERS = workers_from_env()
 
 
 def _wire_fixture():
@@ -68,7 +73,11 @@ def test_operational_domain(benchmark, fixture_name):
     domain = benchmark.pedantic(
         compute_operational_domain,
         args=(sites, stimuli, pairs, outputs),
-        kwargs={"x_values": X_VALUES, "y_values": Y_VALUES},
+        kwargs={
+            "x_values": X_VALUES,
+            "y_values": Y_VALUES,
+            "workers": WORKERS,
+        },
         rounds=1, iterations=1,
     )
     print_header(

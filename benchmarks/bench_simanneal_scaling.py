@@ -1,0 +1,55 @@
+"""SimAnneal scaling: serial per-move loop vs batch kernel vs processes.
+
+Times ground-state searches on BDL wires of 12-30 SiDBs under one
+instances/sweeps budget, prints the scaling table and writes the record
+to ``benchmarks/artifacts/BENCH_simanneal.json``.  The batch kernel
+must beat the legacy serial loop by at least 5x at 24 sites; the
+process-parallel driver must agree with the single-process batch run.
+"""
+
+from pathlib import Path
+
+from conftest import print_header
+from repro.sidb.perfbench import (
+    GATE_SIZE,
+    SCALING_SIZES,
+    run_scaling_benchmark,
+    write_benchmark_json,
+)
+
+ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_simanneal.json"
+
+
+def test_simanneal_scaling(benchmark):
+    record = benchmark.pedantic(
+        run_scaling_benchmark, rounds=1, iterations=1
+    )
+    write_benchmark_json(record, ARTIFACT)
+
+    print_header(
+        "SimAnneal scaling on BDL wires "
+        "(16 instances x 200 sweeps, seed 7)"
+    )
+    print(f"{'sites':>6} {'serial':>9} {'batch':>9} "
+          f"{'parallel':>9} {'speedup':>8}")
+    for point in record["points"]:
+        print(
+            f"{point['num_sites']:>6} "
+            f"{point['serial_seconds']:>8.3f}s "
+            f"{point['batch_seconds']:>8.3f}s "
+            f"{point['parallel_seconds']:>8.3f}s "
+            f"{point['speedup_batch_over_serial']:>7.1f}x"
+        )
+    print(f"  artifact: {ARTIFACT}")
+
+    by_size = {p["num_sites"]: p for p in record["points"]}
+    assert set(by_size) == set(SCALING_SIZES)
+    gate = by_size[GATE_SIZE]
+    assert gate["speedup_batch_over_serial"] >= 5.0, (
+        f"batch kernel only {gate['speedup_batch_over_serial']:.1f}x "
+        f"over serial at {GATE_SIZE} sites"
+    )
+    for point in record["points"]:
+        assert point["parallel_matches_batch"], (
+            f"parallel run diverged from batch at {point['num_sites']} sites"
+        )

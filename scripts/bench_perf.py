@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Tier-2 performance smoke check (CI gate).
+
+Runs the SimAnneal scaling benchmark with a small budget, writes
+``benchmarks/artifacts/BENCH_simanneal.json`` and exits non-zero when
+the vectorized batch kernel fails to beat the legacy serial loop at
+24 sites -- the canary for performance regressions in the annealer.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_perf.py [--full]
+
+``--full`` runs the complete budget of the pytest benchmark (slower,
+same artifact shape).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.sidb.perfbench import (  # noqa: E402
+    GATE_SIZE,
+    run_scaling_benchmark,
+    write_benchmark_json,
+)
+from repro.sidb.simanneal import SimAnnealParameters  # noqa: E402
+
+ARTIFACT = REPO / "benchmarks" / "artifacts" / "BENCH_simanneal.json"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true",
+        help="full benchmark budget (200 sweeps, 3 repeats)",
+    )
+    arguments = parser.parse_args()
+
+    if arguments.full:
+        record = run_scaling_benchmark()
+    else:
+        record = run_scaling_benchmark(
+            sizes=(12, GATE_SIZE),
+            schedule=SimAnnealParameters(instances=16, sweeps=100, seed=7),
+            repeats=2,
+        )
+    path = write_benchmark_json(record, ARTIFACT)
+
+    failures = []
+    for point in record["points"]:
+        line = (
+            f"  {point['num_sites']:>3} sites: "
+            f"serial {point['serial_seconds']:.3f}s  "
+            f"batch {point['batch_seconds']:.3f}s  "
+            f"parallel {point['parallel_seconds']:.3f}s  "
+            f"speedup {point['speedup_batch_over_serial']:.1f}x"
+        )
+        print(line)
+        if not point["parallel_matches_batch"]:
+            failures.append(
+                f"parallel diverged from batch at {point['num_sites']} sites"
+            )
+        if (
+            point["num_sites"] == GATE_SIZE
+            and point["speedup_batch_over_serial"] < 1.0
+        ):
+            failures.append(
+                f"batch kernel slower than the serial loop at {GATE_SIZE} "
+                f"sites ({point['speedup_batch_over_serial']:.2f}x)"
+            )
+    print(f"  artifact: {path}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,10 +20,14 @@ from repro.networks.truth_table import TruthTable
 from repro.sidb.bdl import BdlPair, read_bdl_pair
 from repro.sidb.charge import SidbLayout
 from repro.sidb.exhaustive import exhaustive_ground_state
+from repro.sidb.parallel import run_tasks, workers_from_env
 from repro.tech.parameters import SiDBSimulationParameters
 
 S = LatticeSite.from_row
 P32 = SiDBSimulationParameters(mu_minus=-0.32)
+# Candidate classification fans out over this many worker processes
+# (the scan order and results are identical to the serial default).
+WORKERS = workers_from_env()
 OUT = os.path.join(
     os.path.dirname(__file__), "..", "src", "repro", "gatelib",
     "found_designs.json",
@@ -229,6 +233,12 @@ def classify_core(dx1, dx2, og, gout, extra=()):
     return tuple(outs)
 
 
+def classify_candidate(candidate):
+    """Worker entry: unpack one two-input-core candidate tuple."""
+    dx1, dx2, og, gout, extra = candidate
+    return classify_core(dx1, dx2, og, gout, extra)
+
+
 TT_NAMES = {
     (False, True, True, True): "or",
     (False, False, False, True): "and",
@@ -249,27 +259,37 @@ def stage_two_input_gates():
     for c in (0,):
         for cr in (16, 18, 20, 22):
             extras.append(((c, cr),))
-    total = 0
-    for dx1 in (3, 4, 5):
-        for dx2 in (2, 3, 4, 5):
-            for og in (3, 4, 5, 6, 8):
-                for gout in (2, 3, 4, 5):
-                    for extra in extras:
-                        total += 1
-                        tt = classify_core(dx1, dx2, og, gout, extra)
-                        if tt is None:
-                            continue
-                        name = TT_NAMES.get(tt)
-                        if name and len(found.get(name, [])) < 8:
-                            entry = {
-                                "dx1": dx1, "dx2": dx2, "og": og,
-                                "gout": gout, "extra": [list(e) for e in extra],
-                            }
-                            found.setdefault(name, []).append(entry)
-                            print(name, "ok:", entry, flush=True)
-            RESULTS["two_input"] = found
-            save()
-    print("two-input scan done over", total, "candidates", flush=True)
+    candidates = [
+        (dx1, dx2, og, gout, tuple(tuple(e) for e in extra))
+        for dx1 in (3, 4, 5)
+        for dx2 in (2, 3, 4, 5)
+        for og in (3, 4, 5, 6, 8)
+        for gout in (2, 3, 4, 5)
+        for extra in extras
+    ]
+    # Chunked fan-out: each chunk maps over the worker pool (ordered,
+    # so the selection below matches a serial scan), then the running
+    # results are checkpointed.
+    chunk = 240
+    for start in range(0, len(candidates), chunk):
+        batch = candidates[start:start + chunk]
+        for candidate, tt in zip(
+            batch, run_tasks(classify_candidate, batch, workers=WORKERS)
+        ):
+            if tt is None:
+                continue
+            name = TT_NAMES.get(tt)
+            if name and len(found.get(name, [])) < 8:
+                dx1, dx2, og, gout, extra = candidate
+                entry = {
+                    "dx1": dx1, "dx2": dx2, "og": og,
+                    "gout": gout, "extra": [list(e) for e in extra],
+                }
+                found.setdefault(name, []).append(entry)
+                print(name, "ok:", entry, flush=True)
+        RESULTS["two_input"] = found
+        save()
+    print("two-input scan done over", len(candidates), "candidates", flush=True)
 
 
 def stage_crossing():

@@ -27,6 +27,7 @@ import sys
 from repro.gatelib import designs as D
 from repro.gatelib.library import BestagonLibrary
 from repro.gatelib.tile import Port
+from repro.sidb.parallel import run_tasks, workers_from_env
 from repro.sidb.simanneal import SimAnnealParameters
 
 OUT = os.path.join(
@@ -34,6 +35,9 @@ OUT = os.path.join(
     "found_designs.json",
 )
 SCHEDULE = SimAnnealParameters(instances=10, sweeps=200, seed=5)
+# Core candidates are scored over this many worker processes; the scan
+# order (and therefore the selected winner) matches the serial default.
+WORKERS = workers_from_env()
 
 
 def evaluate(kind: str, core: dict) -> int:
@@ -52,6 +56,12 @@ def evaluate(kind: str, core: dict) -> int:
         D._TWO_INPUT.update(original)
 
 
+def evaluate_candidate(task):
+    """Worker entry: score one ``(kind, core)`` candidate."""
+    kind, core = task
+    return evaluate(kind, core)
+
+
 def tune(kind: str) -> dict | None:
     best = None
     best_score = 0
@@ -59,22 +69,31 @@ def tune(kind: str) -> dict | None:
     for h in (2, 3, 4):
         for hr in (16, 18, 20):
             extras.append([[-h, hr], [h, hr]])
-    for dx1 in (3, 4):
-        for dx2 in (3, 4, 5):
-            for og in (3, 4, 5, 6):
-                for gout in (4,):
-                    for extra in extras:
-                        core = {
-                            "dx1": dx1, "dx2": dx2, "og": og,
-                            "gout": gout, "extra": extra,
-                        }
-                        score = evaluate(kind, core)
-                        if score > best_score:
-                            best_score = score
-                            best = core
-                            print(f"{kind}: {score}/4 {core}", flush=True)
-                        if score == 4:
-                            return best
+    cores = [
+        {"dx1": dx1, "dx2": dx2, "og": og, "gout": gout, "extra": extra}
+        for dx1 in (3, 4)
+        for dx2 in (3, 4, 5)
+        for og in (3, 4, 5, 6)
+        for gout in (4,)
+        for extra in extras
+    ]
+    # Chunked fan-out preserves the serial early exit: chunks are
+    # scored in scan order, and the first perfect core wins.
+    chunk = max(8, 4 * WORKERS)
+    for start in range(0, len(cores), chunk):
+        batch = cores[start:start + chunk]
+        scores = run_tasks(
+            evaluate_candidate,
+            [(kind, core) for core in batch],
+            workers=WORKERS,
+        )
+        for core, score in zip(batch, scores):
+            if score > best_score:
+                best_score = score
+                best = core
+                print(f"{kind}: {score}/4 {core}", flush=True)
+            if score == 4:
+                return best
     return best
 
 

@@ -10,10 +10,21 @@ systems) or by simulated annealing (:mod:`repro.sidb.simanneal`, the
 """
 
 from repro.sidb.charge import ChargeState, SidbLayout
-from repro.sidb.energy import EnergyModel
+from repro.sidb.energy import (
+    EnergyModel,
+    GeometryCache,
+    clear_geometry_cache,
+    geometry_cache_stats,
+)
 from repro.sidb.stability import is_population_stable, is_configuration_stable
 from repro.sidb.exhaustive import exhaustive_ground_state, GroundStateResult
 from repro.sidb.simanneal import SimAnneal, SimAnnealParameters
+from repro.sidb.parallel import (
+    parallel_simanneal,
+    resolve_workers,
+    run_tasks,
+    workers_from_env,
+)
 from repro.sidb.bdl import BdlPair, detect_bdl_pairs, read_bdl_pair
 from repro.sidb.operational import (
     GateFunctionSpec,
@@ -30,12 +41,19 @@ __all__ = [
     "ChargeState",
     "SidbLayout",
     "EnergyModel",
+    "GeometryCache",
+    "clear_geometry_cache",
+    "geometry_cache_stats",
     "is_population_stable",
     "is_configuration_stable",
     "exhaustive_ground_state",
     "GroundStateResult",
     "SimAnneal",
     "SimAnnealParameters",
+    "parallel_simanneal",
+    "resolve_workers",
+    "run_tasks",
+    "workers_from_env",
     "BdlPair",
     "detect_bdl_pairs",
     "read_bdl_pair",

@@ -13,19 +13,118 @@ whose single-site local optimality conditions are exactly the
 *population stability* criteria of SiQAD's engines: occupied sites must
 satisfy ``v_i + mu_minus <= 0`` and empty sites ``v_i + mu_minus >= 0``,
 where ``v_i = sum_j V_ij n_j`` is the local potential.
+
+The pairwise geometry (the O(n^2) distance matrix) depends only on the
+site set, not on the physical parameters, so it is computed once per
+site set and shared through a process-wide LRU cache
+(:class:`GeometryCache`).  A parameter point then only pays the cheap
+``exp(-d/lambda_TF)/d * 1/eps_r`` rescale -- which is what makes
+operational-domain sweeps over (eps_r, lambda_TF, mu_minus) grids
+affordable.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
+from repro.coords.lattice import LatticeSite
 from repro.sidb.charge import SidbLayout
 from repro.tech.constants import COULOMB_CONSTANT_EV_NM
 from repro.tech.parameters import SiDBSimulationParameters
 
 
+class GeometryCache:
+    """LRU cache of pairwise distance matrices, keyed on the site tuple.
+
+    One entry per distinct (ordered) site set; the stored matrices are
+    marked read-only so every :class:`EnergyModel` sharing an entry sees
+    the same immutable array.  ``hits``/``misses`` counters let tests
+    (and benchmarks) verify that a sweep reuses the geometry instead of
+    rebuilding it at every parameter point.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[
+            tuple[LatticeSite, ...], tuple[np.ndarray, float]
+        ] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def distance_matrix(
+        self, sites: tuple[LatticeSite, ...]
+    ) -> tuple[np.ndarray, float]:
+        """(distance matrix, minimal pair distance) of a site set."""
+        entry = self._entries.get(sites)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(sites)
+            return entry
+        self.misses += 1
+        entry = self._compute(sites)
+        self._entries[sites] = entry
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return entry
+
+    @staticmethod
+    def _compute(
+        sites: tuple[LatticeSite, ...]
+    ) -> tuple[np.ndarray, float]:
+        positions = np.asarray(
+            [site.position_nm for site in sites], dtype=float
+        )
+        n = len(sites)
+        if n == 0:
+            distances = np.zeros((0, 0))
+            distances.setflags(write=False)
+            return distances, float("inf")
+        deltas = positions[:, None, :] - positions[None, :, :]
+        distances = np.sqrt((deltas**2).sum(axis=2))
+        if n > 1:
+            min_distance = float(distances[~np.eye(n, dtype=bool)].min())
+        else:
+            min_distance = float("inf")
+        distances.setflags(write=False)
+        return distances, min_distance
+
+
+#: Process-wide geometry cache shared by every :class:`EnergyModel`.
+GEOMETRY_CACHE = GeometryCache()
+
+
+def geometry_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters of the shared geometry cache."""
+    return {
+        "hits": GEOMETRY_CACHE.hits,
+        "misses": GEOMETRY_CACHE.misses,
+        "entries": len(GEOMETRY_CACHE),
+    }
+
+
+def clear_geometry_cache() -> None:
+    """Drop all cached distance matrices and reset the counters."""
+    GEOMETRY_CACHE.clear()
+
+
 class EnergyModel:
-    """Precomputed interaction matrix for one SiDB layout."""
+    """Interaction matrix of one SiDB layout at one parameter point.
+
+    The distance matrix comes from the shared :data:`GEOMETRY_CACHE`;
+    only the screened-Coulomb rescale is computed per instance, so
+    constructing many models of the same layout at different
+    (eps_r, lambda_TF, mu_minus) points is cheap.
+    """
 
     def __init__(
         self,
@@ -34,26 +133,43 @@ class EnergyModel:
     ) -> None:
         self.layout = layout
         self.parameters = parameters or SiDBSimulationParameters()
-        positions = np.asarray(layout.positions_nm(), dtype=float)
-        n = len(layout)
-        if n == 0:
-            self.potential_matrix = np.zeros((0, 0))
-            return
-        deltas = positions[:, None, :] - positions[None, :, :]
-        distances = np.sqrt((deltas**2).sum(axis=2))
+        sites = tuple(layout.sites())
+        distances, min_distance = GEOMETRY_CACHE.distance_matrix(sites)
+        if min_distance < 1e-9:
+            raise ValueError("two SiDBs coincide")
+        self.distance_matrix = distances
+        self.potential_matrix = self._rescale(distances, self.parameters)
+
+    @staticmethod
+    def _rescale(
+        distances: np.ndarray, parameters: SiDBSimulationParameters
+    ) -> np.ndarray:
+        """Screened-Coulomb potential matrix from a distance matrix."""
+        if distances.size == 0:
+            return np.zeros_like(distances)
         with np.errstate(divide="ignore", invalid="ignore"):
             matrix = (
                 COULOMB_CONSTANT_EV_NM
-                / self.parameters.epsilon_r
-                * np.exp(-distances / self.parameters.lambda_tf)
+                / parameters.epsilon_r
+                * np.exp(-distances / parameters.lambda_tf)
                 / distances
             )
         np.fill_diagonal(matrix, 0.0)
-        if n > 1:
-            min_distance = distances[~np.eye(n, dtype=bool)].min()
-            if min_distance < 1e-9:
-                raise ValueError("two SiDBs coincide")
-        self.potential_matrix = matrix
+        return matrix
+
+    def with_parameters(
+        self, parameters: SiDBSimulationParameters
+    ) -> "EnergyModel":
+        """A model of the same layout at another parameter point.
+
+        Reuses this model's geometry directly (no cache lookup at all).
+        """
+        clone = object.__new__(EnergyModel)
+        clone.layout = self.layout
+        clone.parameters = parameters
+        clone.distance_matrix = self.distance_matrix
+        clone.potential_matrix = self._rescale(self.distance_matrix, parameters)
+        return clone
 
     @property
     def num_sites(self) -> int:

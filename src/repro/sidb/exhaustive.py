@@ -48,14 +48,20 @@ def exhaustive_ground_state(
     parameters: SiDBSimulationParameters | None = None,
     require_configuration_stability: bool = True,
     energy_tolerance: float = 1e-9,
+    model: EnergyModel | None = None,
 ) -> GroundStateResult:
-    """Exact ground state(s) of a small SiDB layout."""
+    """Exact ground state(s) of a small SiDB layout.
+
+    ``model`` lets callers reuse a prebuilt (geometry-cached)
+    :class:`EnergyModel` so the chunked enumeration never recomputes the
+    pairwise interaction matrix.
+    """
     n = len(layout)
     if n > _MAX_EXHAUSTIVE_SITES:
         raise ValueError(
             f"{n} sites exceed the exhaustive limit of {_MAX_EXHAUSTIVE_SITES}"
         )
-    model = EnergyModel(layout, parameters)
+    model = model or EnergyModel(layout, parameters)
     result = GroundStateResult(layout, total_count=1 << n)
     if n == 0:
         result.ground_states = [np.zeros(0, dtype=np.int8)]

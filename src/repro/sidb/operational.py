@@ -11,19 +11,24 @@ location for 1 and a farther one for 0 -- which "constitutes a more
 realistic representation of the repulsion exerted by upstream input
 logic wires" (Section 4.1).  A design therefore specifies, per input,
 one SiDB set for logic 0 and one for logic 1.
+
+Each input pattern is an independent ground-state simulation, so the
+check optionally fans the patterns out over worker processes
+(``workers > 1``); per-pattern layouts share their pairwise geometry
+through the :mod:`repro.sidb.energy` cache, so a parameter sweep only
+pays the O(n^2) distance matrix once per distinct site set.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.coords.lattice import LatticeSite
 from repro.networks.truth_table import TruthTable
 from repro.sidb.bdl import BdlPair, read_bdl_pair
 from repro.sidb.charge import SidbLayout
 from repro.sidb.exhaustive import exhaustive_ground_state
+from repro.sidb.parallel import PatternTask, run_tasks
 from repro.sidb.simanneal import SimAnneal, SimAnnealParameters
 from repro.tech.parameters import SiDBSimulationParameters
 
@@ -65,6 +70,47 @@ class OperationalReport:
         return [p.observed for p in self.patterns]
 
 
+def simulate_pattern(task: PatternTask) -> PatternResult:
+    """Ground-state simulation of one input pattern (worker-safe).
+
+    Module-level so :func:`repro.sidb.parallel.run_tasks` can ship it to
+    a ``ProcessPoolExecutor`` by reference.
+    """
+    layout = task.build_layout()
+    result = _ground_state(
+        layout, task.parameters, task.engine, task.schedule
+    )
+    if result.ground_states:
+        occupation = result.occupation()
+        observed = tuple(
+            read_bdl_pair(layout, occupation, pair)
+            for pair in task.output_pairs
+        )
+    else:
+        observed = tuple(None for _ in task.output_pairs)
+    correct = all(
+        obs is not None and obs == exp
+        for obs, exp in zip(observed, task.expected)
+    )
+    # Degenerate ground states must agree on the outputs.
+    if correct and len(result.ground_states) > 1:
+        for other in result.ground_states[1:]:
+            other_observed = tuple(
+                read_bdl_pair(layout, other, pair)
+                for pair in task.output_pairs
+            )
+            if other_observed != observed:
+                correct = False
+                break
+    return PatternResult(
+        pattern=task.pattern,
+        expected=task.expected,
+        observed=observed,
+        ground_energy=result.ground_energy,
+        correct=correct,
+    )
+
+
 def check_operational(
     body_sites: list[LatticeSite],
     input_stimuli: list[tuple[list[LatticeSite], list[LatticeSite]]],
@@ -73,64 +119,47 @@ def check_operational(
     parameters: SiDBSimulationParameters | None = None,
     engine: str = "auto",
     schedule: SimAnnealParameters | None = None,
+    workers: int = 1,
 ) -> OperationalReport:
     """Simulate a gate design over all input patterns.
 
     ``input_stimuli[i]`` is the pair (sites_for_0, sites_for_1) of input
     ``i`` -- the far/close perturber sets.  ``engine`` selects the ground
     state finder: ``"exhaustive"``, ``"simanneal"`` or ``"auto"``
-    (exhaustive when the system is small enough).
+    (exhaustive when the system is small enough).  ``workers > 1`` fans
+    the per-pattern simulations out over processes; results are
+    bit-identical to the serial default.
     """
     parameters = parameters or SiDBSimulationParameters()
     num_inputs = len(input_stimuli)
     if spec.num_inputs != num_inputs:
         raise ValueError("spec arity does not match the number of inputs")
+    if engine not in ("auto", "exhaustive", "simanneal"):
+        raise ValueError(f"unknown engine {engine!r}")
 
-    report = OperationalReport(operational=True)
-    for pattern in range(1 << num_inputs):
-        layout = SidbLayout(body_sites)
-        for bit, (sites0, sites1) in enumerate(input_stimuli):
-            chosen = sites1 if (pattern >> bit) & 1 else sites0
-            layout.extend(chosen)
-
-        result = _ground_state(layout, parameters, engine, schedule)
-        expected = tuple(
-            table.get_bit(pattern) for table in spec.outputs
+    stimuli_spec = tuple(
+        (tuple(sites0), tuple(sites1)) for sites0, sites1 in input_stimuli
+    )
+    tasks = [
+        PatternTask(
+            pattern=pattern,
+            body_sites=tuple(body_sites),
+            input_stimuli=stimuli_spec,
+            output_pairs=tuple(output_pairs),
+            expected=tuple(
+                table.get_bit(pattern) for table in spec.outputs
+            ),
+            parameters=parameters,
+            engine=engine,
+            schedule=schedule,
         )
-        if result.ground_states:
-            occupation = result.occupation()
-            observed = tuple(
-                read_bdl_pair(layout, occupation, pair)
-                for pair in output_pairs
-            )
-        else:
-            observed = tuple(None for _ in output_pairs)
-        correct = all(
-            obs is not None and obs == exp
-            for obs, exp in zip(observed, expected)
-        )
-        # Degenerate ground states must agree on the outputs.
-        if correct and len(result.ground_states) > 1:
-            for other in result.ground_states[1:]:
-                other_observed = tuple(
-                    read_bdl_pair(layout, other, pair)
-                    for pair in output_pairs
-                )
-                if other_observed != observed:
-                    correct = False
-                    break
-        report.patterns.append(
-            PatternResult(
-                pattern=pattern,
-                expected=expected,
-                observed=observed,
-                ground_energy=result.ground_energy,
-                correct=correct,
-            )
-        )
-        if not correct:
-            report.operational = False
-    return report
+        for pattern in range(1 << num_inputs)
+    ]
+    results = run_tasks(simulate_pattern, tasks, workers)
+    return OperationalReport(
+        operational=all(result.correct for result in results),
+        patterns=results,
+    )
 
 
 def _ground_state(

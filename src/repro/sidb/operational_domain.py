@@ -19,6 +19,7 @@ from repro.coords.lattice import LatticeSite
 from repro.networks.truth_table import TruthTable
 from repro.sidb.bdl import BdlPair
 from repro.sidb.operational import GateFunctionSpec, check_operational
+from repro.sidb.parallel import DomainPointTask, run_tasks
 from repro.sidb.simanneal import SimAnnealParameters
 from repro.tech.parameters import SiDBSimulationParameters
 
@@ -71,6 +72,34 @@ class OperationalDomain:
 _PARAMETERS = ("epsilon_r", "lambda_tf", "mu_minus")
 
 
+def evaluate_domain_point(task: DomainPointTask) -> DomainPoint:
+    """Operational check at one parameter grid point (worker-safe).
+
+    Module-level so :func:`repro.sidb.parallel.run_tasks` can ship grid
+    points to a ``ProcessPoolExecutor`` by reference; the per-pattern
+    simulations inside stay serial (one process per grid point).
+    """
+    report = check_operational(
+        body_sites=list(task.body_sites),
+        input_stimuli=[
+            (list(sites0), list(sites1))
+            for sites0, sites1 in task.input_stimuli
+        ],
+        output_pairs=list(task.output_pairs),
+        spec=GateFunctionSpec(task.outputs),
+        parameters=task.parameters,
+        engine=task.engine,
+        schedule=task.schedule,
+    )
+    return DomainPoint(
+        x=task.x,
+        y=task.y,
+        operational=report.operational,
+        correct_patterns=sum(p.correct for p in report.patterns),
+        total_patterns=len(report.patterns),
+    )
+
+
 def compute_operational_domain(
     body_sites: Sequence[LatticeSite],
     input_stimuli: Sequence[tuple[list[LatticeSite], list[LatticeSite]]],
@@ -83,8 +112,14 @@ def compute_operational_domain(
     base: SiDBSimulationParameters | None = None,
     engine: str = "auto",
     schedule: SimAnnealParameters | None = None,
+    workers: int = 1,
 ) -> OperationalDomain:
-    """Sweep two physical parameters; returns the operational domain."""
+    """Sweep two physical parameters; returns the operational domain.
+
+    ``workers > 1`` distributes the grid points over a process pool;
+    each point is an independent simulation, and the returned
+    ``DomainPoint`` list is bit-identical to a serial sweep.
+    """
     for parameter in (x_parameter, y_parameter):
         if parameter not in _PARAMETERS:
             raise ValueError(
@@ -93,9 +128,15 @@ def compute_operational_domain(
     if x_parameter == y_parameter:
         raise ValueError("x and y must sweep different parameters")
     base = base or SiDBSimulationParameters.bestagon()
-    spec = GateFunctionSpec(tuple(outputs))
     domain = OperationalDomain(x_parameter, y_parameter)
 
+    body = tuple(body_sites)
+    stimuli = tuple(
+        (tuple(sites0), tuple(sites1)) for sites0, sites1 in input_stimuli
+    )
+    pairs = tuple(output_pairs)
+    tables = tuple(outputs)
+    tasks = []
     for x in x_values:
         for y in y_values:
             values = {
@@ -105,25 +146,20 @@ def compute_operational_domain(
             }
             values[x_parameter] = x
             values[y_parameter] = y
-            parameters = SiDBSimulationParameters(**values)
-            report = check_operational(
-                body_sites=list(body_sites),
-                input_stimuli=[(list(f), list(c)) for f, c in input_stimuli],
-                output_pairs=list(output_pairs),
-                spec=spec,
-                parameters=parameters,
-                engine=engine,
-                schedule=schedule,
-            )
-            domain.points.append(
-                DomainPoint(
+            tasks.append(
+                DomainPointTask(
                     x=x,
                     y=y,
-                    operational=report.operational,
-                    correct_patterns=sum(p.correct for p in report.patterns),
-                    total_patterns=len(report.patterns),
+                    body_sites=body,
+                    input_stimuli=stimuli,
+                    output_pairs=pairs,
+                    outputs=tables,
+                    parameters=SiDBSimulationParameters(**values),
+                    engine=engine,
+                    schedule=schedule,
                 )
             )
+    domain.points.extend(run_tasks(evaluate_domain_point, tasks, workers))
     return domain
 
 

@@ -1,0 +1,138 @@
+"""Shared core of the SimAnneal scaling benchmarks.
+
+Builds parameterized BDL-wire layouts and times the three execution
+paths of the annealer -- the legacy per-move ``serial`` loop, the
+vectorized ``batch`` kernel and the process-parallel driver -- under an
+identical instances/sweeps budget.  Both the pytest benchmark
+(``benchmarks/bench_simanneal_scaling.py``) and the CI perf smoke
+(``scripts/bench_perf.py``) run this module and write its record to
+``BENCH_simanneal.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+from repro.coords.lattice import LatticeSite
+from repro.sidb.charge import SidbLayout
+from repro.sidb.parallel import parallel_simanneal
+from repro.sidb.simanneal import SimAnneal, SimAnnealParameters
+
+#: System sizes of the scaling sweep (number of SiDBs).
+SCALING_SIZES = (12, 18, 24, 30)
+
+#: The size at which the batch-vs-serial speedup is asserted.
+GATE_SIZE = 24
+
+
+def scaling_layout(num_sites: int) -> SidbLayout:
+    """A BDL wire with ``num_sites`` dots (the paper's workhorse).
+
+    Dimers are spaced like the canonical Bestagon wire segments: two
+    dots two columns apart, six columns between dimers.
+    """
+    sites = []
+    column = 0
+    for _ in range((num_sites + 1) // 2):
+        sites.append(LatticeSite(column, 0, 0))
+        sites.append(LatticeSite(column + 2, 0, 0))
+        column += 6
+    return SidbLayout(sites[:num_sites])
+
+
+def _time(function, repeats: int) -> tuple[float, object]:
+    function()  # warm-up: geometry cache, allocator, imports
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def measure_point(
+    num_sites: int,
+    schedule: SimAnnealParameters | None = None,
+    repeats: int = 3,
+    workers: int = 2,
+) -> dict:
+    """Time serial vs batch vs parallel annealing at one system size.
+
+    Returns a record with per-mode best-of-``repeats`` wall times, the
+    ground energies each mode found and the batch-over-serial speedup.
+    All modes share the seed/instances/sweeps budget; the parallel mode
+    runs the batch kernel split over ``workers`` processes.
+    """
+    schedule = schedule or SimAnnealParameters(
+        instances=16, sweeps=200, seed=7
+    )
+    layout = scaling_layout(num_sites)
+
+    serial_schedule = dataclasses.replace(schedule, mode="serial")
+    batch_schedule = dataclasses.replace(schedule, mode="batch")
+
+    serial_time, serial_result = _time(
+        lambda: SimAnneal(layout, schedule=serial_schedule).run(), repeats
+    )
+    batch_time, batch_result = _time(
+        lambda: SimAnneal(layout, schedule=batch_schedule).run(), repeats
+    )
+    parallel_time, parallel_result = _time(
+        lambda: parallel_simanneal(
+            layout, schedule=batch_schedule, workers=workers
+        ),
+        repeats,
+    )
+    return {
+        "num_sites": num_sites,
+        "instances": schedule.instances,
+        "sweeps": schedule.sweeps,
+        "seed": schedule.seed,
+        "workers": workers,
+        "serial_seconds": serial_time,
+        "batch_seconds": batch_time,
+        "parallel_seconds": parallel_time,
+        "speedup_batch_over_serial": serial_time / batch_time,
+        "serial_energy": serial_result.ground_energy,
+        "batch_energy": batch_result.ground_energy,
+        "parallel_energy": parallel_result.ground_energy,
+        "parallel_matches_batch": bool(
+            parallel_result.ground_energy == batch_result.ground_energy
+            and len(parallel_result.ground_states)
+            == len(batch_result.ground_states)
+        ),
+    }
+
+
+def run_scaling_benchmark(
+    sizes: tuple[int, ...] = SCALING_SIZES,
+    schedule: SimAnnealParameters | None = None,
+    repeats: int = 3,
+    workers: int = 2,
+) -> dict:
+    """The full scaling sweep; returns the ``BENCH_simanneal`` record."""
+    points = [
+        measure_point(n, schedule=schedule, repeats=repeats, workers=workers)
+        for n in sizes
+    ]
+    return {
+        "benchmark": "simanneal_scaling",
+        "description": (
+            "Wall time of SimAnneal ground-state search on BDL wires: "
+            "legacy per-move serial loop vs vectorized batch kernel vs "
+            "process-parallel batch (same instances/sweeps budget)."
+        ),
+        "points": points,
+    }
+
+
+def write_benchmark_json(record: dict, path: str | Path) -> Path:
+    """Write the scaling record where the harness expects it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path

@@ -3,9 +3,26 @@
 The engine of [Ng TNANO'20] used by the paper to validate the Bestagon
 gates (Figures 1c and 5): multiple annealing instances explore the
 occupation space with single-electron add/remove and hop moves under a
-geometric cooling schedule; the best *population-stable* configuration
-encountered is reported.  The exhaustive engine certifies its results on
-small systems (see the cross-validation tests).
+geometric cooling schedule; the best *population-stable* configurations
+encountered are reported.  The exhaustive engine certifies its results
+on small systems (see the cross-validation tests).
+
+Two execution modes share one schedule and one seeding discipline:
+
+* ``mode="batch"`` (default) runs all instances in lockstep as NumPy
+  arrays -- occupation matrix ``(instances, n)``, incremental
+  local-potential matrix, vectorized Metropolis accept/reject -- which
+  is the per-move-loop engine's order-of-magnitude-faster replacement
+  (QuickSim / "The Need for Speed" style).
+* ``mode="serial"`` is the original pure-Python per-move loop, kept as
+  the benchmark baseline.
+
+Per-instance random streams are derived with
+``numpy.random.SeedSequence(seed).spawn(instances)``, so instance *k*'s
+trajectory depends only on ``(seed, k)`` -- never on which other
+instances run in the same process.  That makes results reproducible and
+identical whether the instances run serially, in one batch, or split
+across worker processes (:func:`repro.sidb.parallel.parallel_simanneal`).
 """
 
 from __future__ import annotations
@@ -19,8 +36,25 @@ import numpy as np
 from repro.sidb.charge import SidbLayout
 from repro.sidb.energy import EnergyModel
 from repro.sidb.exhaustive import GroundStateResult
-from repro.sidb.stability import is_metastable, is_population_stable
+from repro.sidb.stability import (
+    POPULATION_TOLERANCE,
+    is_metastable,
+    is_population_stable,
+)
 from repro.tech.parameters import SiDBSimulationParameters
+
+#: Configurations within this energy window of the minimum are reported
+#: as degenerate ground states (matches the exhaustive engine).
+ENERGY_TOLERANCE = 1e-9
+
+#: Vectorized resolution rounds per sweep in the batch engine.  Each
+#: round finalizes every instance's proposal prefix up to (and
+#: including) its first Metropolis-accepted move; rejected proposals
+#: are final the moment they are evaluated.  Cold sweeps resolve in one
+#: or two rounds; hot sweeps are cut off after this many accepted moves
+#: per instance, which bounds the kernel's wall time without hurting
+#: solution quality (the exhaustive cross-validation gates this).
+MAX_SPECULATIVE_PASSES = 6
 
 
 @dataclass
@@ -33,6 +67,7 @@ class SimAnnealParameters:
     final_temperature: float = 0.002
     hop_fraction: float = 0.6
     seed: int = 0
+    mode: str = "batch"  # "batch" (vectorized) or "serial" (per-move loop)
 
 
 class SimAnneal:
@@ -43,13 +78,66 @@ class SimAnneal:
         layout: SidbLayout,
         parameters: SiDBSimulationParameters | None = None,
         schedule: SimAnnealParameters | None = None,
+        model: EnergyModel | None = None,
     ) -> None:
         self.layout = layout
-        self.model = EnergyModel(layout, parameters)
+        self.model = model or EnergyModel(layout, parameters)
         self.schedule = schedule or SimAnnealParameters()
+        if self.schedule.mode not in ("batch", "serial"):
+            raise ValueError(f"unknown SimAnneal mode {self.schedule.mode!r}")
 
-    def run(self) -> GroundStateResult:
-        """Anneal; returns the best stable configuration(s) found."""
+    # --- public API -------------------------------------------------------
+    def run(self, instance_subset: list[int] | None = None) -> GroundStateResult:
+        """Anneal; returns the best stable configuration(s) found.
+
+        ``instance_subset`` restricts the run to the given instance
+        indices (used by the process-parallel driver); each instance's
+        trajectory is independent of the subset it runs in.
+        """
+        finalists = self.run_instances(instance_subset)
+        return self.collect_result(finalists)
+
+    def run_instances(
+        self, instance_subset: list[int] | None = None
+    ) -> list[tuple[np.ndarray, float]]:
+        """Run annealing instances; returns (occupation, energy) finalists.
+
+        Every finalist is greedy-descended to the bottom of its basin
+        and carries an *exactly recomputed* energy (no accumulated
+        floating-point drift).
+        """
+        n = len(self.layout)
+        indices = (
+            list(range(self.schedule.instances))
+            if instance_subset is None
+            else sorted(instance_subset)
+        )
+        if n == 0 or not indices:
+            return []
+        if self.schedule.mode == "serial":
+            candidates = self._run_serial(indices)
+        else:
+            candidates = self._run_batch(indices)
+
+        finalists: list[tuple[np.ndarray, float]] = []
+        for candidate in candidates:
+            descended = self._greedy_descent(candidate)
+            if not is_population_stable(self.model, descended):
+                continue
+            finalists.append((descended, self.model.energy(descended)))
+        return finalists
+
+    def collect_result(
+        self, finalists: list[tuple[np.ndarray, float]]
+    ) -> GroundStateResult:
+        """Merge finalists into a result with degenerate-state collection.
+
+        All distinct metastable configurations within
+        :data:`ENERGY_TOLERANCE` of the best energy are reported, so
+        degeneracy-agreement checks fire for this engine exactly as they
+        do for the exhaustive one.  Deterministic regardless of the
+        order finalists arrive in (serial / batch / process-parallel).
+        """
         n = len(self.layout)
         result = GroundStateResult(self.layout, total_count=1 << n)
         if n == 0:
@@ -57,32 +145,208 @@ class SimAnneal:
             result.ground_energy = 0.0
             result.valid_count = 1
             return result
+        if not finalists:
+            return result
 
-        best_energy = float("inf")
-        best: np.ndarray | None = None
-        rng = random.Random(self.schedule.seed)
-
-        for instance in range(self.schedule.instances):
-            candidate, energy = self._run_instance(rng)
-            if candidate is None:
+        best_energy = min(energy for _, energy in finalists)
+        tied: dict[bytes, np.ndarray] = {}
+        for occupation, energy in finalists:
+            if energy > best_energy + ENERGY_TOLERANCE:
                 continue
-            if energy < best_energy - 1e-9:
-                best_energy = energy
-                best = candidate
-
-        if best is not None:
-            # Greedy descent to the bottom of the basin, then collect.
-            best = self._greedy_descent(best)
-            best_energy = self.model.energy(best)
-            result.ground_states = [best]
-            result.ground_energy = best_energy
-            result.valid_count = 1
+            key = occupation.astype(np.int8).tobytes()
+            if key in tied:
+                continue
+            if not is_metastable(self.model, occupation):
+                continue
+            tied[key] = occupation.astype(np.int8)
+        if not tied:
+            return result
+        result.ground_states = [tied[key] for key in sorted(tied)]
+        result.ground_energy = min(
+            self.model.energy(state) for state in result.ground_states
+        )
+        result.valid_count = len(result.ground_states)
         return result
 
-    # --- single annealing instance --------------------------------------
-    def _run_instance(
-        self, rng: random.Random
-    ) -> tuple[np.ndarray | None, float]:
+    def instance_seeds(self) -> list[np.random.SeedSequence]:
+        """Independent per-instance seed sequences (order-invariant)."""
+        return np.random.SeedSequence(self.schedule.seed).spawn(
+            self.schedule.instances
+        )
+
+    # --- vectorized lockstep batch ----------------------------------------
+    def _run_batch(self, indices: list[int]) -> list[np.ndarray]:
+        """All instances advance together as (instances, n) arrays.
+
+        The kernel is *speculative*: a whole sweep's worth of proposals
+        (one per site, per instance) is evaluated against the current
+        state in a handful of vectorized passes.  Rejected proposals are
+        final on first evaluation (the state they saw is the state the
+        sequential chain would have seen); after each accepted move only
+        the instance's remaining proposals are re-evaluated.  Because
+        annealing is rejection-dominated once the system cools, most
+        sweeps resolve in one or two passes instead of ``n`` sequential
+        steps -- this is where the order-of-magnitude win over the
+        per-move loop comes from.
+
+        Moves use an augmented "reservoir" site ``n``: every proposal
+        draws a site pair ``(a, b)`` and becomes a hop ``a -> b`` when
+        ``a`` is occupied and ``b`` empty, an electron *removal* at
+        ``a`` when both are occupied, and an electron *addition* at
+        ``a`` when ``a`` is empty -- i.e. an electron moves between two
+        endpoints ``s -> t`` where either endpoint may be the reservoir.
+        All moves then share one delta formula ``w[t] - w[s] - M[s, t]``
+        (``w`` = local potential + mu on real sites, 0 on the
+        reservoir) and one update path.
+        """
+        model = self.model
+        n = model.num_sites
+        mu = model.parameters.mu_minus
+        matrix = model.potential_matrix
+        schedule = self.schedule
+        seeds = self.instance_seeds()
+        generators = [np.random.default_rng(seeds[k]) for k in indices]
+        batch = len(generators)
+        sweeps = schedule.sweeps
+
+        n1 = n + 1
+        # Augmented interaction matrix: zero row/column for the reservoir.
+        matrix_aug = np.zeros((n1, n1))
+        matrix_aug[:n, :n] = matrix
+        row_base = (np.arange(batch) * n1)[:, None]
+        slot_index = np.arange(n)[None, :]
+
+        # State: occupation and w = local potential + mu, both with the
+        # extra reservoir column (occupation there is scratch, w is 0 --
+        # preserved by updates since the reservoir row of M is zero).
+        occupation = np.zeros((batch, n1), dtype=bool)
+        occupation[:, :n] = np.stack(
+            [(g.random(n) < 0.5) for g in generators]
+        )
+        w = np.zeros((batch, n1))
+        w[:, :n] = occupation[:, :n].astype(float) @ matrix + mu
+
+        # All random draws for the whole run, one call per instance:
+        # (sweeps, n) blocks of (site a, site b, Metropolis uniform).
+        draws = np.stack([g.random((sweeps, n, 3)) for g in generators])
+        site_a_all = np.minimum((draws[..., 0] * n).astype(np.intp), n - 1)
+        site_b_all = np.minimum((draws[..., 1] * n).astype(np.intp), n - 1)
+        # Metropolis in threshold form: accept u < exp(-delta/T) is
+        # exactly delta < -T*ln(u) -- one comparison, no per-pass exp.
+        # u == 0.0 maps to +inf (always accept), same as the exp form.
+        with np.errstate(divide="ignore"):
+            log_accept_all = -np.log(draws[..., 2])
+        flat_a_all = row_base[:, None, :] + site_a_all
+        flat_b_all = row_base[:, None, :] + site_b_all
+        # The hop interaction M[a, b] only matters when the move is an
+        # a->b hop; for add/remove one endpoint is the zero reservoir
+        # row.  It is state-independent, so gather it up front.
+        hop_interaction_all = matrix.ravel().take(
+            site_a_all * n + site_b_all
+        )
+
+        best = np.zeros((batch, n), dtype=bool)
+        best_energy = np.full(batch, np.inf)
+        have_best = np.zeros(batch, dtype=bool)
+
+        temperature = schedule.initial_temperature
+        cooling = (
+            schedule.final_temperature / schedule.initial_temperature
+        ) ** (1.0 / max(1, sweeps - 1))
+
+        for sweep in range(sweeps):
+            site_a = site_a_all[:, sweep]
+            site_b = site_b_all[:, sweep]
+            flat_a = flat_a_all[:, sweep]
+            flat_b = flat_b_all[:, sweep]
+            hop_interaction = hop_interaction_all[:, sweep]
+            threshold = temperature * log_accept_all[:, sweep]
+
+            # Speculative resolution: `consumed` counts how many of the
+            # sweep's proposals each instance has finalized.  An
+            # instance whose round produced no accepted move is frozen
+            # for the rest of the sweep (its remaining proposals keep
+            # evaluating to the same rejection), so no explicit
+            # bookkeeping is needed for it.
+            consumed = np.zeros(batch, dtype=np.intp)
+            for _ in range(MAX_SPECULATIVE_PASSES):
+                occ_a = occupation.take(flat_a)
+                occ_b = occupation.take(flat_b)
+                source = np.where(occ_a, site_a, n)
+                target = np.where(
+                    occ_a, np.where(occ_b, n, site_b), site_a
+                )
+                is_hop = occ_a & ~occ_b
+                delta = (
+                    w.take(row_base + target)
+                    - w.take(row_base + source)
+                    - is_hop * hop_interaction
+                )
+                accept = (delta < threshold) & (
+                    slot_index >= consumed[:, None]
+                )
+                moving_rows = np.flatnonzero(accept.any(axis=1))
+                if moving_rows.size == 0:
+                    break
+                slots = accept[moving_rows].argmax(axis=1)
+                move_source = source[moving_rows, slots]
+                move_target = target[moving_rows, slots]
+                occupation[moving_rows, move_source] = False
+                occupation[moving_rows, move_target] = True
+                w[moving_rows] += (
+                    matrix_aug[move_target] - matrix_aug[move_source]
+                )
+                # Everything before the accepted slot was rejected under
+                # the very state it would have seen sequentially; slots
+                # after it are re-evaluated next round.
+                consumed[moving_rows] = slots + 1
+
+            # End of sweep: refresh w exactly (cancels any incremental
+            # drift), test population stability of every instance at
+            # once and record exact best energies.
+            occ_real = occupation[:, :n]
+            potentials = occ_real.astype(float) @ matrix
+            w[:, :n] = potentials + mu
+            slack = w[:, :n]
+            occupied_mask = occ_real
+            stable = ~(
+                (occupied_mask & (slack > POPULATION_TOLERANCE))
+                | (~occupied_mask & (slack < -POPULATION_TOLERANCE))
+            ).any(axis=1)
+            if stable.any():
+                stable_rows = np.flatnonzero(stable)
+                energies = model.batched_energies(occ_real[stable_rows])
+                better = energies < best_energy[stable_rows] - 1e-12
+                if better.any():
+                    improved = stable_rows[better]
+                    best[improved] = occ_real[improved]
+                    best_energy[improved] = energies[better]
+                    have_best[improved] = True
+            temperature *= cooling
+
+        candidates = []
+        for row in range(batch):
+            # Instances that never visited a stable state fall back to
+            # greedy-repairing their final configuration.
+            candidates.append(
+                best[row].astype(np.int8)
+                if have_best[row]
+                else occupation[row, :n].astype(np.int8)
+            )
+        return candidates
+
+    # --- legacy per-move loop (benchmark baseline) ------------------------
+    def _run_serial(self, indices: list[int]) -> list[np.ndarray]:
+        seeds = self.instance_seeds()
+        candidates = []
+        for k in indices:
+            rng = random.Random(int(seeds[k].generate_state(1)[0]))
+            candidate = self._run_instance(rng)
+            if candidate is not None:
+                candidates.append(candidate)
+        return candidates
+
+    def _run_instance(self, rng: random.Random) -> np.ndarray | None:
         model = self.model
         n = model.num_sites
         mu = model.parameters.mu_minus
@@ -92,7 +356,6 @@ class SimAnneal:
             [1 if rng.random() < 0.5 else 0 for _ in range(n)], dtype=np.int8
         )
         potentials = model.local_potentials(occupation)
-        energy = model.energy(occupation)
 
         best: np.ndarray | None = None
         best_energy = float("inf")
@@ -105,26 +368,25 @@ class SimAnneal:
         for _ in range(self.schedule.sweeps):
             for _ in range(n):
                 if rng.random() < self.schedule.hop_fraction:
-                    delta = self._try_hop(
+                    self._try_hop(
                         rng, occupation, potentials, matrix, temperature
                     )
                 else:
-                    delta = self._try_flip(
+                    self._try_flip(
                         rng, occupation, potentials, matrix, mu, temperature
                     )
-                energy += delta
             if is_population_stable(model, occupation):
+                # Exact recomputation: the incremental deltas the moves
+                # accept are only used for Metropolis decisions, never
+                # accumulated into a drifting running energy.
+                energy = model.energy(occupation)
                 if energy < best_energy - 1e-12:
                     best_energy = energy
                     best = occupation.copy()
             temperature *= cooling
         if best is None:
-            # Final chance: greedy-repair the last configuration.
-            repaired = self._greedy_descent(occupation)
-            if is_population_stable(model, repaired):
-                return repaired, self.model.energy(repaired)
-            return None, float("inf")
-        return best, best_energy
+            return occupation
+        return best
 
     def _try_flip(
         self,
@@ -134,7 +396,7 @@ class SimAnneal:
         matrix: np.ndarray,
         mu: float,
         temperature: float,
-    ) -> float:
+    ) -> None:
         site = rng.randrange(len(occupation))
         if occupation[site]:
             delta = -(potentials[site] + mu)
@@ -147,8 +409,6 @@ class SimAnneal:
             else:
                 occupation[site] = 1
                 potentials += matrix[site]
-            return float(delta)
-        return 0.0
 
     def _try_hop(
         self,
@@ -157,11 +417,11 @@ class SimAnneal:
         potentials: np.ndarray,
         matrix: np.ndarray,
         temperature: float,
-    ) -> float:
+    ) -> None:
         occupied = np.flatnonzero(occupation)
         empty = np.flatnonzero(occupation == 0)
         if len(occupied) == 0 or len(empty) == 0:
-            return 0.0
+            return
         source = int(occupied[rng.randrange(len(occupied))])
         target = int(empty[rng.randrange(len(empty))])
         delta = (
@@ -172,8 +432,6 @@ class SimAnneal:
             occupation[target] = 1
             potentials -= matrix[source]
             potentials += matrix[target]
-            return float(delta)
-        return 0.0
 
     # --- deterministic polishing ------------------------------------------
     def _greedy_descent(self, occupation: np.ndarray) -> np.ndarray:
