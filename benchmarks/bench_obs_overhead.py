@@ -1,0 +1,50 @@
+"""Observability overhead: the full ``par_check`` flow, three ways.
+
+Times the identical flow with the :mod:`repro.obs` entry points stubbed
+out (baseline), with the real no-op fast path (recording disabled) and
+with full trace recording, then asserts the disabled-mode overhead
+stays below 2% -- the honesty gate for leaving instrumentation in the
+flow's hot paths.  Writes ``benchmarks/artifacts/BENCH_obs.json``.
+"""
+
+from pathlib import Path
+
+from conftest import print_header
+from repro.obs.perfbench import (
+    DISABLED_OVERHEAD_LIMIT,
+    run_overhead_benchmark,
+    write_benchmark_json,
+)
+
+ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_obs.json"
+
+
+def test_obs_overhead(benchmark):
+    record = benchmark.pedantic(
+        run_overhead_benchmark, rounds=1, iterations=1
+    )
+    write_benchmark_json(record, ARTIFACT)
+
+    print_header(
+        f"Observability overhead on the {record['benchmark']} flow "
+        f"(min of {record['repeats']} repeats)"
+    )
+    print(f"  stubbed out : {record['stub_seconds'] * 1000:8.1f} ms")
+    print(
+        f"  disabled    : {record['disabled_seconds'] * 1000:8.1f} ms "
+        f"({record['disabled_overhead'] * 100:+.2f}%)"
+    )
+    print(
+        f"  enabled     : {record['enabled_seconds'] * 1000:8.1f} ms "
+        f"({record['enabled_overhead'] * 100:+.2f}%, "
+        f"{record['trace_spans']} spans)"
+    )
+    print(f"  artifact: {ARTIFACT}")
+
+    assert record["trace_spans"] > 10, "enabled run recorded no trace"
+    assert record["disabled_overhead"] < DISABLED_OVERHEAD_LIMIT, (
+        f"disabled-mode observability costs "
+        f"{record['disabled_overhead'] * 100:.2f}% "
+        f"(limit {DISABLED_OVERHEAD_LIMIT * 100:.0f}%); "
+        "the no-op fast path regressed"
+    )

@@ -5,13 +5,16 @@ Runs the SimAnneal scaling benchmark with a small budget, writes
 ``benchmarks/artifacts/BENCH_simanneal.json`` and exits non-zero when
 the vectorized batch kernel fails to beat the legacy serial loop at
 24 sites -- the canary for performance regressions in the annealer.
+Also measures the observability layer's overhead on the ``par_check``
+flow (``benchmarks/artifacts/BENCH_obs.json``) and fails when the
+disabled-mode no-op path costs more than 2% of the flow.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_perf.py [--full]
 
-``--full`` runs the complete budget of the pytest benchmark (slower,
-same artifact shape).
+``--full`` runs the complete budget of the pytest benchmarks (slower,
+same artifact shapes).
 """
 
 from __future__ import annotations
@@ -23,6 +26,11 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.obs.perfbench import (  # noqa: E402
+    DISABLED_OVERHEAD_LIMIT,
+    run_overhead_benchmark,
+    write_benchmark_json as write_obs_json,
+)
 from repro.sidb.perfbench import (  # noqa: E402
     GATE_SIZE,
     run_scaling_benchmark,
@@ -31,6 +39,7 @@ from repro.sidb.perfbench import (  # noqa: E402
 from repro.sidb.simanneal import SimAnnealParameters  # noqa: E402
 
 ARTIFACT = REPO / "benchmarks" / "artifacts" / "BENCH_simanneal.json"
+OBS_ARTIFACT = REPO / "benchmarks" / "artifacts" / "BENCH_obs.json"
 
 
 def main() -> int:
@@ -74,6 +83,24 @@ def main() -> int:
                 f"sites ({point['speedup_batch_over_serial']:.2f}x)"
             )
     print(f"  artifact: {path}")
+
+    obs_record = run_overhead_benchmark()
+    obs_path = write_obs_json(obs_record, OBS_ARTIFACT)
+    print(
+        f"  obs overhead on {obs_record['benchmark']}: "
+        f"stub {obs_record['stub_seconds']:.3f}s  "
+        f"disabled {obs_record['disabled_seconds']:.3f}s "
+        f"({obs_record['disabled_overhead'] * 100:+.2f}%)  "
+        f"enabled {obs_record['enabled_seconds']:.3f}s "
+        f"({obs_record['enabled_overhead'] * 100:+.2f}%)"
+    )
+    print(f"  artifact: {obs_path}")
+    if obs_record["disabled_overhead"] >= DISABLED_OVERHEAD_LIMIT:
+        failures.append(
+            f"disabled-mode observability overhead "
+            f"{obs_record['disabled_overhead'] * 100:.2f}% exceeds "
+            f"{DISABLED_OVERHEAD_LIMIT * 100:.0f}%"
+        )
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -20,6 +20,8 @@ from repro.flow import (
     FlowConfiguration,
     design_sidb_circuit,
     format_table1_row,
+    trace_json,
+    trace_report,
 )
 from repro.gatelib import BestagonLibrary
 from repro.layout.render import layout_to_ascii, layout_to_svg
@@ -51,6 +53,13 @@ def cmd_synth(args: argparse.Namespace) -> int:
     if args.ascii:
         print()
         print(layout_to_ascii(result.layout))
+    if args.trace:
+        print()
+        print(trace_report(result))
+    if args.trace_json:
+        with open(args.trace_json, "w", encoding="utf-8") as handle:
+            handle.write(trace_json(result))
+        print(f"wrote {args.trace_json}")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(result.to_sqd())
@@ -128,6 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--svg", help="write SVG rendering")
     synth.add_argument("--ascii", action="store_true",
                        help="print ASCII layout")
+    synth.add_argument("--trace", action="store_true",
+                       help="print the observability trace tree")
+    synth.add_argument("--trace-json", metavar="PATH",
+                       help="write the observability trace as JSON")
     synth.set_defaults(handler=cmd_synth)
 
     bench = sub.add_parser("bench", help="Table-1 style rows")

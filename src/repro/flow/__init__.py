@@ -1,12 +1,25 @@
 """The complete 8-step physical design flow of the paper."""
 
-from repro.flow.design_flow import DesignResult, FlowConfiguration, design_sidb_circuit
-from repro.flow.reporting import format_table1_row, TABLE1_REFERENCE
+from repro.flow.design_flow import (
+    DesignResult,
+    FLOW_STEP_SPANS,
+    FlowConfiguration,
+    design_sidb_circuit,
+)
+from repro.flow.reporting import (
+    TABLE1_REFERENCE,
+    format_table1_row,
+    trace_json,
+    trace_report,
+)
 
 __all__ = [
     "DesignResult",
+    "FLOW_STEP_SPANS",
     "FlowConfiguration",
     "design_sidb_circuit",
     "format_table1_row",
+    "trace_json",
+    "trace_report",
     "TABLE1_REFERENCE",
 ]

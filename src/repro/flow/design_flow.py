@@ -16,6 +16,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.gatelib.apply import apply_library
 from repro.gatelib.library import BestagonLibrary
 from repro.layout.clocking import ClockingScheme, columnar_rows
@@ -46,6 +47,20 @@ from repro.verification.equivalence import (
 )
 
 
+#: Span names of the paper's eight flow steps, in order; every
+#: ``DesignResult.trace`` contains exactly one span per entry.
+FLOW_STEP_SPANS = (
+    "flow.parse",
+    "flow.rewrite",
+    "flow.map",
+    "flow.place_route",
+    "flow.verify",
+    "flow.supertiles",
+    "flow.library",
+    "flow.sqd",
+)
+
+
 @dataclass
 class FlowConfiguration:
     """Knobs of the design flow."""
@@ -54,6 +69,7 @@ class FlowConfiguration:
     clocking: ClockingScheme = field(default_factory=columnar_rows)
     rewrite: bool = True
     verify: bool = True
+    verify_conflict_limit: int | None = None
     exact_conflict_limit: int | None = 400_000
     exact_max_width: int = 16
     exact_extra_rows: int = 2
@@ -62,6 +78,10 @@ class FlowConfiguration:
     database: NpnDatabase | None = None
     library: BestagonLibrary | None = None
     design_rules: DesignRules = field(default_factory=DesignRules)
+    #: Record an observability trace for this run (force-enables the
+    #: :mod:`repro.obs` recorder for the duration).  With ``False`` the
+    #: flow still records when the recorder is enabled globally.
+    trace: bool = True
 
 
 @dataclass
@@ -79,6 +99,10 @@ class DesignResult:
     drc_violations: list[DesignRuleViolation]
     engine_used: str
     runtime_seconds: float
+    sqd: str = ""
+    #: The finished observability trace of this run (``None`` when the
+    #: flow ran with ``trace=False`` and the recorder disabled).
+    trace: obs.Span | None = None
 
     @property
     def width(self) -> int:
@@ -102,14 +126,17 @@ class DesignResult:
 
     def to_sqd(self) -> str:
         """Step 8: the SiQAD design file of the layout."""
-        return write_sqd(self.sidb_layout, self.name)
+        return self.sqd or write_sqd(self.sidb_layout, self.name)
 
     def summary(self) -> str:
-        verified = (
-            "verified"
-            if self.equivalence and self.equivalence.equivalent
-            else "UNVERIFIED"
-        )
+        if self.equivalence is None:
+            verified = "UNVERIFIED"
+        elif self.equivalence.undecided:
+            verified = "UNDECIDED"
+        elif self.equivalence.equivalent:
+            verified = "verified"
+        else:
+            verified = "NOT EQUIVALENT"
         return (
             f"{self.name}: {self.width}x{self.height} = {self.area_tiles} "
             f"tiles, {self.num_sidbs} SiDBs, {self.area_nm2:.2f} nm^2, "
@@ -127,38 +154,77 @@ def design_sidb_circuit(
     config = configuration or FlowConfiguration()
     start = time.time()
 
-    # Step 1: parse.
-    if isinstance(specification, str):
-        xag = parse_verilog(specification, name)
-    else:
-        xag = specification
-    if name is None:
-        name = xag.name
+    with obs.capture(
+        "design_flow", enable=True if config.trace else None
+    ) as captured:
+        # Step 1: parse.
+        with obs.span("flow.parse") as span:
+            if isinstance(specification, str):
+                xag = parse_verilog(specification, name)
+            else:
+                xag = specification
+            if name is None:
+                name = xag.name
+            span.set("name", name)
 
-    # Step 2: cut rewriting with the exact NPN database.
-    database = config.database or NpnDatabase()
-    optimized = cut_rewrite(xag, database) if config.rewrite else xag.cleanup()
+        # Step 2: cut rewriting with the exact NPN database.
+        with obs.span("flow.rewrite") as span:
+            database = config.database or NpnDatabase()
+            optimized = (
+                cut_rewrite(xag, database) if config.rewrite else xag.cleanup()
+            )
+            span.set("enabled", config.rewrite)
+            span.set("gates", optimized.num_gates)
 
-    # Step 3: technology mapping.
-    mapped = map_to_bestagon(optimized)
+        # Step 3: technology mapping.
+        with obs.span("flow.map") as span:
+            mapped = map_to_bestagon(optimized)
+            span.set("nodes", mapped.num_nodes)
 
-    # Step 4: physical design.
-    layout, engine_used = _place_and_route(mapped, config)
+        # Step 4: physical design.
+        with obs.span("flow.place_route") as span:
+            layout, engine_used = _place_and_route(mapped, config)
+            span.set("engine", engine_used)
+            span.set("width", layout.width)
+            span.set("height", layout.height)
 
-    # Step 5: equivalence checking.
-    equivalence = (
-        check_layout_against_network(xag, layout) if config.verify else None
-    )
+        # Step 5: equivalence checking.
+        with obs.span("flow.verify") as span:
+            equivalence = (
+                check_layout_against_network(
+                    xag, layout, config.verify_conflict_limit
+                )
+                if config.verify
+                else None
+            )
+            span.set(
+                "verdict",
+                equivalence.verdict if equivalence else "skipped",
+            )
 
-    # DRC on the gate-level layout.
-    violations = check_layout(layout)
+        # DRC on the gate-level layout.
+        with obs.span("flow.drc") as span:
+            violations = check_layout(layout)
+            span.set("violations", len(violations))
 
-    # Step 6: super-tile merging.
-    supertiles = merge_into_supertiles(layout, config.design_rules)
+        # Step 6: super-tile merging.
+        with obs.span("flow.supertiles"):
+            supertiles = merge_into_supertiles(layout, config.design_rules)
 
-    # Step 7: library application.
-    library = config.library or BestagonLibrary()
-    sidb_layout = apply_library(layout, library)
+        # Step 7: library application.
+        with obs.span("flow.library") as span:
+            library = config.library or BestagonLibrary()
+            sidb_layout = apply_library(layout, library)
+            span.set("sidbs", len(sidb_layout))
+
+        # Step 8: SiQAD design-file generation.
+        with obs.span("flow.sqd") as span:
+            sqd = write_sqd(sidb_layout, name)
+            span.set("bytes", len(sqd))
+
+        if captured.span is not None:
+            captured.span.set("name", name)
+            captured.span.set("engine", engine_used)
 
     return DesignResult(
         name=name,
@@ -172,6 +238,8 @@ def design_sidb_circuit(
         drc_violations=violations,
         engine_used=engine_used,
         runtime_seconds=time.time() - start,
+        sqd=sqd,
+        trace=captured.span,
     )
 
 

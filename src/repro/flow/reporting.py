@@ -1,10 +1,16 @@
-"""Table-1 style reporting: paper reference values and row formatting."""
+"""Table-1 style reporting: paper reference values and row formatting,
+plus rendering of a run's observability trace."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.tech.area import layout_area_nm2
+
+if TYPE_CHECKING:
+    from repro.flow.design_flow import DesignResult
 
 
 @dataclass(frozen=True)
@@ -55,6 +61,37 @@ def reference_area_consistency() -> dict[str, float]:
         name: abs(layout_area_nm2(row.width, row.height) - row.area_nm2)
         for name, row in TABLE1_REFERENCE.items()
     }
+
+
+def trace_report(result: "DesignResult") -> str:
+    """Human-readable span tree of one flow run (``--trace`` output).
+
+    Wall/CPU time per step, per-candidate P&R attempts with their CNF
+    sizes and outcomes, and the SAT counters reported by the solver.
+    """
+    if result.trace is None:
+        return (
+            f"{result.name}: no trace recorded "
+            "(run with FlowConfiguration.trace=True or obs.enable())"
+        )
+    header = (
+        f"trace of {result.name!r}: "
+        f"{result.trace.wall_seconds:.3f} s wall, "
+        f"{result.trace.cpu_seconds:.3f} s cpu, "
+        f"{sum(1 for _ in result.trace.walk())} spans, "
+        f"{result.trace.total('sat.conflicts'):.0f} SAT conflicts"
+    )
+    return header + "\n" + obs.render_tree(result.trace)
+
+
+def trace_json(result: "DesignResult") -> str:
+    """The trace of one flow run as JSON (``--trace-json`` output)."""
+    if result.trace is None:
+        raise ValueError(
+            f"no trace recorded for {result.name!r}; run with "
+            "FlowConfiguration.trace=True or obs.enable()"
+        )
+    return obs.trace_to_json(result.trace)
 
 
 def format_table1_row(

@@ -14,6 +14,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.coords.lattice import LatticeSite
 from repro.networks.truth_table import TruthTable
 from repro.sidb.bdl import BdlPair, read_bdl_pair
@@ -44,6 +45,7 @@ def score_design(
     """(correct patterns, total patterns) for a canvas choice."""
     num_inputs = len(problem.input_stimuli)
     total = 1 << num_inputs
+    obs.add("gatelib.patterns_scored", total)
     correct = 0
     for pattern in range(total):
         try:
@@ -91,40 +93,50 @@ def search_canvas_design(
     rng = random.Random(seed)
     candidates = list(problem.candidate_sites)
     current: frozenset[LatticeSite] = initial or frozenset()
-    best = current
-    best_score = score_design(problem, current)[0]
-    total = 1 << len(problem.input_stimuli)
-    if best_score == total:
-        return best, best_score, total
-    current_score = best_score
+    with obs.span("gatelib.canvas_search") as span:
+        span.set("candidate_sites", len(candidates))
+        span.set("max_dots", max_dots)
+        span.set("iterations", iterations)
+        best = current
+        span.add("evaluations")
+        best_score = score_design(problem, current)[0]
+        total = 1 << len(problem.input_stimuli)
+        if best_score == total:
+            span.set("best_score", f"{best_score}/{total}")
+            return best, best_score, total
+        current_score = best_score
 
-    for _ in range(iterations):
-        move = rng.random()
-        next_canvas = set(current)
-        if (move < 0.45 or not next_canvas) and len(next_canvas) < max_dots:
-            addition = rng.choice(candidates)
-            if addition in next_canvas:
+        for _ in range(iterations):
+            move = rng.random()
+            next_canvas = set(current)
+            if (move < 0.45 or not next_canvas) and len(next_canvas) < max_dots:
+                addition = rng.choice(candidates)
+                if addition in next_canvas:
+                    continue
+                next_canvas.add(addition)
+            elif move < 0.75 and next_canvas:
+                next_canvas.discard(rng.choice(sorted(next_canvas)))
+            elif next_canvas:
+                next_canvas.discard(rng.choice(sorted(next_canvas)))
+                addition = rng.choice(candidates)
+                next_canvas.add(addition)
+            else:
                 continue
-            next_canvas.add(addition)
-        elif move < 0.75 and next_canvas:
-            next_canvas.discard(rng.choice(sorted(next_canvas)))
-        elif next_canvas:
-            next_canvas.discard(rng.choice(sorted(next_canvas)))
-            addition = rng.choice(candidates)
-            next_canvas.add(addition)
-        else:
-            continue
-        frozen = frozenset(next_canvas)
-        score = score_design(problem, frozen)[0]
-        # Greedy with sideways moves.
-        if score >= current_score:
-            current = frozen
-            current_score = score
-            if score > best_score:
-                best = frozen
-                best_score = score
-                if best_score == total:
-                    return best, best_score, total
-    if best_score == 0:
-        return None
-    return best, best_score, total
+            frozen = frozenset(next_canvas)
+            span.add("evaluations")
+            score = score_design(problem, frozen)[0]
+            # Greedy with sideways moves.
+            if score >= current_score:
+                current = frozen
+                current_score = score
+                if score > best_score:
+                    span.add("improvements")
+                    best = frozen
+                    best_score = score
+                    if best_score == total:
+                        span.set("best_score", f"{best_score}/{total}")
+                        return best, best_score, total
+        span.set("best_score", f"{best_score}/{total}")
+        if best_score == 0:
+            return None
+        return best, best_score, total

@@ -1,0 +1,186 @@
+"""``repro.obs`` -- dependency-free tracing and metrics for the flow.
+
+fiction prints per-step statistics and SiQAD exposes per-engine
+telemetry; this package is our equivalent substrate.  Instrumented code
+opens hierarchical :class:`~repro.obs.core.Span` regions (wall *and*
+CPU time) and reports named counters and gauges into the innermost open
+span::
+
+    from repro import obs
+
+    with obs.span("exact.candidate") as sp:
+        sp.set("width", 4)
+        sp.add("sat.conflicts", solver.conflicts)
+
+Recording is **off by default**: every entry point returns after one
+attribute check (``obs.span`` hands back a shared no-op context
+manager, ``obs.add``/``obs.gauge`` return immediately), so leaving the
+instrumentation in hot paths is free -- ``benchmarks/
+bench_obs_overhead.py`` gates the disabled-mode overhead below 2% of
+the whole flow.  :func:`capture` scopes recording to one region (the
+design flow uses it to attach a finished trace to its
+``DesignResult``); :func:`render_tree` and :func:`trace_to_json`
+export a trace for humans and machines respectively.
+"""
+
+from __future__ import annotations
+
+from repro.obs.core import NULL_SPAN, NullSpan, Recorder, Span
+from repro.obs.render import render_tree, trace_from_json, trace_to_json
+
+__all__ = [
+    "Span",
+    "NullSpan",
+    "Recorder",
+    "add",
+    "capture",
+    "current",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "render_tree",
+    "reset",
+    "span",
+    "trace_from_json",
+    "trace_to_json",
+]
+
+#: The process-wide recorder behind the module-level API.
+_recorder = Recorder()
+
+
+def enable() -> None:
+    """Turn recording on (process-wide)."""
+    _recorder.enabled = True
+
+
+def disable() -> None:
+    """Turn recording off; already-captured traces stay intact."""
+    _recorder.enabled = False
+
+
+def enabled() -> bool:
+    """Whether spans and counters are currently recorded."""
+    return _recorder.enabled
+
+
+def reset() -> None:
+    """Drop all recorded spans and counters (keeps the enabled flag)."""
+    _recorder.reset()
+
+
+def recorder() -> Recorder:
+    """The process-wide recorder (tests and advanced callers)."""
+    return _recorder
+
+
+class _SpanHandle:
+    """Context manager that closes its span on exit."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, span: Span) -> None:
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        _recorder.end(self._span)
+
+
+class _NoopHandle:
+    """Shared, allocation-free handle returned while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NOOP = _NoopHandle()
+
+
+def span(name: str, **attributes: object):
+    """Open a child span of the innermost open span (or a new root).
+
+    Returns a context manager yielding the :class:`Span` -- or, when
+    recording is disabled, a shared no-op handle yielding a
+    :class:`NullSpan` whose ``set``/``add`` do nothing.
+    """
+    if not _recorder.enabled:
+        return _NOOP
+    opened = _recorder.start(name)
+    if attributes:
+        opened.attributes.update(attributes)
+    return _SpanHandle(opened)
+
+
+def add(name: str, value: float = 1.0) -> None:
+    """Accumulate a counter on the innermost open span."""
+    if not _recorder.enabled:
+        return
+    current_span = _recorder.current()
+    if current_span is not None:
+        current_span.add(name, value)
+    else:
+        _recorder.counters[name] = _recorder.counters.get(name, 0.0) + value
+
+
+def gauge(name: str, value: object) -> None:
+    """Set a point-in-time value (attribute) on the innermost open span."""
+    if not _recorder.enabled:
+        return
+    current_span = _recorder.current()
+    if current_span is not None:
+        current_span.set(name, value)
+
+
+def current() -> Span | NullSpan:
+    """The innermost open span (a :class:`NullSpan` when disabled/idle)."""
+    if not _recorder.enabled:
+        return NULL_SPAN
+    return _recorder.current() or NULL_SPAN
+
+
+class capture:
+    """Scope recording to one region and keep its finished root span.
+
+    ``enable=True`` force-enables recording for the duration (restoring
+    the previous state afterwards); ``enable=None`` leaves the global
+    switch untouched (so a globally-enabled session still records);
+    ``enable=False`` force-disables.  The root span is available as
+    ``.span`` (``None`` when nothing was recorded)::
+
+        with obs.capture("design_flow", enable=True) as cap:
+            ...
+        trace = cap.span
+    """
+
+    def __init__(self, name: str, enable: bool | None = None) -> None:
+        self.name = name
+        self._enable = enable
+        self.span: Span | None = None
+        self._previous = False
+
+    def __enter__(self) -> "capture":
+        self._previous = _recorder.enabled
+        if self._enable is not None:
+            _recorder.enabled = self._enable
+        if _recorder.enabled:
+            self.span = _recorder.start(self.name)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.span is not None:
+            _recorder.end(self.span)
+            # The capture owns its trace: detach it from the recorder so
+            # repeated captures (e.g. one per flow run) cannot accumulate
+            # in the process-wide root list.
+            if self.span in _recorder.roots:
+                _recorder.roots.remove(self.span)
+        _recorder.enabled = self._previous

@@ -1,0 +1,148 @@
+"""Spans and the process-wide recorder.
+
+A :class:`Span` is one timed region of the flow -- it carries wall and
+CPU durations, free-form attributes (dimensions, outcomes), accumulating
+counters (conflicts, sweeps, accepted moves) and child spans.  The
+:class:`Recorder` owns the active span stack; it is *disabled* by
+default, and every public entry point in :mod:`repro.obs` bails out on
+a single attribute check before any object is allocated, so
+instrumented code pays (almost) nothing when observability is off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Span:
+    """One named, timed region with attributes, counters and children."""
+
+    name: str
+    attributes: dict[str, object] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    _start_wall: float = field(default=0.0, repr=False, compare=False)
+    _start_cpu: float = field(default=0.0, repr=False, compare=False)
+
+    # --- recording -----------------------------------------------------
+    def set(self, key: str, value: object) -> None:
+        """Set an attribute (dimension / outcome) on this span."""
+        self.attributes[key] = value
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Accumulate a named counter on this span."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    # --- querying ------------------------------------------------------
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` in this subtree (depth-first)."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> list["Span"]:
+        """Every span named ``name`` in this subtree (depth-first)."""
+        return [span for span in self.walk() if span.name == name]
+
+    def total(self, counter: str) -> float:
+        """Sum of a counter over this span and all descendants."""
+        return sum(span.counters.get(counter, 0.0) for span in self.walk())
+
+    # --- (de)serialization ---------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready dictionary (drops the private start marks)."""
+        return {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "attributes": dict(self.attributes),
+            "counters": dict(self.counters),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Span":
+        span = cls(
+            name=str(data["name"]),
+            attributes=dict(data.get("attributes", {})),  # type: ignore[arg-type]
+            counters=dict(data.get("counters", {})),  # type: ignore[arg-type]
+            wall_seconds=float(data.get("wall_seconds", 0.0)),  # type: ignore[arg-type]
+            cpu_seconds=float(data.get("cpu_seconds", 0.0)),  # type: ignore[arg-type]
+        )
+        span.children = [
+            cls.from_dict(child)
+            for child in data.get("children", [])  # type: ignore[union-attr]
+        ]
+        return span
+
+
+class NullSpan:
+    """Inert stand-in yielded by ``obs.span(...)`` when recording is off.
+
+    Swallows every mutation so instrumented code never branches on the
+    recorder state itself.
+    """
+
+    __slots__ = ()
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()
+
+
+class Recorder:
+    """Process-wide span stack; disabled (and allocation-free) by default."""
+
+    __slots__ = ("enabled", "roots", "counters", "_stack")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.roots: list[Span] = []
+        #: Counters reported outside any open span.
+        self.counters: dict[str, float] = {}
+        self._stack: list[Span] = []
+
+    def start(self, name: str) -> Span:
+        span = Span(name)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        span._start_cpu = time.process_time()
+        span._start_wall = time.perf_counter()
+        return span
+
+    def end(self, span: Span) -> None:
+        span.wall_seconds = time.perf_counter() - span._start_wall
+        span.cpu_seconds = time.process_time() - span._start_cpu
+        # Defensive unwinding: pop until (and including) the span, so a
+        # child left open by an exception cannot corrupt the stack.
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def reset(self) -> None:
+        self.roots.clear()
+        self.counters.clear()
+        self._stack.clear()

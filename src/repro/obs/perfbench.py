@@ -1,0 +1,173 @@
+"""Observability overhead measurement on the full design flow.
+
+Times three variants of the identical ``par_check`` flow:
+
+* **stub** -- the :mod:`repro.obs` entry points are swapped for bare
+  no-ops, approximating a build with the instrumentation deleted
+  (the baseline);
+* **disabled** -- the real entry points with recording off, i.e. the
+  shipped default fast path;
+* **enabled** -- full trace recording (``FlowConfiguration.trace=True``).
+
+The contract gated by ``benchmarks/bench_obs_overhead.py`` and
+``scripts/bench_perf.py`` is that *disabled* costs less than
+:data:`DISABLED_OVERHEAD_LIMIT` (2%) over *stub* -- if the no-op fast
+path ever grows allocations or lock traffic, this is the canary that
+trips.  The overheads are medians of per-round paired CPU-time ratios
+(see :func:`run_overhead_benchmark`); the reported per-variant seconds
+are minima over the repeats.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.flow.design_flow import FlowConfiguration, design_sidb_circuit
+from repro.gatelib.library import BestagonLibrary
+from repro.networks import benchmark_verilog
+from repro.obs import _NOOP
+from repro.synthesis.database import NpnDatabase
+
+#: The acceptance benchmark: the paper's largest trindade16 circuit.
+OVERHEAD_BENCHMARK = "par_check"
+
+#: Maximum tolerated flow slowdown with observability disabled.
+DISABLED_OVERHEAD_LIMIT = 0.02
+
+
+def _stub_span(name, **attributes):
+    return _NOOP
+
+
+def _stub_add(name, value=1.0):
+    return None
+
+
+def _stub_gauge(name, value):
+    return None
+
+
+class _stubbed:
+    """Temporarily replace the obs entry points with bare no-ops."""
+
+    def __enter__(self) -> "_stubbed":
+        self._saved = (obs.span, obs.add, obs.gauge)
+        obs.span = _stub_span  # type: ignore[assignment]
+        obs.add = _stub_add  # type: ignore[assignment]
+        obs.gauge = _stub_gauge  # type: ignore[assignment]
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        obs.span, obs.add, obs.gauge = self._saved
+
+
+def run_overhead_benchmark(
+    repeats: int = 5,
+    name: str = OVERHEAD_BENCHMARK,
+    inner_iterations: int = 10,
+) -> dict:
+    """Measure stub/disabled/enabled flow CPU times; returns the record.
+
+    The NPN database and gate library are shared across all runs so the
+    measurement isolates the flow itself.  Three noise defenses keep
+    the 2% gate honest: samples are **CPU** time (scheduler noise on a
+    shared machine dwarfs the effect being measured), each sample runs
+    ``inner_iterations`` back-to-back flows (one warm flow is ~15 ms; a
+    single run would put timer jitter on the same order as the gate),
+    and the overheads are **median of per-round paired ratios** -- all
+    three variants run back-to-back within one round, so a slow stretch
+    of the machine inflates a round's numerator and denominator
+    together and cancels in the ratio, while the median discards the
+    rounds where it didn't.  The variant order still rotates per round
+    so in-process drift (allocator growth, GC pressure) has no
+    preferred victim.
+    """
+    verilog = benchmark_verilog(name)
+    database = NpnDatabase()
+    library = BestagonLibrary()
+
+    def run_flow(trace: bool):
+        configuration = FlowConfiguration(
+            trace=trace, database=database, library=library
+        )
+        return design_sidb_circuit(verilog, name, configuration)
+
+    was_enabled = obs.enabled()
+    obs.disable()
+    times: dict[str, list[float]] = {
+        "stub": [], "disabled": [], "enabled": []
+    }
+    trace_spans = 0
+
+    def measure_stub() -> float:
+        with _stubbed():
+            begin = time.process_time()
+            for _ in range(inner_iterations):
+                run_flow(False)
+            return (time.process_time() - begin) / inner_iterations
+
+    def measure_disabled() -> float:
+        begin = time.process_time()
+        for _ in range(inner_iterations):
+            run_flow(False)
+        return (time.process_time() - begin) / inner_iterations
+
+    def measure_enabled() -> float:
+        nonlocal trace_spans
+        begin = time.process_time()
+        for _ in range(inner_iterations):
+            result = run_flow(True)
+            trace_spans = sum(1 for _ in result.trace.walk())
+        return (time.process_time() - begin) / inner_iterations
+
+    variants = [
+        ("stub", measure_stub),
+        ("disabled", measure_disabled),
+        ("enabled", measure_enabled),
+    ]
+    try:
+        run_flow(False)  # warm-up: NPN cache, imports, allocator
+        for round_index in range(repeats):
+            for offset in range(len(variants)):
+                key, measure = variants[
+                    (round_index + offset) % len(variants)
+                ]
+                gc.collect()
+                times[key].append(measure())
+    finally:
+        if was_enabled:
+            obs.enable()
+
+    disabled_overhead = statistics.median(
+        disabled / stub - 1.0
+        for stub, disabled in zip(times["stub"], times["disabled"])
+    )
+    enabled_overhead = statistics.median(
+        enabled / stub - 1.0
+        for stub, enabled in zip(times["stub"], times["enabled"])
+    )
+    return {
+        "benchmark": name,
+        "repeats": repeats,
+        "stub_seconds": min(times["stub"]),
+        "disabled_seconds": min(times["disabled"]),
+        "enabled_seconds": min(times["enabled"]),
+        "disabled_overhead": disabled_overhead,
+        "enabled_overhead": enabled_overhead,
+        "trace_spans": trace_spans,
+        "disabled_overhead_limit": DISABLED_OVERHEAD_LIMIT,
+        "within_limit": disabled_overhead < DISABLED_OVERHEAD_LIMIT,
+    }
+
+
+def write_benchmark_json(record: dict, path: str | Path) -> Path:
+    """Write the overhead record where the harness expects it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path

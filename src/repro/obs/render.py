@@ -1,0 +1,70 @@
+"""Trace export: human-readable tree rendering and JSON round-trip."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.core import Span
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _format_mapping(mapping: dict[str, object]) -> str:
+    return ", ".join(
+        f"{key}={_format_value(value)}" for key, value in mapping.items()
+    )
+
+
+def render_tree(span: Span, unicode_art: bool = True) -> str:
+    """A fiction/SiQAD-style statistics tree of one trace.
+
+    Each line shows the span name, wall and CPU time, attributes in
+    ``[...]`` and counters in ``{...}``::
+
+        design_flow  wall 2.31 s  cpu 2.30 s
+        |- place_route  wall 1.90 s  cpu 1.90 s
+        |  |- exact.candidate  wall 0.41 s ...  [width=4, height=7]
+    """
+    tee, elbow, pipe, space = (
+        ("├─ ", "└─ ", "│  ", "   ") if unicode_art else ("|- ", "`- ", "|  ", "   ")
+    )
+    lines: list[str] = []
+
+    def emit(node: Span, prefix: str, connector: str, child_prefix: str) -> None:
+        parts = [
+            f"{prefix}{connector}{node.name}",
+            f"wall {node.wall_seconds * 1000.0:.2f} ms",
+            f"cpu {node.cpu_seconds * 1000.0:.2f} ms",
+        ]
+        if node.attributes:
+            parts.append(f"[{_format_mapping(node.attributes)}]")
+        if node.counters:
+            parts.append(f"{{{_format_mapping(node.counters)}}}")
+        lines.append("  ".join(parts))
+        for index, child in enumerate(node.children):
+            last = index == len(node.children) - 1
+            emit(
+                child,
+                prefix + child_prefix,
+                elbow if last else tee,
+                space if last else pipe,
+            )
+
+    emit(span, "", "", "")
+    return "\n".join(lines)
+
+
+def trace_to_json(span: Span, indent: int | None = 2) -> str:
+    """Serialize one trace tree to JSON."""
+    return json.dumps(span.to_dict(), indent=indent, sort_keys=True)
+
+
+def trace_from_json(text: str) -> Span:
+    """Rebuild a trace tree from :func:`trace_to_json` output."""
+    return Span.from_dict(json.loads(text))

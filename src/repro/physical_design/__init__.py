@@ -10,13 +10,22 @@
 """
 
 from repro.physical_design.levelization import levelize, LevelizedNetwork
-from repro.physical_design.exact import ExactPhysicalDesign, PhysicalDesignError
+from repro.physical_design.exact import (
+    CandidateAttempt,
+    ExactPhysicalDesign,
+    PhysicalDesignBudgetError,
+    PhysicalDesignError,
+    PhysicalDesignTimeoutError,
+)
 from repro.physical_design.heuristic import HeuristicPhysicalDesign
 
 __all__ = [
     "levelize",
     "LevelizedNetwork",
+    "CandidateAttempt",
     "ExactPhysicalDesign",
     "HeuristicPhysicalDesign",
+    "PhysicalDesignBudgetError",
     "PhysicalDesignError",
+    "PhysicalDesignTimeoutError",
 ]

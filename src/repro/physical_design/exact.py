@@ -26,8 +26,10 @@ column).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.coords.hexagonal import HexCoord, HexDirection
 from repro.layout.clocking import ClockingScheme, columnar_rows
 from repro.layout.gate_layout import (
@@ -48,11 +50,44 @@ class PhysicalDesignError(RuntimeError):
     """Raised when no layout could be found within the search limits."""
 
 
+class PhysicalDesignTimeoutError(PhysicalDesignError):
+    """The wall-clock ``time_limit_seconds`` ran out mid-search."""
+
+
+class PhysicalDesignBudgetError(PhysicalDesignError):
+    """Every remaining candidate exhausted its conflict budget.
+
+    Distinct from the plain "no layout" outcome: the search proved
+    nothing -- a layout may well exist under a larger
+    ``conflict_limit``.
+    """
+
+
+@dataclass
+class CandidateAttempt:
+    """Per-(W, H)-candidate record of one encoding/solving attempt."""
+
+    width: int
+    height: int
+    sat_variables: int = 0
+    sat_clauses: int = 0
+    sat_conflicts: int = 0
+    outcome: str = ""  # "sat" | "unsat" | "timeout" | "infeasible"
+    seconds: float = 0.0
+
+
 @dataclass
 class ExactStatistics:
-    """Bookkeeping of an exact physical design run."""
+    """Bookkeeping of an exact physical design run.
+
+    ``sat_variables``/``sat_clauses``/``sat_conflicts`` are **totals**
+    over all candidates tried; per-candidate figures live in
+    ``attempts`` (and, when observability is enabled, on one
+    ``exact.candidate`` span each).
+    """
 
     candidates_tried: list[tuple[int, int]] = field(default_factory=list)
+    attempts: list[CandidateAttempt] = field(default_factory=list)
     sat_variables: int = 0
     sat_clauses: int = 0
     sat_conflicts: int = 0
@@ -156,26 +191,48 @@ class ExactPhysicalDesign:
         ]
         candidates.sort(key=lambda wh: (wh[0] * wh[1], wh[1]))
 
-        import time as _time
-
         deadline = (
-            _time.monotonic() + self.time_limit_seconds
+            time.monotonic() + self.time_limit_seconds
             if self.time_limit_seconds is not None
             else None
         )
+        timeouts = 0
         for width, height in candidates:
-            if deadline is not None and _time.monotonic() > deadline:
-                raise PhysicalDesignError(
+            if deadline is not None and time.monotonic() > deadline:
+                raise PhysicalDesignTimeoutError(
                     f"time limit of {self.time_limit_seconds} s exhausted"
                 )
             statistics.candidates_tried.append((width, height))
-            layout = self._attempt(network, width, height, statistics)
+            with obs.span(
+                "exact.candidate", width=width, height=height
+            ) as span:
+                layout = self._attempt(
+                    network, width, height, statistics, deadline, span
+                )
             if layout == "timeout":
-                break
+                # A conflict-limited candidate proves nothing about the
+                # *other* candidates -- larger floor plans are usually
+                # easier, so keep going instead of giving up.  A blown
+                # wall-clock deadline, however, ends the whole search.
+                if deadline is not None and time.monotonic() > deadline:
+                    raise PhysicalDesignTimeoutError(
+                        f"time limit of {self.time_limit_seconds} s "
+                        "exhausted"
+                    )
+                timeouts += 1
+                continue
             if layout is not None:
                 statistics.width = layout.width
                 statistics.height = layout.height
                 return layout
+        if timeouts:
+            raise PhysicalDesignBudgetError(
+                f"conflict budget of {self.conflict_limit} exhausted on "
+                f"{timeouts} of {len(candidates)} candidates; no layout "
+                f"found within width {self.max_width} and "
+                f"{self.extra_rows} extra rows (a larger conflict_limit "
+                "may still succeed)"
+            )
         raise PhysicalDesignError(
             f"no layout within width {self.max_width} and "
             f"{self.extra_rows} extra rows"
@@ -188,31 +245,51 @@ class ExactPhysicalDesign:
         width: int,
         height: int,
         statistics: ExactStatistics,
+        deadline: float | None = None,
+        span: "obs.Span | obs.NullSpan" = obs.NULL_SPAN,
     ) -> GateLevelLayout | str | None:
-        windows = _compute_windows(network, height)
-        if windows is None:
-            return None
-        asap, alap = windows
-        edges = [
-            (fanin, node)
-            for node in network.nodes()
-            for fanin in network.fanins(node)
-        ]
-        problem = _Problem(network, width, height, asap, alap, edges)
-        encoding = _Encoding(problem)
-        cnf = encoding.build()
-        statistics.sat_variables = cnf.num_vars
-        statistics.sat_clauses = cnf.num_clauses
+        attempt = CandidateAttempt(width, height)
+        statistics.attempts.append(attempt)
+        started = time.perf_counter()
+        try:
+            windows = _compute_windows(network, height)
+            if windows is None:
+                attempt.outcome = "infeasible"
+                return None
+            asap, alap = windows
+            edges = [
+                (fanin, node)
+                for node in network.nodes()
+                for fanin in network.fanins(node)
+            ]
+            problem = _Problem(network, width, height, asap, alap, edges)
+            encoding = _Encoding(problem)
+            with obs.span("exact.encode"):
+                cnf = encoding.build()
+            attempt.sat_variables = cnf.num_vars
+            attempt.sat_clauses = cnf.num_clauses
+            statistics.sat_variables += cnf.num_vars
+            statistics.sat_clauses += cnf.num_clauses
+            span.set("sat.variables", cnf.num_vars)
+            span.set("sat.clauses", cnf.num_clauses)
 
-        solver = Solver(cnf)
-        solver.max_conflicts = self.conflict_limit
-        outcome = solver.solve()
-        statistics.sat_conflicts += solver.conflicts
-        if outcome is SolverResult.UNKNOWN:
-            return "timeout"
-        if outcome is SolverResult.UNSAT:
-            return None
-        return self._decode(problem, encoding, solver, statistics)
+            solver = Solver(cnf)
+            solver.max_conflicts = self.conflict_limit
+            solver.deadline = deadline
+            outcome = solver.solve()
+            attempt.sat_conflicts = solver.conflicts
+            statistics.sat_conflicts += solver.conflicts
+            if outcome is SolverResult.UNKNOWN:
+                attempt.outcome = "timeout"
+                return "timeout"
+            if outcome is SolverResult.UNSAT:
+                attempt.outcome = "unsat"
+                return None
+            attempt.outcome = "sat"
+            return self._decode(problem, encoding, solver, statistics)
+        finally:
+            attempt.seconds = time.perf_counter() - started
+            span.set("outcome", attempt.outcome or "error")
 
     # --- decoding ----------------------------------------------------------
     def _decode(

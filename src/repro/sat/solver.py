@@ -16,8 +16,10 @@ from __future__ import annotations
 
 import enum
 import heapq
+import time
 from typing import Iterable, Sequence
 
+from repro import obs
 from repro.sat.cnf import Cnf
 
 
@@ -28,13 +30,19 @@ class SolverResult(enum.Enum):
 
 
 def _luby_simple(i: int) -> int:
-    """Luby sequence via the classic recursive characterization."""
-    k = 1
-    while (1 << k) - 1 < i:
-        k += 1
-    if (1 << k) - 1 == i:
-        return 1 << (k - 1)
-    return _luby_simple(i - (1 << (k - 1)) + 1)
+    """Luby sequence via the classic characterization, iteratively.
+
+    The textbook definition recurses on ``i - 2^(k-1) + 1`` whenever
+    ``i`` is not of the form ``2^k - 1``; unrolled into a loop so deep
+    restart counts can never hit Python's recursion limit.
+    """
+    while True:
+        k = 1
+        while (1 << k) - 1 < i:
+            k += 1
+        if (1 << k) - 1 == i:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
 
 
 _UNASSIGNED = -1
@@ -67,7 +75,13 @@ class Solver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.restarts = 0
+        self.learned = 0
         self.max_conflicts: int | None = None
+        #: Wall-clock deadline (``time.monotonic()`` timestamp); checked
+        #: on entry and at restart boundaries, yielding ``UNKNOWN`` once
+        #: exceeded.  ``None`` disables the check.
+        self.deadline: float | None = None
         if cnf is not None:
             self.add_cnf(cnf)
 
@@ -337,9 +351,38 @@ class Solver:
 
     # --- main search --------------------------------------------------
     def solve(self, assumptions: Sequence[int] = ()) -> SolverResult:
-        """Solve under the given assumption literals (DIMACS convention)."""
+        """Solve under the given assumption literals (DIMACS convention).
+
+        Returns ``UNKNOWN`` when ``max_conflicts`` or ``deadline`` is
+        exhausted before the search concludes.  When observability is
+        enabled, one ``sat.solve`` span reports the decision/
+        propagation/conflict/learnt-clause/restart counters of this
+        call.
+        """
+        if not obs.enabled():
+            return self._search(assumptions)
+        with obs.span("sat.solve") as span:
+            marks = (
+                self.decisions,
+                self.propagations,
+                self.conflicts,
+                self.learned,
+                self.restarts,
+            )
+            result = self._search(assumptions)
+            span.set("result", result.value)
+            span.add("sat.decisions", self.decisions - marks[0])
+            span.add("sat.propagations", self.propagations - marks[1])
+            span.add("sat.conflicts", self.conflicts - marks[2])
+            span.add("sat.learned_clauses", self.learned - marks[3])
+            span.add("sat.restarts", self.restarts - marks[4])
+            return result
+
+    def _search(self, assumptions: Sequence[int] = ()) -> SolverResult:
         if not self._ok:
             return SolverResult.UNSAT
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            return SolverResult.UNKNOWN
         for dimacs in assumptions:
             self._ensure_var(abs(dimacs))
         assumption_lits = [
@@ -360,6 +403,7 @@ class Solver:
                     self._backtrack_to_root()
                     return SolverResult.UNSAT
                 learnt, back_level = self._analyze(conflict)
+                self.learned += 1
                 self._backtrack(max(back_level, 0))
                 if len(learnt) == 1:
                     if not self._enqueue(learnt[0], None):
@@ -374,11 +418,19 @@ class Solver:
                     self._backtrack_to_root()
                     return SolverResult.UNKNOWN
                 if conflicts_here >= conflict_budget:
-                    # Restart.
+                    # Restart; the cheap place to honor the wall-clock
+                    # deadline without probing the clock per conflict.
                     restart_count += 1
+                    self.restarts += 1
                     conflict_budget = 100 * _luby_simple(restart_count + 1)
                     conflicts_here = 0
                     self._backtrack(0)
+                    if (
+                        self.deadline is not None
+                        and time.monotonic() > self.deadline
+                    ):
+                        self._backtrack_to_root()
+                        return SolverResult.UNKNOWN
                 if len(self._learnts) > learnt_cap:
                     self._reduce_learnts()
                     learnt_cap += 500

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.sidb.charge import SidbLayout
 from repro.sidb.energy import EnergyModel
 from repro.sidb.exhaustive import GroundStateResult
@@ -85,6 +86,10 @@ class SimAnneal:
         self.schedule = schedule or SimAnnealParameters()
         if self.schedule.mode not in ("batch", "serial"):
             raise ValueError(f"unknown SimAnneal mode {self.schedule.mode!r}")
+        # Move bookkeeping of the most recent run (reported via obs).
+        self._proposals = 0
+        self._accepted = 0
+        self._kernel_passes = 0
 
     # --- public API -------------------------------------------------------
     def run(self, instance_subset: list[int] | None = None) -> GroundStateResult:
@@ -114,17 +119,33 @@ class SimAnneal:
         )
         if n == 0 or not indices:
             return []
-        if self.schedule.mode == "serial":
-            candidates = self._run_serial(indices)
-        else:
-            candidates = self._run_batch(indices)
+        with obs.span("simanneal.run") as span:
+            span.set("mode", self.schedule.mode)
+            span.set("batch_shape", [len(indices), n])
+            self._proposals = 0
+            self._accepted = 0
+            self._kernel_passes = 0
+            if self.schedule.mode == "serial":
+                candidates = self._run_serial(indices)
+            else:
+                candidates = self._run_batch(indices)
+            span.add("sweeps", self.schedule.sweeps * len(indices))
+            span.add("moves.proposed", self._proposals)
+            span.add("moves.accepted", self._accepted)
+            span.add("kernel.passes", self._kernel_passes)
+            if self._proposals:
+                span.set(
+                    "acceptance_rate",
+                    round(self._accepted / self._proposals, 4),
+                )
 
-        finalists: list[tuple[np.ndarray, float]] = []
-        for candidate in candidates:
-            descended = self._greedy_descent(candidate)
-            if not is_population_stable(self.model, descended):
-                continue
-            finalists.append((descended, self.model.energy(descended)))
+            finalists: list[tuple[np.ndarray, float]] = []
+            for candidate in candidates:
+                descended = self._greedy_descent(candidate)
+                if not is_population_stable(self.model, descended):
+                    continue
+                finalists.append((descended, self.model.energy(descended)))
+            span.add("finalists", len(finalists))
         return finalists
 
     def collect_result(
@@ -269,7 +290,9 @@ class SimAnneal:
             # evaluating to the same rejection), so no explicit
             # bookkeeping is needed for it.
             consumed = np.zeros(batch, dtype=np.intp)
+            self._proposals += batch * n
             for _ in range(MAX_SPECULATIVE_PASSES):
+                self._kernel_passes += 1
                 occ_a = occupation.take(flat_a)
                 occ_b = occupation.take(flat_b)
                 source = np.where(occ_a, site_a, n)
@@ -288,6 +311,7 @@ class SimAnneal:
                 moving_rows = np.flatnonzero(accept.any(axis=1))
                 if moving_rows.size == 0:
                     break
+                self._accepted += moving_rows.size
                 slots = accept[moving_rows].argmax(axis=1)
                 move_source = source[moving_rows, slots]
                 move_target = target[moving_rows, slots]
@@ -366,13 +390,14 @@ class SimAnneal:
         ) ** (1.0 / max(1, self.schedule.sweeps - 1))
 
         for _ in range(self.schedule.sweeps):
+            self._proposals += n
             for _ in range(n):
                 if rng.random() < self.schedule.hop_fraction:
-                    self._try_hop(
+                    self._accepted += self._try_hop(
                         rng, occupation, potentials, matrix, temperature
                     )
                 else:
-                    self._try_flip(
+                    self._accepted += self._try_flip(
                         rng, occupation, potentials, matrix, mu, temperature
                     )
             if is_population_stable(model, occupation):
@@ -396,7 +421,7 @@ class SimAnneal:
         matrix: np.ndarray,
         mu: float,
         temperature: float,
-    ) -> None:
+    ) -> bool:
         site = rng.randrange(len(occupation))
         if occupation[site]:
             delta = -(potentials[site] + mu)
@@ -409,6 +434,8 @@ class SimAnneal:
             else:
                 occupation[site] = 1
                 potentials += matrix[site]
+            return True
+        return False
 
     def _try_hop(
         self,
@@ -417,11 +444,11 @@ class SimAnneal:
         potentials: np.ndarray,
         matrix: np.ndarray,
         temperature: float,
-    ) -> None:
+    ) -> bool:
         occupied = np.flatnonzero(occupation)
         empty = np.flatnonzero(occupation == 0)
         if len(occupied) == 0 or len(empty) == 0:
-            return
+            return False
         source = int(occupied[rng.randrange(len(occupied))])
         target = int(empty[rng.randrange(len(empty))])
         delta = (
@@ -432,6 +459,8 @@ class SimAnneal:
             occupation[target] = 1
             potentials -= matrix[source]
             potentials += matrix[target]
+            return True
+        return False
 
     # --- deterministic polishing ------------------------------------------
     def _greedy_descent(self, occupation: np.ndarray) -> np.ndarray:

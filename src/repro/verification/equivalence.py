@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.layout.gate_layout import GateLevelLayout
 from repro.networks.logic_network import LogicNetwork
 from repro.networks.xag import Xag
@@ -14,14 +15,27 @@ from repro.verification.miter import build_miter, network_from_xag
 
 @dataclass
 class EquivalenceResult:
-    """Outcome of an equivalence check."""
+    """Tri-state outcome of an equivalence check.
+
+    ``equivalent`` is only ``True`` on a completed UNSAT proof;
+    ``undecided`` is ``True`` when the solver gave up (conflict budget
+    or deadline) -- in that state there is *no* counterexample and the
+    check is inconclusive, **not** a refutation.
+    """
 
     equivalent: bool
     counterexample: list[bool] | None = None
     conflicts: int = 0
+    undecided: bool = False
 
     def __bool__(self) -> bool:
         return self.equivalent
+
+    @property
+    def verdict(self) -> str:
+        if self.undecided:
+            return "undecided"
+        return "equivalent" if self.equivalent else "not_equivalent"
 
 
 def check_equivalence(
@@ -29,8 +43,13 @@ def check_equivalence(
     candidate: LogicNetwork | Xag,
     pi_permutation: list[int] | None = None,
     po_permutation: list[int] | None = None,
+    conflict_limit: int | None = None,
 ) -> EquivalenceResult:
-    """Prove or refute functional equivalence of two representations."""
+    """Prove or refute functional equivalence of two representations.
+
+    ``conflict_limit`` bounds the solver; an inconclusive run yields an
+    *undecided* result rather than a fabricated counterexample.
+    """
     golden_net = network_from_xag(golden) if isinstance(golden, Xag) else golden
     candidate_net = (
         network_from_xag(candidate) if isinstance(candidate, Xag) else candidate
@@ -41,9 +60,18 @@ def check_equivalence(
     )
     cnf.add_clause(differences)
     solver = Solver(cnf)
-    outcome = solver.solve()
+    solver.max_conflicts = conflict_limit
+    with obs.span("verify.miter") as span:
+        span.set("sat.variables", cnf.num_vars)
+        span.set("sat.clauses", cnf.num_clauses)
+        outcome = solver.solve()
+        span.set("verdict", outcome.value)
     if outcome is SolverResult.UNSAT:
         return EquivalenceResult(True, conflicts=solver.conflicts)
+    if outcome is SolverResult.UNKNOWN:
+        return EquivalenceResult(
+            False, None, solver.conflicts, undecided=True
+        )
     counterexample = [solver.model_value(v) for v in shared]
     return EquivalenceResult(False, counterexample, solver.conflicts)
 
@@ -61,13 +89,16 @@ def _match_pins(
 
 
 def check_layout_against_network(
-    specification: LogicNetwork | Xag, layout: GateLevelLayout
+    specification: LogicNetwork | Xag,
+    layout: GateLevelLayout,
+    conflict_limit: int | None = None,
 ) -> EquivalenceResult:
     """Flow step 5: verify a gate-level layout against its specification.
 
     The layout is re-extracted from pure tile geometry; PI/PO
     correspondence is established by pin labels where available and
-    positionally (left-to-right) otherwise.
+    positionally (left-to-right) otherwise.  An exhausted
+    ``conflict_limit`` surfaces as an *undecided* result.
     """
     extracted = extract_network(layout)
     spec_net = (
@@ -85,5 +116,5 @@ def check_layout_against_network(
     po_permutation = _match_pins(spec_po_names, layout_po_names)
 
     return check_equivalence(
-        spec_net, extracted, pi_permutation, po_permutation
+        spec_net, extracted, pi_permutation, po_permutation, conflict_limit
     )

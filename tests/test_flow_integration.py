@@ -1,12 +1,18 @@
 """End-to-end integration tests of the 8-step design flow."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.flow import (
+    FLOW_STEP_SPANS,
     FlowConfiguration,
     TABLE1_REFERENCE,
     design_sidb_circuit,
     format_table1_row,
+    trace_json,
+    trace_report,
 )
 from repro.flow.reporting import reference_area_consistency
 from repro.layout.clocking import two_d_d_wave
@@ -75,6 +81,80 @@ class TestFlowOnBenchmarks:
                 benchmark_verilog("xor2"), "xor2",
                 FlowConfiguration(engine="magic"),
             )
+
+
+class TestFlowObservability:
+    def test_trace_contains_all_step_spans(self):
+        result = design_sidb_circuit(
+            benchmark_verilog("par_check"), "par_check"
+        )
+        trace = result.trace
+        assert trace is not None and trace.name == "design_flow"
+        assert len(FLOW_STEP_SPANS) == 8
+        for name in FLOW_STEP_SPANS:
+            step = trace.find(name)
+            assert step is not None, f"missing step span {name}"
+            assert step.wall_seconds > 0, f"zero wall time on {name}"
+        candidates = trace.find_all("exact.candidate")
+        assert candidates, "no per-candidate P&R spans"
+        assert candidates[-1].attributes["outcome"] == "sat"
+        for candidate in candidates:
+            if candidate.attributes["outcome"] != "infeasible":
+                assert candidate.attributes["sat.variables"] > 0
+                assert candidate.attributes["sat.clauses"] > 0
+        assert trace.total("sat.conflicts") > 0
+        assert trace.total("sat.decisions") > 0
+        assert trace.total("sat.propagations") > 0
+        assert trace.find("verify.miter") is not None
+
+    def test_trace_does_not_leak_recorder_state(self):
+        assert not obs.enabled()
+        result = design_sidb_circuit(benchmark_verilog("xor2"), "xor2")
+        assert result.trace is not None
+        assert not obs.enabled()
+        assert result.trace not in obs.recorder().roots
+
+    def test_trace_disabled(self):
+        config = FlowConfiguration(trace=False)
+        result = design_sidb_circuit(
+            benchmark_verilog("xor2"), "xor2", config
+        )
+        assert result.trace is None
+        assert "no trace recorded" in trace_report(result)
+        with pytest.raises(ValueError):
+            trace_json(result)
+
+    def test_trace_report_and_json(self):
+        result = design_sidb_circuit(benchmark_verilog("xor2"), "xor2")
+        report = trace_report(result)
+        assert "design_flow" in report and "flow.place_route" in report
+        data = json.loads(trace_json(result))
+        assert data["name"] == "design_flow"
+        children = {child["name"] for child in data["children"]}
+        assert set(FLOW_STEP_SPANS) <= children
+
+    def test_undecided_verification_surfaces_in_summary(self):
+        config = FlowConfiguration(verify_conflict_limit=1)
+        result = design_sidb_circuit(
+            benchmark_verilog("par_check"), "par_check", config
+        )
+        assert result.equivalence is not None
+        assert result.equivalence.undecided
+        assert "UNDECIDED" in result.summary()
+
+    def test_cli_trace_flags(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "trace.json"
+        code = main(
+            ["synth", "xor2", "--trace", "--trace-json", str(path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "design_flow" in out
+        data = json.loads(path.read_text())
+        assert data["name"] == "design_flow"
+        assert data["children"]
 
 
 class TestReporting:

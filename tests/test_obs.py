@@ -1,0 +1,249 @@
+"""Tests for the repro.obs tracing and metrics subsystem."""
+
+import pytest
+
+from repro import obs
+from repro.obs import NULL_SPAN, Span
+from repro.obs.render import render_tree, trace_from_json, trace_to_json
+
+
+@pytest.fixture(autouse=True)
+def clean_recorder():
+    """Every test starts (and leaves) a pristine, disabled recorder."""
+    was_enabled = obs.enabled()
+    obs.disable()
+    obs.reset()
+    yield
+    obs.reset()
+    if was_enabled:
+        obs.enable()
+    else:
+        obs.disable()
+
+
+def busy_wait():
+    """Burn a sliver of CPU so both clocks tick measurably."""
+    total = 0
+    for i in range(20_000):
+        total += i
+    return total
+
+
+class TestSpanNesting:
+    def test_children_attach_to_innermost(self):
+        obs.enable()
+        with obs.span("root") as root:
+            with obs.span("first"):
+                with obs.span("grandchild"):
+                    busy_wait()
+            with obs.span("second"):
+                pass
+        assert [child.name for child in root.children] == ["first", "second"]
+        assert root.children[0].children[0].name == "grandchild"
+        assert obs.recorder().roots == [root]
+
+    def test_times_recorded_and_nested_monotone(self):
+        obs.enable()
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                busy_wait()
+        assert inner.wall_seconds > 0
+        assert outer.wall_seconds >= inner.wall_seconds
+        assert outer.cpu_seconds >= 0
+
+    def test_attributes_from_kwargs_and_set(self):
+        obs.enable()
+        with obs.span("candidate", width=4, height=7) as span:
+            span.set("outcome", "sat")
+        assert span.attributes == {
+            "width": 4, "height": 7, "outcome": "sat"
+        }
+
+    def test_exception_closes_span(self):
+        obs.enable()
+        with pytest.raises(RuntimeError):
+            with obs.span("doomed"):
+                raise RuntimeError("boom")
+        assert obs.recorder().current() is None
+        assert obs.recorder().roots[0].name == "doomed"
+
+    def test_defensive_unwind_of_orphaned_children(self):
+        # Ending a parent with a child still open must not corrupt the
+        # stack: the recorder pops through the orphan.
+        obs.enable()
+        recorder = obs.recorder()
+        parent = recorder.start("parent")
+        recorder.start("orphan")
+        recorder.end(parent)
+        assert recorder.current() is None
+
+    def test_walk_find_total(self):
+        obs.enable()
+        with obs.span("root") as root:
+            with obs.span("leaf") as leaf:
+                leaf.add("sat.conflicts", 3)
+            with obs.span("leaf") as second:
+                second.add("sat.conflicts", 4)
+        assert len(list(root.walk())) == 3
+        assert root.find("leaf") is leaf
+        assert root.find("missing") is None
+        assert root.find_all("leaf") == [leaf, second]
+        assert root.total("sat.conflicts") == 7
+
+
+class TestCounters:
+    def test_span_counters_accumulate(self):
+        obs.enable()
+        with obs.span("work") as span:
+            obs.add("moves")
+            obs.add("moves")
+            obs.add("energy", 2.5)
+        assert span.counters == {"moves": 2.0, "energy": 2.5}
+
+    def test_add_targets_innermost_span(self):
+        obs.enable()
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                obs.add("hits")
+        assert inner.counters == {"hits": 1.0}
+        assert "hits" not in outer.counters
+
+    def test_counter_outside_any_span_lands_on_recorder(self):
+        obs.enable()
+        obs.add("stray", 5)
+        assert obs.recorder().counters == {"stray": 5.0}
+
+    def test_gauge_sets_attribute(self):
+        obs.enable()
+        with obs.span("work") as span:
+            obs.gauge("acceptance_rate", 0.25)
+        assert span.attributes["acceptance_rate"] == 0.25
+
+    def test_reset_clears_everything(self):
+        obs.enable()
+        with obs.span("root"):
+            obs.add("hits")
+        obs.add("stray")
+        obs.reset()
+        recorder = obs.recorder()
+        assert recorder.roots == [] and recorder.counters == {}
+        assert obs.enabled()  # reset keeps the switch
+
+
+class TestDisabledNoOp:
+    def test_span_returns_shared_handle(self):
+        handle = obs.span("anything", width=9)
+        assert handle is obs.span("something_else")
+        with handle as span:
+            assert span is NULL_SPAN
+
+    def test_null_span_swallows_mutations(self):
+        with obs.span("quiet") as span:
+            span.set("key", 1)
+            span.add("counter", 2)
+        assert not hasattr(span, "attributes")
+        assert obs.recorder().roots == []
+
+    def test_add_and_gauge_record_nothing(self):
+        obs.add("hits")
+        obs.gauge("rate", 0.5)
+        recorder = obs.recorder()
+        assert recorder.counters == {} and recorder.roots == []
+
+    def test_current_is_null_span(self):
+        assert obs.current() is NULL_SPAN
+
+
+class TestCapture:
+    def test_force_enable_and_restore(self):
+        assert not obs.enabled()
+        with obs.capture("scoped", enable=True) as cap:
+            assert obs.enabled()
+            with obs.span("inner"):
+                busy_wait()
+        assert not obs.enabled()
+        assert cap.span is not None and cap.span.name == "scoped"
+        assert cap.span.children[0].name == "inner"
+        assert cap.span.wall_seconds > 0
+
+    def test_enable_none_respects_disabled_state(self):
+        with obs.capture("scoped") as cap:
+            with obs.span("inner"):
+                pass
+        assert cap.span is None
+
+    def test_enable_none_respects_enabled_state(self):
+        obs.enable()
+        with obs.capture("scoped") as cap:
+            pass
+        assert obs.enabled()
+        assert cap.span is not None
+
+    def test_force_disable(self):
+        obs.enable()
+        with obs.capture("scoped", enable=False) as cap:
+            assert not obs.enabled()
+        assert obs.enabled()
+        assert cap.span is None
+
+
+class TestJsonRoundTrip:
+    def make_trace(self):
+        obs.enable()
+        with obs.span("root", engine="exact") as root:
+            with obs.span("child") as child:
+                child.add("sat.conflicts", 14)
+                child.set("outcome", "sat")
+        return root
+
+    def test_round_trip_preserves_tree(self):
+        root = self.make_trace()
+        restored = trace_from_json(trace_to_json(root))
+        assert restored.to_dict() == root.to_dict()
+        assert restored.find("child").counters["sat.conflicts"] == 14
+
+    def test_from_dict_tolerates_missing_fields(self):
+        span = Span.from_dict({"name": "bare"})
+        assert span.name == "bare"
+        assert span.children == [] and span.counters == {}
+
+    def test_render_tree_mentions_every_span(self):
+        root = self.make_trace()
+        art = render_tree(root)
+        assert "root" in art and "child" in art
+        assert "wall" in art and "cpu" in art
+        assert "outcome=sat" in art and "sat.conflicts=14" in art
+        ascii_art = render_tree(root, unicode_art=False)
+        assert "`- " in ascii_art
+
+
+class TestInstrumentedSubsystems:
+    def test_solver_reports_sat_counters(self):
+        from repro.sat import Cnf, Solver, SolverResult
+
+        cnf = Cnf()
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1, 2])
+        cnf.add_clause([-2, 3])
+        obs.enable()
+        with obs.span("root") as root:
+            assert Solver(cnf).solve() is SolverResult.SAT
+        solve = root.find("sat.solve")
+        assert solve is not None
+        assert solve.attributes["result"] == "sat"
+        assert solve.counters["sat.propagations"] > 0
+
+    def test_simanneal_reports_counters(self):
+        from repro.sidb.perfbench import scaling_layout
+        from repro.sidb.simanneal import SimAnneal, SimAnnealParameters
+
+        layout = scaling_layout(10)
+        schedule = SimAnnealParameters(instances=8, sweeps=20, seed=1)
+        obs.enable()
+        with obs.span("root") as root:
+            SimAnneal(layout, schedule=schedule).run()
+        span = root.find("simanneal.run")
+        assert span is not None
+        assert span.counters["sweeps"] > 0
+        assert span.counters["moves.proposed"] > 0
+        assert 0.0 <= span.attributes["acceptance_rate"] <= 1.0

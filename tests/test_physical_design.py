@@ -9,7 +9,9 @@ from repro.networks.logic_network import GateType, LogicNetwork
 from repro.physical_design import (
     ExactPhysicalDesign,
     HeuristicPhysicalDesign,
+    PhysicalDesignBudgetError,
     PhysicalDesignError,
+    PhysicalDesignTimeoutError,
     levelize,
 )
 from repro.physical_design.common import placement_conflicts
@@ -121,6 +123,74 @@ class TestExactEngine:
             map_to_bestagon(cut_rewrite(xag, _DB))
         )
         assert check_layout_against_network(xag, layout).equivalent
+
+
+class TestExactBugfixes:
+    def test_timed_out_candidate_skips_to_next(self, monkeypatch):
+        # A conflict-limited candidate proves nothing about the others;
+        # the search must move on instead of giving up.
+        original = ExactPhysicalDesign._attempt
+        calls = []
+
+        def flaky(self, network, width, height, statistics, *args, **kwargs):
+            calls.append((width, height))
+            if len(calls) == 1:
+                return "timeout"
+            return original(
+                self, network, width, height, statistics, *args, **kwargs
+            )
+
+        monkeypatch.setattr(ExactPhysicalDesign, "_attempt", flaky)
+        layout = ExactPhysicalDesign().run(mapped("xor2"))
+        assert layout is not None
+        assert len(calls) >= 2
+
+    def test_all_timeouts_raise_budget_error(self, monkeypatch):
+        monkeypatch.setattr(
+            ExactPhysicalDesign,
+            "_attempt",
+            lambda self, *args, **kwargs: "timeout",
+        )
+        with pytest.raises(PhysicalDesignBudgetError) as excinfo:
+            ExactPhysicalDesign().run(mapped("xor2"))
+        # Inconclusive, not a refutation: the message must say so, and
+        # existing callers catching PhysicalDesignError keep working.
+        assert "conflict" in str(excinfo.value)
+        assert isinstance(excinfo.value, PhysicalDesignError)
+
+    def test_statistics_totals_sum_over_attempts(self):
+        stats = ExactStatistics()
+        ExactPhysicalDesign().run(mapped("par_gen"), stats)
+        assert len(stats.attempts) == len(stats.candidates_tried)
+        assert stats.sat_variables == sum(
+            attempt.sat_variables for attempt in stats.attempts
+        )
+        assert stats.sat_clauses == sum(
+            attempt.sat_clauses for attempt in stats.attempts
+        )
+        assert stats.sat_conflicts == sum(
+            attempt.sat_conflicts for attempt in stats.attempts
+        )
+        assert stats.attempts[-1].outcome == "sat"
+        assert all(attempt.seconds >= 0.0 for attempt in stats.attempts)
+        assert all(
+            attempt.outcome in {"sat", "unsat", "infeasible", "timeout"}
+            for attempt in stats.attempts
+        )
+
+    def test_expired_time_limit_raises_timeout_error(self):
+        engine = ExactPhysicalDesign(time_limit_seconds=0.0)
+        with pytest.raises(PhysicalDesignTimeoutError) as excinfo:
+            engine.run(mapped("xor2"))
+        assert isinstance(excinfo.value, PhysicalDesignError)
+
+    def test_timeout_error_distinct_from_budget_error(self):
+        assert not issubclass(
+            PhysicalDesignTimeoutError, PhysicalDesignBudgetError
+        )
+        assert not issubclass(
+            PhysicalDesignBudgetError, PhysicalDesignTimeoutError
+        )
 
 
 class TestHeuristicEngine:

@@ -1,6 +1,7 @@
 """Tests for the CDCL SAT solver and CNF encodings."""
 
 import itertools
+import time
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -192,6 +193,90 @@ class TestEncodings:
             assert solver.model_value(or_out) == (va or vb)
             assert solver.model_value(xor_out) == (va != vb)
             assert solver.model_value(ite_out) == (vb if va else not vb)
+
+
+def pigeonhole(pigeons: int, holes: int) -> Cnf:
+    """The classic UNSAT family; PHP(8,7) takes thousands of conflicts."""
+    cnf = Cnf()
+
+    def var(p, h):
+        return p * holes + h + 1
+
+    cnf.num_vars = pigeons * holes
+    for p in range(pigeons):
+        cnf.add_clause([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                cnf.add_clause([-var(p1, h), -var(p2, h)])
+    return cnf
+
+
+class TestDeadline:
+    def test_expired_deadline_returns_unknown(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        solver.deadline = time.monotonic() - 1.0
+        assert solver.solve() is SolverResult.UNKNOWN
+
+    def test_no_deadline_unaffected(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        assert solver.deadline is None
+        assert solver.solve() is SolverResult.SAT
+
+    def test_deadline_interrupts_at_restart_boundary(self):
+        # PHP(8,7) needs seconds and ~17 restarts to refute; a deadline
+        # just past "now" lets the search begin but must stop it at a
+        # restart boundary long before the refutation completes.
+        solver = Solver(pigeonhole(8, 7))
+        solver.deadline = time.monotonic() + 0.05
+        started = time.monotonic()
+        assert solver.solve() is SolverResult.UNKNOWN
+        assert time.monotonic() - started < 1.0
+        assert solver.restarts >= 1
+
+    def test_deadline_leaves_solver_reusable(self):
+        solver = Solver()
+        solver.add_clause([1])
+        solver.add_clause([-1, 2])
+        solver.deadline = time.monotonic() - 1.0
+        assert solver.solve() is SolverResult.UNKNOWN
+        solver.deadline = None
+        assert solver.solve() is SolverResult.SAT
+        assert solver.model_value(2)
+
+
+class TestLubySequence:
+    def test_matches_recursive_definition(self):
+        from repro.sat.solver import _luby_simple
+
+        def reference(i):
+            k = 1
+            while (1 << k) - 1 < i:
+                k += 1
+            if (1 << k) - 1 == i:
+                return 1 << (k - 1)
+            return reference(i - (1 << (k - 1)) + 1)
+
+        assert [_luby_simple(i) for i in range(1, 201)] == [
+            reference(i) for i in range(1, 201)
+        ]
+
+    def test_known_prefix(self):
+        from repro.sat.solver import _luby_simple
+
+        assert [_luby_simple(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8
+        ]
+
+    def test_deep_index_no_recursion_limit(self):
+        from repro.sat.solver import _luby_simple
+
+        # The recursive formulation would blow the stack for adversarial
+        # indices; the iterative one must terminate regardless.
+        assert _luby_simple((1 << 64) - 1) == 1 << 63
+        assert _luby_simple(1 << 64) == 1
 
 
 class TestDimacs:

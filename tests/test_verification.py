@@ -138,6 +138,42 @@ class TestMiter:
         assert check_equivalence(f, g, pi_permutation=[1, 0]).equivalent
 
 
+class TestUndecidedEquivalence:
+    def test_conflict_limit_yields_undecided_not_counterexample(self):
+        # An exhausted budget is inconclusive: it must NOT fall through
+        # to model extraction and fabricate a bogus counterexample.
+        a = benchmark_network("par_check")
+        b = map_to_bestagon(cut_rewrite(benchmark_network("par_check"), _DB))
+        result = check_equivalence(a, b, conflict_limit=1)
+        assert result.undecided
+        assert not result.equivalent
+        assert result.counterexample is None
+        assert not bool(result)
+        assert result.verdict == "undecided"
+
+    def test_full_budget_still_decides(self):
+        a = benchmark_network("par_check")
+        b = map_to_bestagon(cut_rewrite(benchmark_network("par_check"), _DB))
+        result = check_equivalence(a, b)
+        assert result.equivalent and not result.undecided
+        assert result.verdict == "equivalent"
+        refuted = check_equivalence(
+            benchmark_network("xor2"), benchmark_network("xnor2")
+        )
+        assert refuted.verdict == "not_equivalent"
+        assert refuted.counterexample is not None
+
+    def test_layout_check_plumbs_conflict_limit(self):
+        xag = benchmark_network("mux21")
+        layout = ExactPhysicalDesign().run(
+            map_to_bestagon(cut_rewrite(xag, _DB))
+        )
+        limited = check_layout_against_network(xag, layout, conflict_limit=1)
+        assert limited.undecided and limited.counterexample is None
+        full = check_layout_against_network(xag, layout)
+        assert full.equivalent and not full.undecided
+
+
 class TestLayoutEquivalence:
     def test_hand_layout_verifies(self):
         xag = benchmark_network("xor2")
