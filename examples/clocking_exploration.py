@@ -8,19 +8,15 @@ rule turns a layout's rows into super-tile clock zones (Figure 4).
     python examples/clocking_exploration.py
 """
 
-from repro.flow import design_sidb_circuit
-from repro.networks import benchmark_verilog
-from repro.sidb.clocked import ClockedWire
-from repro.tech.constants import MIN_METAL_PITCH_NM
-from repro.tech.parameters import SiDBSimulationParameters
+from repro import api
 
 
 def pipeline_demo() -> None:
     print("=== four-phase clocked BDL wire (Figure 2) ===")
-    wire = ClockedWire(
+    wire = api.ClockedWire(
         pairs_per_zone=2,
         num_zones=4,
-        parameters=SiDBSimulationParameters.bestagon(),
+        parameters=api.SiDBSimulationParameters.bestagon(),
     )
     for bit in (False, True):
         print(f"\n  driving logic {int(bit)}:")
@@ -43,10 +39,10 @@ def pipeline_demo() -> None:
 
 def supertile_demo() -> None:
     print("\n=== super-tile planning on a real layout (Figure 4) ===")
-    result = design_sidb_circuit(benchmark_verilog("par_check"), "par_check")
+    result = api.design("par_check")
     plan = result.supertiles
     print(f"  layout: {result.width} x {result.height} tiles")
-    print(f"  minimum metal pitch: {MIN_METAL_PITCH_NM} nm; "
+    print(f"  minimum metal pitch: {api.MIN_METAL_PITCH_NM} nm; "
           f"tile row: 17.664 nm")
     print(f"  -> {plan.rows_per_zone} rows per electrode "
           f"({plan.zone_height_nm:.2f} nm)")

@@ -14,17 +14,10 @@ automated substitute for its RL agent:
     python examples/design_a_gate.py
 """
 
-from repro.coords.lattice import LatticeSite
-from repro.gatelib.designer import CanvasSearchProblem, search_canvas_design
-from repro.gatelib.designs import core_parameters
-from repro.networks.truth_table import TruthTable
-from repro.sidb.bdl import BdlPair, read_bdl_pair
-from repro.sidb.charge import SidbLayout
-from repro.sidb.exhaustive import exhaustive_ground_state
-from repro.tech.parameters import SiDBSimulationParameters
+from repro import api
 
-S = LatticeSite.from_row
-PARAMS = SiDBSimulationParameters.bestagon()
+S = api.LatticeSite.from_row
+PARAMS = api.SiDBSimulationParameters.bestagon()
 
 
 def wire_demo() -> None:
@@ -32,12 +25,12 @@ def wire_demo() -> None:
     sites, pairs = [], []
     for k in range(3):
         sites += [S(0, 6 * k), S(0, 6 * k + 2)]
-        pairs.append(BdlPair(S(0, 6 * k), S(0, 6 * k + 2)))
+        pairs.append(api.BdlPair(S(0, 6 * k), S(0, 6 * k + 2)))
     for bit, gap in ((0, 6), (1, 2)):
-        layout = SidbLayout(sites + [S(0, -gap), S(0, 18)])
-        ground = exhaustive_ground_state(layout, PARAMS)
+        layout = api.SidbLayout(sites + [S(0, -gap), S(0, 18)])
+        ground = api.exhaustive_ground_state(layout, PARAMS)
         values = [
-            read_bdl_pair(layout, ground.occupation(), p) for p in pairs
+            api.read_bdl_pair(layout, ground.occupation(), p) for p in pairs
         ]
         print(f"  input {bit} (perturber {'close' if bit else 'far'}) "
               f"-> pairs read {[int(bool(v)) for v in values]}  "
@@ -46,7 +39,7 @@ def wire_demo() -> None:
 
 def or_gate_demo() -> None:
     print("\n=== 2. Y-shaped OR-gate core, all input patterns ===")
-    core = core_parameters("or")
+    core = api.core_parameters("or")
     dx1, dx2, og = core["dx1"], core["dx2"], core["og"]
     sites = []
     for sign in (-1, 1):
@@ -57,14 +50,14 @@ def or_gate_demo() -> None:
     for c, r in core.get("extra", []):
         sites.append(S(c, r))
     sites.append(S(0, orow + 2 + core["gout"]))
-    pair = BdlPair(S(0, orow), S(0, orow + 2))
+    pair = api.BdlPair(S(0, orow), S(0, orow + 2))
     stim = dx2 + 2 * dx1
     for pattern in range(4):
-        layout = SidbLayout(sites)
+        layout = api.SidbLayout(sites)
         layout.add(S(-stim, -2 if pattern & 1 else -6))
         layout.add(S(stim, -2 if (pattern >> 1) & 1 else -6))
-        ground = exhaustive_ground_state(layout, PARAMS)
-        value = read_bdl_pair(layout, ground.occupation(), pair)
+        ground = api.exhaustive_ground_state(layout, PARAMS)
+        value = api.read_bdl_pair(layout, ground.occupation(), pair)
         a, b = pattern & 1, (pattern >> 1) & 1
         print(f"  ({a} OR {b}) -> {int(bool(value))}")
 
@@ -74,16 +67,16 @@ def designer_demo() -> None:
     sites, pairs = [], []
     for k in range(3):
         sites += [S(0, 6 * k), S(0, 6 * k + 2)]
-        pairs.append(BdlPair(S(0, 6 * k), S(0, 6 * k + 2)))
-    problem = CanvasSearchProblem(
+        pairs.append(api.BdlPair(S(0, 6 * k), S(0, 6 * k + 2)))
+    problem = api.CanvasSearchProblem(
         fixed_sites=sites,  # note: no hold perturber below the wire
         candidate_sites=[S(c, r) for c in (-2, 0, 2) for r in (16, 18, 20)],
         input_stimuli=[([S(0, -6)], [S(0, -2)])],
         output_pairs=[pairs[-1]],
-        outputs=[TruthTable(1, 0b10)],
+        outputs=[api.TruthTable(1, 0b10)],
         parameters=PARAMS,
     )
-    result = search_canvas_design(problem, max_dots=2, iterations=80, seed=2)
+    result = api.search_canvas_design(problem, max_dots=2, iterations=80, seed=2)
     if result is None:
         print("  no design found")
         return

@@ -9,8 +9,7 @@ verdict, the super-tile clocking plan and the final SiDB design file.
     python examples/quickstart.py
 """
 
-from repro import design_sidb_circuit
-from repro.layout.render import layout_to_ascii
+from repro import api
 
 VERILOG = """
 module mux21 (in0, in1, sel, f);
@@ -22,7 +21,7 @@ endmodule
 
 
 def main() -> None:
-    result = design_sidb_circuit(VERILOG, "mux21")
+    result = api.design(VERILOG, name="mux21")
 
     print("=== specification ===")
     print(f"  XAG: {result.specification.num_gates} gates, "
@@ -32,7 +31,7 @@ def main() -> None:
           f"(depth {result.mapped.depth()})")
 
     print("\n=== gate-level layout (Columnar clocking, flow top->bottom) ===")
-    print(layout_to_ascii(result.layout))
+    print(api.layout_to_ascii(result.layout))
     print(f"  dimensions : {result.width} x {result.height} "
           f"= {result.area_tiles} tiles")
     print(f"  area       : {result.area_nm2:.2f} nm^2")

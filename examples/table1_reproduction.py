@@ -14,13 +14,7 @@ pass explicit names (e.g. ``cm82a_5``) to include the large instances
 
 import sys
 
-from repro.flow import (
-    FlowConfiguration,
-    design_sidb_circuit,
-    format_table1_row,
-)
-from repro.networks import benchmark_verilog
-from repro.synthesis import NpnDatabase
+from repro import api
 
 DEFAULT_NAMES = [
     "xor2", "xnor2", "par_gen", "mux21", "par_check",
@@ -30,14 +24,14 @@ DEFAULT_NAMES = [
 
 def main() -> None:
     names = sys.argv[1:] or DEFAULT_NAMES
-    database = NpnDatabase()
-    config = FlowConfiguration(
+    database = api.NpnDatabase()
+    config = api.FlowConfiguration(
         engine="auto", exact_conflict_limit=150_000, database=database
     )
     print("Table 1 reproduction (ours vs. paper)\n")
     for name in names:
-        result = design_sidb_circuit(benchmark_verilog(name), name, config)
-        row = format_table1_row(
+        result = api.design(name, configuration=config)
+        row = api.format_table1_row(
             name, result.width, result.height,
             result.num_sidbs, result.area_nm2,
         )

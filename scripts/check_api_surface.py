@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Guard the stable ``repro.api`` surface against accidental breakage.
+
+Snapshots every name exported by :mod:`repro.api` together with its
+callable signature (functions, class constructors) or value kind
+(constants, enums with their members) into ``scripts/api_surface.json``.
+CI compares the live surface against the snapshot and fails on any
+removal or signature change -- additions are reported but tolerated, so
+the API can grow without churn.
+
+    python scripts/check_api_surface.py            # compare (CI mode)
+    python scripts/check_api_surface.py --update   # regenerate snapshot
+"""
+
+from __future__ import annotations
+
+import argparse
+import enum
+import inspect
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+SNAPSHOT = os.path.join(os.path.dirname(__file__), "api_surface.json")
+
+
+def describe(obj) -> dict:
+    """A JSON-comparable description of one exported name."""
+    if isinstance(obj, type) and issubclass(obj, enum.Enum):
+        return {
+            "kind": "enum",
+            "members": {m.name: m.value for m in obj},
+        }
+    if isinstance(obj, type):
+        try:
+            signature = str(inspect.signature(obj))
+        except (ValueError, TypeError):
+            signature = "(...)"
+        return {"kind": "class", "signature": signature}
+    if callable(obj):
+        return {"kind": "function", "signature": str(inspect.signature(obj))}
+    return {"kind": type(obj).__name__, "value": repr(obj)}
+
+
+def current_surface() -> dict:
+    from repro import api
+
+    return {name: describe(getattr(api, name)) for name in sorted(api.__all__)}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="regenerate the snapshot from the live API")
+    args = parser.parse_args()
+
+    surface = current_surface()
+    if args.update:
+        with open(SNAPSHOT, "w", encoding="utf-8") as handle:
+            json.dump(surface, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {SNAPSHOT} ({len(surface)} exports)")
+        return 0
+
+    if not os.path.exists(SNAPSHOT):
+        print(f"missing snapshot {SNAPSHOT}; run with --update", file=sys.stderr)
+        return 1
+    with open(SNAPSHOT, encoding="utf-8") as handle:
+        expected = json.load(handle)
+
+    problems = []
+    for name, description in expected.items():
+        if name not in surface:
+            problems.append(f"removed export: {name}")
+        elif surface[name] != description:
+            problems.append(
+                f"changed export: {name}\n"
+                f"  snapshot: {json.dumps(description, sort_keys=True)}\n"
+                f"  current:  {json.dumps(surface[name], sort_keys=True)}"
+            )
+    added = sorted(set(surface) - set(expected))
+    if added:
+        print(f"new exports (run --update to snapshot): {', '.join(added)}")
+
+    if problems:
+        print("repro.api surface breakage:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        print("If intentional, regenerate with: "
+              "python scripts/check_api_surface.py --update", file=sys.stderr)
+        return 1
+    print(f"repro.api surface OK ({len(surface)} exports)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Tier-1 continuous integration: API surface guard + full test suite.
+#
+#     sh scripts/ci.sh
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== repro.api surface =="
+python scripts/check_api_surface.py
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q

@@ -1,27 +1,55 @@
 """repro -- a pure-Python reproduction of "Hexagons are the Bestagons:
 Design Automation for Silicon Dangling Bond Logic" (DAC 2022).
 
-Public API highlights:
+The stable public API lives in :mod:`repro.api`::
 
-* :func:`repro.flow.design_sidb_circuit` -- the complete 8-step flow from
-  a Verilog specification to a dot-accurate SiDB layout;
-* :class:`repro.physical_design.ExactPhysicalDesign` -- SAT-based exact
-  placement & routing on hexagonal floor plans;
-* :class:`repro.gatelib.BestagonLibrary` -- the hexagonal standard-tile
-  library with dot-accurate SiDB designs;
-* :mod:`repro.sidb` -- the SiDB electrostatics and ground-state engines
-  (ExGS and SimAnneal);
-* :func:`repro.verification.check_layout_against_network` -- SAT-based
-  equivalence checking of layouts against specifications.
+    from repro import api
+
+    result = api.design("mux21")
+    print(result.summary())
+
+Top-level re-exports of the flow types (``repro.design_sidb_circuit``,
+``repro.FlowConfiguration``, ``repro.DesignResult``) are deprecated in
+favor of their :mod:`repro.api` spellings; they keep working but emit a
+:class:`DeprecationWarning`.
 """
 
-from repro.flow import DesignResult, FlowConfiguration, design_sidb_circuit
+from __future__ import annotations
 
-__version__ = "1.0.0"
+import importlib
+import warnings
+
+__version__ = "2.0.0"
 
 __all__ = [
+    "api",
+    "design",
     "DesignResult",
     "FlowConfiguration",
     "design_sidb_circuit",
     "__version__",
 ]
+
+#: Old top-level spelling -> repro.api attribute it moved to.
+_DEPRECATED = {
+    "design_sidb_circuit": "design_sidb_circuit",
+    "FlowConfiguration": "FlowConfiguration",
+    "DesignResult": "DesignResult",
+}
+
+
+def __getattr__(name: str):
+    if name == "api":
+        return importlib.import_module("repro.api")
+    if name == "design":
+        return importlib.import_module("repro.api").design
+    if name in _DEPRECATED:
+        warnings.warn(
+            f"'repro.{name}' is deprecated; "
+            f"use 'repro.api.{_DEPRECATED[name]}' instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        api = importlib.import_module("repro.api")
+        return getattr(api, _DEPRECATED[name])
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

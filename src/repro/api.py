@@ -1,0 +1,206 @@
+"""Stable public API of the repro package.
+
+Everything an application needs lives here under one import::
+
+    from repro import api
+
+    result = api.design("mux21")                     # pristine surface
+    result = api.design("c17", engine=api.Engine.EXACT)
+    defects = api.SurfaceDefects.sample(120, 92, density_per_nm2=1e-4)
+    result = api.design("xor2", defects=defects)     # defect-aware
+
+The deeper module paths (:mod:`repro.flow`, :mod:`repro.sidb`, ...)
+remain importable but are implementation detail; only the names
+re-exported here are covered by the compatibility snapshot enforced by
+``scripts/check_api_surface.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.coords.hexagonal import HexCoord
+from repro.coords.lattice import LatticeSite
+from repro.defects import (
+    DefectAwareReport,
+    DefectType,
+    SidbDefect,
+    SurfaceDefects,
+    blocked_tiles,
+    recheck_layout_against_defects,
+)
+from repro.flow.design_flow import (
+    FLOW_STEP_SPANS,
+    DesignResult,
+    Engine,
+    FlowConfiguration,
+    design_sidb_circuit,
+)
+from repro.flow.reporting import (
+    TABLE1_REFERENCE,
+    format_table1_row,
+    trace_json,
+    trace_report,
+)
+from repro.gatelib.designer import CanvasSearchProblem, search_canvas_design
+from repro.gatelib.designs import core_parameters
+from repro.gatelib.library import BestagonLibrary
+from repro.layout.render import layout_to_ascii, layout_to_svg
+from repro.networks import (
+    BENCHMARK_NAMES,
+    TruthTable,
+    Xag,
+    benchmark_network,
+    benchmark_verilog,
+)
+from repro.sidb.bdl import BdlPair, read_bdl_pair
+from repro.sidb.charge import SidbLayout
+from repro.sidb.clocked import ClockedWire
+from repro.sidb.exhaustive import exhaustive_ground_state
+from repro.sidb.operational import GateFunctionSpec, check_operational
+from repro.sidb.simanneal import SimAnneal, SimAnnealParameters
+from repro.sqd.sqd import (
+    load_sqd,
+    read_sqd,
+    read_sqd_defects,
+    save_sqd,
+    write_sqd,
+)
+from repro.synthesis.database import NpnDatabase
+from repro.tech.constants import (
+    MIN_DEFECT_SEPARATION_NM,
+    MIN_METAL_PITCH_NM,
+)
+from repro.tech.parameters import SiDBSimulationParameters
+from repro.verification.equivalence import (
+    EquivalenceResult,
+    check_layout_against_network,
+)
+
+__all__ = [
+    # The one-call flow.
+    "design",
+    "load_specification",
+    "design_sidb_circuit",
+    "DesignResult",
+    "FlowConfiguration",
+    "Engine",
+    "FLOW_STEP_SPANS",
+    # Surface defects.
+    "DefectType",
+    "SidbDefect",
+    "SurfaceDefects",
+    "DefectAwareReport",
+    "blocked_tiles",
+    "recheck_layout_against_defects",
+    "MIN_DEFECT_SEPARATION_NM",
+    # Benchmarks + reporting.
+    "BENCHMARK_NAMES",
+    "benchmark_network",
+    "benchmark_verilog",
+    "format_table1_row",
+    "TABLE1_REFERENCE",
+    "trace_json",
+    "trace_report",
+    # Rendering + design files.
+    "layout_to_ascii",
+    "layout_to_svg",
+    "write_sqd",
+    "read_sqd",
+    "read_sqd_defects",
+    "save_sqd",
+    "load_sqd",
+    # Gate library + designer toolkit.
+    "BestagonLibrary",
+    "CanvasSearchProblem",
+    "search_canvas_design",
+    "core_parameters",
+    "GateFunctionSpec",
+    "check_operational",
+    # Physics.
+    "SidbLayout",
+    "SiDBSimulationParameters",
+    "SimAnneal",
+    "SimAnnealParameters",
+    "exhaustive_ground_state",
+    "BdlPair",
+    "read_bdl_pair",
+    "ClockedWire",
+    "MIN_METAL_PITCH_NM",
+    # Coordinates + specifications.
+    "HexCoord",
+    "LatticeSite",
+    "TruthTable",
+    "Xag",
+    # Verification.
+    "EquivalenceResult",
+    "check_layout_against_network",
+]
+
+
+def load_specification(source: str) -> tuple[str, str]:
+    """Resolve ``source`` to ``(verilog text, design name)``.
+
+    ``source`` is a Verilog file path or a built-in benchmark name.  An
+    existing file always wins; if its stem also names a benchmark, a
+    warning is printed so the shadowing is visible.  A path ending in
+    ``.v`` that does not exist is reported as a missing file -- not as
+    an unknown benchmark -- and an unknown name lists the valid
+    benchmarks.
+    """
+    if os.path.exists(source):
+        if source in BENCHMARK_NAMES:
+            print(
+                f"warning: '{source}' is both a file and a benchmark "
+                "name; using the file (rename it or pass the benchmark "
+                "from another directory to get the built-in)",
+                file=sys.stderr,
+            )
+        with open(source, encoding="utf-8") as handle:
+            text = handle.read()
+        return text, os.path.splitext(os.path.basename(source))[0]
+    if source.endswith(".v"):
+        raise FileNotFoundError(f"Verilog file not found: '{source}'")
+    if source in BENCHMARK_NAMES:
+        return benchmark_verilog(source), source
+    raise ValueError(
+        f"'{source}' is neither a file nor a benchmark "
+        f"(known: {', '.join(sorted(BENCHMARK_NAMES))})"
+    )
+
+
+def design(
+    specification: str | Xag,
+    *,
+    name: str | None = None,
+    engine: Engine | str = Engine.AUTO,
+    defects: SurfaceDefects | None = None,
+    configuration: FlowConfiguration | None = None,
+    **options,
+) -> DesignResult:
+    """Run the complete 8-step flow; the one-call entry point.
+
+    ``specification`` is a benchmark name, a Verilog file path, Verilog
+    source text, or an :class:`Xag`.  ``defects`` makes every stage of
+    the flow design around the given surface defects; ``engine`` picks
+    the placement & routing engine.  Remaining keyword ``options`` are
+    forwarded to :class:`FlowConfiguration` (e.g. ``verify=False``,
+    ``exact_max_width=12``); alternatively pass a ready-made
+    ``configuration``, which must not be combined with other knobs.
+    """
+    if configuration is not None:
+        if options or defects is not None or engine != Engine.AUTO:
+            raise TypeError(
+                "pass either a ready-made 'configuration' or individual "
+                "flow options, not both"
+            )
+        config = configuration
+    else:
+        config = FlowConfiguration(engine=engine, defects=defects, **options)
+    if isinstance(specification, Xag):
+        return design_sidb_circuit(specification, name, config)
+    if "\n" in specification or "module" in specification:
+        return design_sidb_circuit(specification, name, config)
+    verilog, resolved = load_specification(specification)
+    return design_sidb_circuit(verilog, name or resolved, config)

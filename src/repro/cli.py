@@ -4,71 +4,86 @@
     python -m repro.cli bench  [name ...]
     python -m repro.cli validate <tile-name ...>
     python -m repro.cli library
+    python -m repro.cli defects sample [options]
 
 ``synth`` runs the 8-step flow and writes .sqd/.svg artifacts; ``bench``
 prints Table-1 style rows; ``validate`` runs the physics operational
-check on library tiles; ``library`` lists the Bestagon designs.
+check on library tiles; ``library`` lists the Bestagon designs;
+``defects sample`` generates a random defective surface for
+defect-aware runs (``synth --defects surface.json``).
+
+The flow subcommands share their common options through parent parsers
+(:func:`_trace_options`, :func:`_engine_options`), so ``--trace`` and
+the engine knobs spell and behave identically everywhere.  Everything
+the CLI touches comes from the stable :mod:`repro.api` facade.
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 
-from repro.flow import (
-    FlowConfiguration,
-    design_sidb_circuit,
-    format_table1_row,
-    trace_json,
-    trace_report,
-)
-from repro.gatelib import BestagonLibrary
-from repro.layout.render import layout_to_ascii, layout_to_svg
-from repro.networks import BENCHMARK_NAMES, benchmark_verilog
+from repro import api
 
 
 def _load_specification(source: str) -> tuple[str, str]:
-    """(verilog text, name) from a file path or a benchmark name."""
-    if os.path.exists(source):
-        with open(source, encoding="utf-8") as handle:
-            return handle.read(), os.path.splitext(os.path.basename(source))[0]
-    if source in BENCHMARK_NAMES:
-        return benchmark_verilog(source), source
-    raise SystemExit(
-        f"'{source}' is neither a file nor a benchmark "
-        f"(known: {', '.join(sorted(BENCHMARK_NAMES))})"
+    """(verilog text, name), exiting with a CLI-friendly message."""
+    try:
+        return api.load_specification(source)
+    except (FileNotFoundError, ValueError) as error:
+        raise SystemExit(str(error)) from None
+
+
+def _configuration(args: argparse.Namespace) -> api.FlowConfiguration:
+    """Flow configuration from the shared engine/defect options."""
+    defects = None
+    if getattr(args, "defects", None):
+        try:
+            defects = api.SurfaceDefects.load(args.defects)
+        except (OSError, ValueError) as error:
+            raise SystemExit(
+                f"cannot load defects from '{args.defects}': {error}"
+            ) from None
+    return api.FlowConfiguration(
+        engine=args.engine,
+        exact_conflict_limit=args.conflict_limit,
+        exact_time_limit_seconds=args.time_limit,
+        defects=defects,
     )
+
+
+def _report_trace(args: argparse.Namespace, result: api.DesignResult) -> None:
+    if args.trace:
+        print()
+        print(api.trace_report(result))
+    if args.trace_json:
+        with open(args.trace_json, "w", encoding="utf-8") as handle:
+            handle.write(api.trace_json(result))
+        print(f"wrote {args.trace_json}")
 
 
 def cmd_synth(args: argparse.Namespace) -> int:
     verilog, name = _load_specification(args.spec)
-    config = FlowConfiguration(
-        engine=args.engine,
-        exact_conflict_limit=args.conflict_limit,
-        exact_time_limit_seconds=args.time_limit,
-    )
-    result = design_sidb_circuit(verilog, name, config)
+    result = api.design(verilog, name=name, configuration=_configuration(args))
     print(result.summary())
+    if result.defect_report is not None:
+        print(result.defect_report.summary())
     if args.ascii:
         print()
-        print(layout_to_ascii(result.layout))
-    if args.trace:
-        print()
-        print(trace_report(result))
-    if args.trace_json:
-        with open(args.trace_json, "w", encoding="utf-8") as handle:
-            handle.write(trace_json(result))
-        print(f"wrote {args.trace_json}")
+        print(api.layout_to_ascii(result.layout))
+    _report_trace(args, result)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(result.to_sqd())
         print(f"wrote {args.output}")
     if args.svg:
         with open(args.svg, "w", encoding="utf-8") as handle:
-            handle.write(layout_to_svg(result.layout))
+            handle.write(api.layout_to_svg(result.layout))
         print(f"wrote {args.svg}")
-    return 0 if (result.equivalence and result.equivalence.equivalent) else 1
+    ok = result.equivalence and result.equivalence.equivalent
+    if result.defect_report is not None and not result.defect_report.operational:
+        ok = False
+    return 0 if ok else 1
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -76,27 +91,26 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "xor2", "xnor2", "par_gen", "mux21", "par_check",
         "xor5_r1", "c17", "majority",
     ]
-    config = FlowConfiguration(
-        engine="auto", exact_conflict_limit=args.conflict_limit
-    )
+    config = _configuration(args)
     status = 0
     for name in names:
         verilog, _ = _load_specification(name)
         try:
-            result = design_sidb_circuit(verilog, name, config)
+            result = api.design(verilog, name=name, configuration=config)
         except Exception as error:
             print(f"{name:15s} failed: {error}")
             status = 1
             continue
-        print(format_table1_row(
+        print(api.format_table1_row(
             name, result.width, result.height,
             result.num_sidbs, result.area_nm2,
         ))
+        _report_trace(args, result)
     return status
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
-    library = BestagonLibrary()
+    library = api.BestagonLibrary()
     names = args.names or ["wire_NW_SW", "inv_NW_SW", "and_SE", "or_SE"]
     status = 0
     for name in names:
@@ -110,7 +124,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 
 def cmd_library(args: argparse.Namespace) -> int:
-    library = BestagonLibrary()
+    library = api.BestagonLibrary()
     for name in library.names():
         design = library.design(name)
         status = "motifs-validated" if design.validated_motifs else "assembled"
@@ -121,39 +135,112 @@ def cmd_library(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_defects_sample(args: argparse.Namespace) -> int:
+    surface = api.SurfaceDefects.sample(
+        columns=args.columns,
+        rows=args.rows,
+        density_per_nm2=args.density,
+        seed=args.seed,
+        charged_fraction=args.charged_fraction,
+    )
+    charged = sum(1 for d in surface if d.is_charged)
+    if args.output:
+        surface.save(args.output)
+        print(
+            f"wrote {args.output}: {len(surface)} defects "
+            f"({charged} charged) on a {args.columns}x{args.rows} region"
+        )
+    else:
+        print(surface.to_json())
+    return 0
+
+
+def _benchmark_name(value: str) -> str:
+    """Argparse type: a built-in benchmark name, rejected with choices."""
+    if value not in api.BENCHMARK_NAMES:
+        raise argparse.ArgumentTypeError(
+            f"unknown benchmark {value!r} "
+            f"(choose from {', '.join(sorted(api.BENCHMARK_NAMES))})"
+        )
+    return value
+
+
+def _trace_options() -> argparse.ArgumentParser:
+    """Parent parser: observability options shared by flow commands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument("--trace", action="store_true",
+                       help="print the observability trace tree")
+    group.add_argument("--trace-json", metavar="PATH",
+                       help="write the observability trace as JSON")
+    return parent
+
+
+def _engine_options() -> argparse.ArgumentParser:
+    """Parent parser: engine knobs shared by flow commands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("physical design engine")
+    group.add_argument("--engine", default="auto",
+                       choices=[engine.value for engine in api.Engine])
+    group.add_argument("--conflict-limit", type=int, default=400_000)
+    group.add_argument("--time-limit", type=float, default=None)
+    group.add_argument("--defects", metavar="PATH",
+                       help="design around the surface defects in PATH "
+                            "(JSON, see 'defects sample')")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SiDB design automation (Bestagon flow)"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    trace_options = _trace_options()
+    engine_options = _engine_options()
 
-    synth = sub.add_parser("synth", help="run the 8-step flow")
+    synth = sub.add_parser("synth", help="run the 8-step flow",
+                           parents=[engine_options, trace_options])
     synth.add_argument("spec", help="Verilog file or benchmark name")
-    synth.add_argument("--engine", default="auto",
-                       choices=["exact", "heuristic", "auto"])
-    synth.add_argument("--conflict-limit", type=int, default=400_000)
-    synth.add_argument("--time-limit", type=float, default=None)
     synth.add_argument("-o", "--output", help="write .sqd design file")
     synth.add_argument("--svg", help="write SVG rendering")
     synth.add_argument("--ascii", action="store_true",
                        help="print ASCII layout")
-    synth.add_argument("--trace", action="store_true",
-                       help="print the observability trace tree")
-    synth.add_argument("--trace-json", metavar="PATH",
-                       help="write the observability trace as JSON")
     synth.set_defaults(handler=cmd_synth)
 
-    bench = sub.add_parser("bench", help="Table-1 style rows")
-    bench.add_argument("names", nargs="*")
-    bench.add_argument("--conflict-limit", type=int, default=150_000)
-    bench.set_defaults(handler=cmd_bench)
+    bench = sub.add_parser("bench", help="Table-1 style rows",
+                           parents=[engine_options, trace_options])
+    bench.add_argument("names", nargs="*",
+                       type=_benchmark_name,
+                       metavar="name",
+                       help="benchmark names "
+                            f"({', '.join(sorted(api.BENCHMARK_NAMES))})")
+    bench.set_defaults(conflict_limit=150_000, handler=cmd_bench)
 
-    validate = sub.add_parser("validate", help="physics-check library tiles")
+    validate = sub.add_parser("validate", help="physics-check library tiles",
+                              parents=[trace_options])
     validate.add_argument("names", nargs="*")
     validate.set_defaults(handler=cmd_validate)
 
     library = sub.add_parser("library", help="list Bestagon tile designs")
     library.set_defaults(handler=cmd_library)
+
+    defects = sub.add_parser("defects", help="surface-defect utilities")
+    defects_sub = defects.add_subparsers(dest="defects_command", required=True)
+    sample = defects_sub.add_parser(
+        "sample", help="generate a random defective surface"
+    )
+    sample.add_argument("--columns", type=int, default=120,
+                        help="region width in lattice columns")
+    sample.add_argument("--rows", type=int, default=92,
+                        help="region height in lattice sub-rows")
+    sample.add_argument("--density", type=float, default=1e-4,
+                        help="defect density per nm^2")
+    sample.add_argument("--seed", type=int, default=0)
+    sample.add_argument("--charged-fraction", type=float, default=0.5,
+                        help="fraction of charged (vs. structural) defects")
+    sample.add_argument("-o", "--output", metavar="PATH",
+                        help="write the surface as JSON (default: stdout)")
+    sample.set_defaults(handler=cmd_defects_sample)
     return parser
 
 

@@ -1,0 +1,39 @@
+"""``repro.defects`` -- atomic defect-aware physical design.
+
+The Bestagon flow assumes a pristine H-Si(100)-2x1 surface; this
+subsystem models the charged and structural defects of real fabrication
+surfaces [Walter et al., arXiv:2311.12042] and threads them through the
+stack:
+
+* :mod:`repro.defects.model` -- the defect taxonomy, the
+  :class:`SurfaceDefects` collection (JSON round-trip, random
+  sampling at a target density);
+* :mod:`repro.defects.exclusion` -- lifting defects to blocked tiles of
+  the hexagonal floor plan (the >= 10 nm separation rule);
+* :mod:`repro.defects.aware` -- defect-aware operational re-validation
+  of placed tiles with nearby charges folded into the energy model.
+"""
+
+from repro.defects.model import DefectType, SidbDefect, SurfaceDefects
+from repro.defects.exclusion import (
+    blocked_tiles,
+    defects_near_tile,
+    tile_is_blocked,
+)
+from repro.defects.aware import (
+    DefectAwareReport,
+    TileDefectCheck,
+    recheck_layout_against_defects,
+)
+
+__all__ = [
+    "DefectType",
+    "SidbDefect",
+    "SurfaceDefects",
+    "blocked_tiles",
+    "defects_near_tile",
+    "tile_is_blocked",
+    "DefectAwareReport",
+    "TileDefectCheck",
+    "recheck_layout_against_defects",
+]

@@ -1,0 +1,215 @@
+"""Defect-aware operational re-validation of placed gate tiles.
+
+Blacklisting keeps charged defects out of every tile's >= 10 nm
+exclusion zone, but a charge sitting *just outside* that zone still
+perturbs the electrostatics of the tile under it.  This module
+re-validates each placed tile of a gate-level layout against the
+defects under (and around) its hexagon: the tile's dot-accurate design
+is translated to its lattice position and the nearby fixed charges are
+folded into the ground-state simulation of every input pattern
+(:func:`repro.sidb.operational.check_operational` with ``defects``).
+
+At zero defects every tile is trivially operational and no simulation
+runs, so the pristine flow is untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.coords.hexagonal import HexCoord
+from repro.defects.exclusion import defects_near_tile
+from repro.defects.model import SidbDefect, SurfaceDefects
+from repro.gatelib.library import BestagonLibrary
+from repro.gatelib.tile import TileGeometry
+from repro.layout.gate_layout import GateLevelLayout
+from repro.sidb.operational import GateFunctionSpec, check_operational
+from repro.sidb.simanneal import SimAnnealParameters
+from repro.tech.constants import DEFECT_INFLUENCE_RADIUS_NM
+from repro.tech.parameters import SiDBSimulationParameters
+
+
+@dataclass
+class TileDefectCheck:
+    """Re-validation outcome of one placed tile.
+
+    ``operational`` means *no defect-caused regression*: every input
+    pattern that simulates correctly on the pristine surface still does
+    with the defects present.  Judging against the pristine baseline --
+    rather than absolute correctness -- isolates the defect's impact
+    from any pre-existing imperfection of the tile design itself.
+    """
+
+    coord: HexCoord
+    design_name: str
+    nearby_defects: int
+    operational: bool
+    #: Patterns that simulated correctly / total (0/0 when skipped).
+    patterns_correct: int = 0
+    patterns_total: int = 0
+    #: Patterns correct on the pristine surface (the comparison basis).
+    patterns_pristine: int = 0
+
+    @property
+    def skipped(self) -> bool:
+        """True when no defect was near and no simulation ran."""
+        return self.nearby_defects == 0
+
+
+@dataclass
+class DefectAwareReport:
+    """Aggregated defect re-validation of a whole layout."""
+
+    operational: bool
+    tiles: list[TileDefectCheck] = field(default_factory=list)
+    defects_total: int = 0
+    influence_radius_nm: float = DEFECT_INFLUENCE_RADIUS_NM
+
+    @property
+    def tiles_checked(self) -> int:
+        """Tiles that actually ran a defect-aware simulation."""
+        return sum(1 for tile in self.tiles if not tile.skipped)
+
+    @property
+    def failing_tiles(self) -> list[TileDefectCheck]:
+        return [tile for tile in self.tiles if not tile.operational]
+
+    def summary(self) -> str:
+        if not self.defects_total:
+            return "no surface defects"
+        verdict = "operational" if self.operational else "NOT operational"
+        return (
+            f"{self.defects_total} surface defects, "
+            f"{self.tiles_checked}/{len(self.tiles)} tiles re-simulated, "
+            f"{verdict}"
+        )
+
+
+def structural_defect_sites(
+    defects: SurfaceDefects | list[SidbDefect],
+) -> set:
+    """Lattice sites destroyed by structural defects."""
+    return {d.site for d in defects if d.is_structural}
+
+
+def recheck_layout_against_defects(
+    layout: GateLevelLayout,
+    defects: SurfaceDefects,
+    library: BestagonLibrary | None = None,
+    geometry: TileGeometry | None = None,
+    parameters: SiDBSimulationParameters | None = None,
+    influence_radius_nm: float = DEFECT_INFLUENCE_RADIUS_NM,
+    engine: str = "auto",
+    schedule: SimAnnealParameters | None = None,
+) -> DefectAwareReport:
+    """Re-validate every placed tile against the defects under it.
+
+    For each occupied tile, charged defects within
+    ``influence_radius_nm`` of the tile footprint become fixed point
+    charges in the tile's operational check; a structural defect
+    coinciding with one of the design's SiDB sites fails the tile
+    outright (the dot cannot be fabricated).  Tiles with no nearby
+    defect are reported as skipped -- their pristine validation stands.
+
+    A tile fails only on a *regression*: an input pattern correct on
+    the pristine surface that the defects flip.  The pristine baseline
+    is simulated once per distinct design (translation leaves the
+    electrostatics invariant, so the untranslated design suffices).
+    """
+    library = library or BestagonLibrary()
+    geometry = geometry or TileGeometry()
+    parameters = parameters or SiDBSimulationParameters.bestagon()
+    blocked_sites = structural_defect_sites(defects)
+    report = DefectAwareReport(
+        operational=True,
+        defects_total=len(defects),
+        influence_radius_nm=influence_radius_nm,
+    )
+    baselines: dict[str, object] = {}
+
+    def pristine_baseline(design):
+        if design.name not in baselines:
+            baselines[design.name] = check_operational(
+                body_sites=list(design.sites)
+                + list(design.output_perturbers),
+                input_stimuli=[
+                    (list(far), list(close))
+                    for far, close in design.input_stimuli
+                ],
+                output_pairs=list(design.output_pairs),
+                spec=GateFunctionSpec(design.functions),
+                parameters=parameters,
+                engine=engine,
+                schedule=schedule,
+            )
+        return baselines[design.name]
+
+    for coord, content in layout.occupied():
+        design = library.design_for(content)
+        nearby = defects_near_tile(
+            coord, defects, influence_radius_nm, geometry
+        )
+        column0, row0 = geometry.origin_of(coord)
+        translated_sites = [
+            site.translated(column0, row0) for site in design.sites
+        ]
+        # A defect on one of the design's own sites breaks the tile
+        # outright: structural kinds destroy the dot, and a fixed
+        # charge in its place leaves no site to host the DB- electron.
+        clobbered = blocked_sites.intersection(translated_sites) | (
+            {d.site for d in nearby} & set(translated_sites)
+        )
+        nearby = [d for d in nearby if d.site not in clobbered]
+        check = TileDefectCheck(
+            coord=coord,
+            design_name=design.name,
+            nearby_defects=len(nearby) + len(clobbered),
+            operational=True,
+        )
+        if clobbered:
+            check.operational = False
+        elif nearby:
+            tile_report = check_operational(
+                body_sites=translated_sites
+                + [
+                    site.translated(column0, row0)
+                    for site in design.output_perturbers
+                ],
+                input_stimuli=[
+                    (
+                        [site.translated(column0, row0) for site in far],
+                        [site.translated(column0, row0) for site in close],
+                    )
+                    for far, close in design.input_stimuli
+                ],
+                output_pairs=[
+                    pair.translated(column0, row0)
+                    for pair in design.output_pairs
+                ],
+                spec=GateFunctionSpec(design.functions),
+                parameters=parameters,
+                engine=engine,
+                schedule=schedule,
+                defects=nearby,
+            )
+            baseline = pristine_baseline(design)
+            check.operational = not any(
+                base.correct and not with_defects.correct
+                for base, with_defects in zip(
+                    baseline.patterns, tile_report.patterns
+                )
+            )
+            check.patterns_total = len(tile_report.patterns)
+            check.patterns_correct = sum(
+                1 for pattern in tile_report.patterns if pattern.correct
+            )
+            check.patterns_pristine = sum(
+                1 for pattern in baseline.patterns if pattern.correct
+            )
+        obs.add("defects.checked", check.nearby_defects)
+        if not check.skipped:
+            obs.add("defects.tiles_rechecked")
+        report.tiles.append(check)
+        report.operational = report.operational and check.operational
+    return report

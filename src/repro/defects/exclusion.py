@@ -1,0 +1,136 @@
+"""Defect exclusion zones on the hexagonal floor plan.
+
+Physical design works on whole Bestagon tiles, so defects are lifted
+from lattice coordinates to tile coordinates:
+
+* a **structural** defect blocks every tile whose 60x46-site footprint
+  covers it -- the tile's SiDB design cannot be fabricated there;
+* a **charged** defect blocks every tile whose *logic design canvas*
+  comes closer than the >= 10 nm Coulombic separation rule allows
+  (:data:`~repro.tech.constants.MIN_DEFECT_SEPARATION_NM`) -- the fixed
+  charge would bias the gate's ground state.
+
+The resulting blacklist feeds the exact engine (as SAT blocking
+clauses) and the heuristic engine (as placement conflicts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.coords.hexagonal import HexCoord
+from repro.defects.model import SidbDefect, SurfaceDefects
+from repro.gatelib.tile import CANVAS_FIRST_ROW, CANVAS_LAST_ROW, TileGeometry
+from repro.tech.constants import (
+    BOUNDING_BOX_PITCH_NM,
+    MIN_DEFECT_SEPARATION_NM,
+)
+
+
+@dataclass(frozen=True)
+class _Rect:
+    """An axis-aligned rectangle in physical (nm) coordinates."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def contains(self, x: float, y: float) -> bool:
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def distance_to(self, x: float, y: float) -> float:
+        """Euclidean distance from a point to the rectangle (0 inside)."""
+        dx = max(self.min_x - x, 0.0, x - self.max_x)
+        dy = max(self.min_y - y, 0.0, y - self.max_y)
+        return (dx * dx + dy * dy) ** 0.5
+
+
+def tile_footprint_nm(
+    coord: HexCoord, geometry: TileGeometry | None = None
+) -> _Rect:
+    """Physical bounding box of a tile's full 60x46-site footprint."""
+    geometry = geometry or TileGeometry()
+    column0, row0 = geometry.origin_of(coord)
+    return _Rect(
+        min_x=column0 * BOUNDING_BOX_PITCH_NM,
+        min_y=row0 * BOUNDING_BOX_PITCH_NM,
+        max_x=(column0 + geometry.width_columns - 1) * BOUNDING_BOX_PITCH_NM,
+        max_y=(row0 + geometry.height_rows - 1) * BOUNDING_BOX_PITCH_NM,
+    )
+
+
+def tile_canvas_nm(
+    coord: HexCoord, geometry: TileGeometry | None = None
+) -> _Rect:
+    """Physical bounding box of a tile's logic design canvas."""
+    geometry = geometry or TileGeometry()
+    column0, row0 = geometry.origin_of(coord)
+    return _Rect(
+        min_x=column0 * BOUNDING_BOX_PITCH_NM,
+        min_y=(row0 + CANVAS_FIRST_ROW) * BOUNDING_BOX_PITCH_NM,
+        max_x=(column0 + geometry.width_columns - 1) * BOUNDING_BOX_PITCH_NM,
+        max_y=(row0 + CANVAS_LAST_ROW) * BOUNDING_BOX_PITCH_NM,
+    )
+
+
+def tile_is_blocked(
+    coord: HexCoord,
+    defects: SurfaceDefects | Iterable[SidbDefect],
+    geometry: TileGeometry | None = None,
+    separation_nm: float = MIN_DEFECT_SEPARATION_NM,
+) -> bool:
+    """Whether a tile position violates a defect exclusion zone."""
+    geometry = geometry or TileGeometry()
+    footprint = tile_footprint_nm(coord, geometry)
+    canvas = tile_canvas_nm(coord, geometry)
+    for defect in defects:
+        x, y = defect.position_nm
+        if defect.is_structural and footprint.contains(x, y):
+            return True
+        if defect.is_charged and canvas.distance_to(x, y) < separation_nm:
+            return True
+    return False
+
+
+def blocked_tiles(
+    width: int,
+    height: int,
+    defects: SurfaceDefects | Iterable[SidbDefect] | None,
+    geometry: TileGeometry | None = None,
+    separation_nm: float = MIN_DEFECT_SEPARATION_NM,
+) -> frozenset[tuple[int, int]]:
+    """The (x, y) tile positions of a ``width x height`` floor plan that
+    are unusable under the given surface defects."""
+    if not defects:
+        return frozenset()
+    geometry = geometry or TileGeometry()
+    defect_list = list(defects)
+    return frozenset(
+        (x, y)
+        for y in range(height)
+        for x in range(width)
+        if tile_is_blocked(HexCoord(x, y), defect_list, geometry, separation_nm)
+    )
+
+
+def defects_near_tile(
+    coord: HexCoord,
+    defects: SurfaceDefects | Iterable[SidbDefect],
+    radius_nm: float,
+    geometry: TileGeometry | None = None,
+) -> list[SidbDefect]:
+    """Charged defects within ``radius_nm`` of a tile's footprint.
+
+    These are the fixed point charges a placed tile's operational
+    re-validation must fold into its energy model.
+    """
+    geometry = geometry or TileGeometry()
+    footprint = tile_footprint_nm(coord, geometry)
+    return [
+        defect
+        for defect in defects
+        if defect.is_charged
+        and footprint.distance_to(*defect.position_nm) <= radius_nm
+    ]

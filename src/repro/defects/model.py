@@ -1,0 +1,279 @@
+"""Surface-defect model of the H-Si(100)-2x1 surface.
+
+Real fabrication surfaces are never pristine: scanning-probe imaging
+reveals charged defects (stray dangling bonds, silicon vacancies,
+subsurface arsenic dopants) and structural defects (siloxane dimers,
+missing dimers, etch pits, step edges, raised silicon) at densities that
+make defect-free regions of gate-library scale rare [Walter et al.,
+arXiv:2311.12042].  The two families affect a design differently:
+
+* **charged defects** carry a fixed charge that perturbs the
+  electrostatics of every nearby SiDB -- they are folded into the
+  :class:`~repro.sidb.energy.EnergyModel` as fixed point charges;
+* **structural defects** locally destroy the lattice -- no SiDB can be
+  fabricated on (or immediately around) the affected sites, so they
+  *block* lattice sites and, transitively, any standard tile whose
+  footprint covers them.
+
+:class:`SurfaceDefects` is the collection the physical design flow
+consumes; it round-trips through a simple JSON format (and rides along
+in ``.sqd`` design files, see :mod:`repro.sqd.sqd`) and can be sampled
+randomly at a target density for robustness sweeps.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.coords.lattice import LatticeSite
+from repro.tech.constants import LATTICE_A_NM, LATTICE_B_NM
+
+
+class DefectType(enum.Enum):
+    """Surface defect taxonomy (after SiQAD / fiction's defect model)."""
+
+    #: A stray dangling bond -- charged like a logic DB-.
+    DB = "db"
+    #: A charged silicon vacancy.
+    SI_VACANCY = "si_vacancy"
+    #: An ionized subsurface arsenic donor (positive).
+    ARSENIC = "arsenic"
+    #: A siloxane reconstruction of a dimer (structural).
+    SILOXANE = "siloxane"
+    #: A raised silicon atom (structural).
+    RAISED_SI = "raised_si"
+    #: A missing surface dimer (structural).
+    MISSING_DIMER = "missing_dimer"
+    #: An etch pit (structural).
+    ETCH_PIT = "etch_pit"
+    #: A monoatomic step edge (structural).
+    STEP_EDGE = "step_edge"
+    #: An unclassified structural anomaly.
+    UNKNOWN = "unknown"
+
+    @property
+    def is_charged(self) -> bool:
+        """Whether this defect type carries a fixed charge."""
+        return self in _CHARGED_TYPES
+
+    @property
+    def default_charge(self) -> int:
+        """Default charge in units of the elementary charge e."""
+        return _DEFAULT_CHARGES.get(self, 0)
+
+
+_CHARGED_TYPES = frozenset(
+    {DefectType.DB, DefectType.SI_VACANCY, DefectType.ARSENIC}
+)
+_DEFAULT_CHARGES = {
+    DefectType.DB: -1,
+    DefectType.SI_VACANCY: -1,
+    DefectType.ARSENIC: 1,
+}
+
+
+@dataclass(frozen=True)
+class SidbDefect:
+    """One surface defect at a lattice site.
+
+    ``charge`` is in units of e (negative repels the DB- electrons of
+    the logic); ``None`` selects the type's default.  ``epsilon_r`` and
+    ``lambda_tf`` optionally override the simulation's screening
+    parameters for this defect's potential (sub-surface dopants screen
+    differently than surface charges); ``None`` inherits the
+    simulation parameters.
+    """
+
+    site: LatticeSite
+    kind: DefectType = DefectType.DB
+    charge: int | None = None
+    epsilon_r: float | None = None
+    lambda_tf: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.charge is None:
+            object.__setattr__(self, "charge", self.kind.default_charge)
+
+    @property
+    def is_charged(self) -> bool:
+        return self.charge != 0
+
+    @property
+    def is_structural(self) -> bool:
+        return not self.kind.is_charged
+
+    @property
+    def position_nm(self) -> tuple[float, float]:
+        return self.site.position_nm
+
+    def to_dict(self) -> dict:
+        record: dict = {
+            "n": self.site.n,
+            "m": self.site.m,
+            "l": self.site.l,
+            "type": self.kind.value,
+        }
+        if self.charge != self.kind.default_charge:
+            record["charge"] = self.charge
+        if self.epsilon_r is not None:
+            record["epsilon_r"] = self.epsilon_r
+        if self.lambda_tf is not None:
+            record["lambda_tf"] = self.lambda_tf
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "SidbDefect":
+        try:
+            kind = DefectType(record.get("type", "db"))
+        except ValueError:
+            raise ValueError(
+                f"unknown defect type {record.get('type')!r} "
+                f"(known: {', '.join(sorted(t.value for t in DefectType))})"
+            ) from None
+        return cls(
+            site=LatticeSite(
+                int(record["n"]), int(record["m"]), int(record.get("l", 0))
+            ),
+            kind=kind,
+            charge=(
+                int(record["charge"]) if "charge" in record else None
+            ),
+            epsilon_r=(
+                float(record["epsilon_r"])
+                if record.get("epsilon_r") is not None
+                else None
+            ),
+            lambda_tf=(
+                float(record["lambda_tf"])
+                if record.get("lambda_tf") is not None
+                else None
+            ),
+        )
+
+
+class SurfaceDefects:
+    """An ordered collection of surface defects (at most one per site)."""
+
+    def __init__(self, defects: Iterable[SidbDefect] = ()) -> None:
+        self._defects: list[SidbDefect] = []
+        self._by_site: dict[LatticeSite, SidbDefect] = {}
+        for defect in defects:
+            self.add(defect)
+
+    def add(self, defect: SidbDefect) -> None:
+        if defect.site in self._by_site:
+            raise ValueError(f"duplicate defect at {defect.site}")
+        self._by_site[defect.site] = defect
+        self._defects.append(defect)
+
+    def __len__(self) -> int:
+        return len(self._defects)
+
+    def __bool__(self) -> bool:
+        return bool(self._defects)
+
+    def __iter__(self) -> Iterator[SidbDefect]:
+        return iter(self._defects)
+
+    def __contains__(self, site: LatticeSite) -> bool:
+        return site in self._by_site
+
+    def at(self, site: LatticeSite) -> SidbDefect | None:
+        return self._by_site.get(site)
+
+    def charged(self) -> list[SidbDefect]:
+        """Defects with a nonzero fixed charge."""
+        return [d for d in self._defects if d.is_charged]
+
+    def structural(self) -> list[SidbDefect]:
+        """Defects that physically block lattice sites."""
+        return [d for d in self._defects if d.is_structural]
+
+    def __repr__(self) -> str:
+        return (
+            f"SurfaceDefects({len(self._defects)} defects: "
+            f"{len(self.charged())} charged, "
+            f"{len(self.structural())} structural)"
+        )
+
+    # --- serialization ----------------------------------------------------
+    def to_json(self) -> str:
+        """The collection as a JSON document."""
+        return json.dumps(
+            {"defects": [defect.to_dict() for defect in self._defects]},
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SurfaceDefects":
+        """Parse the JSON produced by :meth:`to_json`."""
+        document = json.loads(text)
+        if isinstance(document, dict):
+            records = document.get("defects", [])
+        elif isinstance(document, list):
+            records = document
+        else:
+            raise ValueError("defect JSON must be an object or a list")
+        return cls(SidbDefect.from_dict(record) for record in records)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "SurfaceDefects":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    # --- random surfaces --------------------------------------------------
+    @classmethod
+    def sample(
+        cls,
+        columns: int,
+        rows: int,
+        density_per_nm2: float,
+        seed: int = 0,
+        charged_fraction: float = 0.5,
+    ) -> "SurfaceDefects":
+        """A random defect surface over ``columns x rows`` lattice sites.
+
+        ``density_per_nm2`` is the target defect density (defects per
+        nm^2 of surface area); ``charged_fraction`` splits the draw
+        between charged (DB / vacancy / arsenic) and structural
+        (siloxane / missing dimer / etch pit) types.  Deterministic in
+        ``seed`` for reproducible robustness sweeps.
+        """
+        if columns < 1 or rows < 1:
+            raise ValueError("surface must span at least one site")
+        if density_per_nm2 < 0:
+            raise ValueError("defect density must be non-negative")
+        if not 0.0 <= charged_fraction <= 1.0:
+            raise ValueError("charged_fraction must be within [0, 1]")
+        area_nm2 = (columns * LATTICE_A_NM) * (rows / 2 * LATTICE_B_NM)
+        count = round(density_per_nm2 * area_nm2)
+        rng = random.Random(seed)
+        charged_kinds = sorted(_CHARGED_TYPES, key=lambda t: t.value)
+        structural_kinds = [
+            DefectType.SILOXANE,
+            DefectType.MISSING_DIMER,
+            DefectType.ETCH_PIT,
+        ]
+        defects = cls()
+        attempts = 0
+        while len(defects) < count and attempts < 50 * count:
+            attempts += 1
+            site = LatticeSite.from_row(
+                rng.randrange(columns), rng.randrange(rows)
+            )
+            if site in defects:
+                continue
+            if rng.random() < charged_fraction:
+                kind = rng.choice(charged_kinds)
+            else:
+                kind = rng.choice(structural_kinds)
+            defects.add(SidbDefect(site, kind))
+        return defects

@@ -13,10 +13,16 @@
 
 from __future__ import annotations
 
+import enum
 import time
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.defects.aware import (
+    DefectAwareReport,
+    recheck_layout_against_defects,
+)
+from repro.defects.model import SurfaceDefects
 from repro.gatelib.apply import apply_library
 from repro.gatelib.library import BestagonLibrary
 from repro.layout.clocking import ClockingScheme, columnar_rows
@@ -61,11 +67,29 @@ FLOW_STEP_SPANS = (
 )
 
 
-@dataclass
-class FlowConfiguration:
-    """Knobs of the design flow."""
+class Engine(str, enum.Enum):
+    """Physical design engine selector.
 
-    engine: str = "auto"  # "exact", "heuristic" or "auto"
+    A ``str`` subclass so existing string comparisons
+    (``config.engine == "exact"``) keep working; plain strings are
+    normalized to enum members by :class:`FlowConfiguration`.
+    """
+
+    AUTO = "auto"
+    EXACT = "exact"
+    HEURISTIC = "heuristic"
+
+
+@dataclass(kw_only=True)
+class FlowConfiguration:
+    """Knobs of the design flow (keyword-only).
+
+    ``engine`` accepts an :class:`Engine` member or its string value;
+    unknown strings are rejected at construction time with the valid
+    choices listed.
+    """
+
+    engine: Engine | str = Engine.AUTO
     clocking: ClockingScheme = field(default_factory=columnar_rows)
     rewrite: bool = True
     verify: bool = True
@@ -78,10 +102,22 @@ class FlowConfiguration:
     database: NpnDatabase | None = None
     library: BestagonLibrary | None = None
     design_rules: DesignRules = field(default_factory=DesignRules)
+    #: Surface defects to design around; ``None`` or an empty
+    #: collection leaves every step bit-identical to the pristine flow.
+    defects: SurfaceDefects | None = None
     #: Record an observability trace for this run (force-enables the
     #: :mod:`repro.obs` recorder for the duration).  With ``False`` the
     #: flow still records when the recorder is enabled globally.
     trace: bool = True
+
+    def __post_init__(self) -> None:
+        try:
+            self.engine = Engine(self.engine)
+        except ValueError:
+            choices = ", ".join(repr(e.value) for e in Engine)
+            raise ValueError(
+                f"unknown engine {self.engine!r} (choose from {choices})"
+            ) from None
 
 
 @dataclass
@@ -103,6 +139,9 @@ class DesignResult:
     #: The finished observability trace of this run (``None`` when the
     #: flow ran with ``trace=False`` and the recorder disabled).
     trace: obs.Span | None = None
+    #: Result of the defect-aware operational recheck (``None`` unless
+    #: the flow ran with surface defects configured).
+    defect_report: DefectAwareReport | None = None
 
     @property
     def width(self) -> int:
@@ -137,12 +176,19 @@ class DesignResult:
             verified = "verified"
         else:
             verified = "NOT EQUIVALENT"
-        return (
+        text = (
             f"{self.name}: {self.width}x{self.height} = {self.area_tiles} "
             f"tiles, {self.num_sidbs} SiDBs, {self.area_nm2:.2f} nm^2, "
             f"{verified} ({self.engine_used}, "
             f"{self.runtime_seconds:.2f} s)"
         )
+        if self.defect_report is not None:
+            state = "ok" if self.defect_report.operational else "FAILING"
+            text += (
+                f", defects: {state} "
+                f"({self.defect_report.defects_total} on surface)"
+            )
+        return text
 
 
 def design_sidb_circuit(
@@ -217,9 +263,21 @@ def design_sidb_circuit(
             sidb_layout = apply_library(layout, library)
             span.set("sidbs", len(sidb_layout))
 
+        # Defect-aware operational recheck (only with defects present,
+        # so the pristine flow stays bit-identical, trace included).
+        defect_report = None
+        if config.defects:
+            with obs.span("flow.defects") as span:
+                defect_report = recheck_layout_against_defects(
+                    layout, config.defects, library=library
+                )
+                span.set("defects", defect_report.defects_total)
+                span.set("tiles", len(defect_report.tiles))
+                span.set("operational", defect_report.operational)
+
         # Step 8: SiQAD design-file generation.
         with obs.span("flow.sqd") as span:
-            sqd = write_sqd(sidb_layout, name)
+            sqd = write_sqd(sidb_layout, name, config.defects)
             span.set("bytes", len(sqd))
 
         if captured.span is not None:
@@ -240,6 +298,7 @@ def design_sidb_circuit(
         runtime_seconds=time.time() - start,
         sqd=sqd,
         trace=captured.span,
+        defect_report=defect_report,
     )
 
 
@@ -255,6 +314,7 @@ def _place_and_route(
             conflict_limit=config.exact_conflict_limit,
             clocking=config.clocking,
             time_limit_seconds=config.exact_time_limit_seconds,
+            defects=config.defects,
         )
         try:
             return engine.run(mapped, ExactStatistics()), "exact"
@@ -266,5 +326,6 @@ def _place_and_route(
         max_width=config.heuristic_max_width,
         restarts_per_width=4,
         moves_per_restart=2500,
+        defects=config.defects,
     )
     return heuristic.run(mapped, HeuristicStatistics()), "heuristic"

@@ -49,17 +49,27 @@ def placement_conflicts(
     width: int,
     columns: dict[int, int],
     collect: bool = False,
+    blocked: frozenset[tuple[int, int]] | None = None,
 ) -> int | list[str]:
-    """Number (or description list) of violated placement constraints."""
+    """Number (or description list) of violated placement constraints.
+
+    ``blocked`` optionally lists (column, row) tiles blacklisted by
+    defect exclusion zones.  A node sitting on one is weighted heavier
+    than a single routing conflict: vacating a blocked tile typically
+    breaks a couple of adjacency constraints, and with equal weights
+    that trade is a strict local minimum the min-conflicts search
+    cannot escape.  The weight makes leaving the defect always pay off;
+    zero conflicts still means a fully legal, defect-free placement.
+    """
     network = levelized.network
     levels = levelized.levels
     fanouts = network.fanouts()
     conflicts = 0
     messages: list[str] = []
 
-    def flag(message: str) -> None:
+    def flag(message: str, weight: int = 1) -> None:
         nonlocal conflicts
-        conflicts += 1
+        conflicts += weight
         if collect:
             messages.append(message)
 
@@ -69,6 +79,8 @@ def placement_conflicts(
         row = levels[node]
         if not 0 <= x < width:
             flag(f"node {node} column {x} out of bounds")
+        if blocked and (x, row) in blocked:
+            flag(f"node {node} on defect-blocked tile ({x},{row})", weight=8)
         fanins = network.fanins(node)
         allowed = set(north_columns(x, row))
         for fanin in fanins:

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 from repro import obs
 from repro.coords.hexagonal import HexCoord, HexDirection
+from repro.defects.exclusion import blocked_tiles
 from repro.layout.clocking import ClockingScheme, columnar_rows
 from repro.layout.gate_layout import (
     GateLevelLayout,
@@ -94,6 +95,12 @@ class ExactStatistics:
     width: int = 0
     height: int = 0
     wire_tiles: int = 0
+    #: Tiles blacklisted by defect exclusion zones in the *winning*
+    #: candidate (0 on pristine surfaces).
+    blocked_tiles: int = 0
+    #: Candidates that came back UNSAT while tiles were blacklisted --
+    #: the searches the defects forced onto other floor plans.
+    defect_reroutes: int = 0
 
 
 @dataclass
@@ -106,6 +113,8 @@ class _Problem:
     asap: dict[int, int]
     alap: dict[int, int]
     edges: list[tuple[int, int]]  # (source, target) node pairs
+    #: Tile positions blacklisted by defect exclusion zones.
+    blocked: frozenset[tuple[int, int]] = frozenset()
 
 
 def _compute_windows(
@@ -156,11 +165,13 @@ class ExactPhysicalDesign:
         conflict_limit: int | None = 500_000,
         clocking: ClockingScheme | None = None,
         time_limit_seconds: float | None = None,
+        defects=None,
     ) -> None:
         self.max_width = max_width
         self.extra_rows = extra_rows
         self.conflict_limit = conflict_limit
         self.time_limit_seconds = time_limit_seconds
+        self.defects = defects
         self.clocking = clocking or columnar_rows()
         if not self.clocking.feed_forward:
             raise PhysicalDesignError(
@@ -191,6 +202,12 @@ class ExactPhysicalDesign:
         ]
         candidates.sort(key=lambda wh: (wh[0] * wh[1], wh[1]))
 
+        # Defect exclusion zones, computed once on the largest floor plan
+        # and cropped per candidate (tile origins are dimension-independent).
+        all_blocked = blocked_tiles(
+            self.max_width, height_min + self.extra_rows + 1, self.defects
+        )
+
         deadline = (
             time.monotonic() + self.time_limit_seconds
             if self.time_limit_seconds is not None
@@ -203,12 +220,21 @@ class ExactPhysicalDesign:
                     f"time limit of {self.time_limit_seconds} s exhausted"
                 )
             statistics.candidates_tried.append((width, height))
+            blocked = frozenset(
+                (x, y) for x, y in all_blocked if x < width and y < height
+            )
             with obs.span(
                 "exact.candidate", width=width, height=height
             ) as span:
+                if blocked:
+                    span.set("blocked", len(blocked))
                 layout = self._attempt(
-                    network, width, height, statistics, deadline, span
+                    network, width, height, statistics, deadline, span,
+                    blocked,
                 )
+            if layout is None and blocked:
+                statistics.defect_reroutes += 1
+                obs.add("defects.reroutes")
             if layout == "timeout":
                 # A conflict-limited candidate proves nothing about the
                 # *other* candidates -- larger floor plans are usually
@@ -224,6 +250,9 @@ class ExactPhysicalDesign:
             if layout is not None:
                 statistics.width = layout.width
                 statistics.height = layout.height
+                statistics.blocked_tiles = len(blocked)
+                if blocked:
+                    obs.add("defects.tiles_blacklisted", len(blocked))
                 return layout
         if timeouts:
             raise PhysicalDesignBudgetError(
@@ -247,6 +276,7 @@ class ExactPhysicalDesign:
         statistics: ExactStatistics,
         deadline: float | None = None,
         span: "obs.Span | obs.NullSpan" = obs.NULL_SPAN,
+        blocked: frozenset[tuple[int, int]] = frozenset(),
     ) -> GateLevelLayout | str | None:
         attempt = CandidateAttempt(width, height)
         statistics.attempts.append(attempt)
@@ -262,7 +292,9 @@ class ExactPhysicalDesign:
                 for node in network.nodes()
                 for fanin in network.fanins(node)
             ]
-            problem = _Problem(network, width, height, asap, alap, edges)
+            problem = _Problem(
+                network, width, height, asap, alap, edges, blocked
+            )
             encoding = _Encoding(problem)
             with obs.span("exact.encode"):
                 cnf = encoding.build()
@@ -500,7 +532,30 @@ class _Encoding:
         self._chain_constraints()
         self._border_constraints()
         self._capacity_constraints()
+        self._defect_constraints()
         return cnf
+
+    # --- defect exclusion zones ----------------------------------------
+    def _defect_constraints(self) -> None:
+        """Blocking clauses: no gate and no wire on a blacklisted tile.
+
+        One unit clause per (variable, blocked tile) pair -- the solver
+        eliminates them during preprocessing, so defect avoidance is
+        effectively free on the SAT side; the cost shows up only as the
+        larger floor plans the search may be rerouted onto.
+        """
+        blocked = self.problem.blocked
+        if not blocked:
+            return
+        cnf = self.cnf
+        for placements in self.gate_vars.values():
+            for position, var in placements.items():
+                if position in blocked:
+                    cnf.add_clause([-var])
+        for segments in self.segment_vars.values():
+            for position, var in segments.items():
+                if position in blocked:
+                    cnf.add_clause([-var])
 
     # --- chain structure -------------------------------------------------
     def _chain_constraints(self) -> None:

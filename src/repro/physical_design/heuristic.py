@@ -21,6 +21,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro import obs
+from repro.defects.exclusion import blocked_tiles
 from repro.layout.clocking import ClockingScheme, columnar_rows
 from repro.layout.gate_layout import GateLevelLayout
 from repro.networks.logic_network import LogicNetwork
@@ -42,6 +44,8 @@ class HeuristicStatistics:
     moves: int = 0
     width: int = 0
     height: int = 0
+    #: Tiles blacklisted by defect exclusion zones at the final width.
+    blocked_tiles: int = 0
 
 
 class HeuristicPhysicalDesign:
@@ -54,12 +58,14 @@ class HeuristicPhysicalDesign:
         restarts_per_width: int = 8,
         moves_per_restart: int = 4000,
         seed: int = 0,
+        defects=None,
     ) -> None:
         self.clocking = clocking or columnar_rows()
         self.max_width = max_width
         self.restarts_per_width = restarts_per_width
         self.moves_per_restart = moves_per_restart
         self.seed = seed
+        self.defects = defects
         if not self.clocking.feed_forward:
             raise PhysicalDesignError(
                 f"clocking scheme {self.clocking.name!r} is not feed-forward"
@@ -86,15 +92,26 @@ class HeuristicPhysicalDesign:
         )
         while width <= self.max_width:
             statistics.widths_tried.append(width)
+            # Defect exclusion zones at this floor-plan width: any node
+            # landing on a blocked tile is a conflict, so restarts keep
+            # retrying until the search routes around the defects.
+            blocked = blocked_tiles(width, levelized.height, self.defects)
             for _ in range(self.restarts_per_width):
                 statistics.restarts += 1
-                columns = self._search(levelized, width, rng, statistics)
+                columns = self._search(
+                    levelized, width, rng, statistics, blocked
+                )
                 if columns is not None:
                     statistics.width = width
                     statistics.height = levelized.height
+                    statistics.blocked_tiles = len(blocked)
+                    if blocked:
+                        obs.add("defects.tiles_blacklisted", len(blocked))
                     return decode_layout(
                         levelized, width, columns, self.clocking
                     )
+            if blocked:
+                obs.add("defects.reroutes")
             width += 1
         raise PhysicalDesignError(
             f"no layout within width limit {self.max_width}"
@@ -107,6 +124,7 @@ class HeuristicPhysicalDesign:
         width: int,
         rng: random.Random,
         statistics: HeuristicStatistics,
+        blocked: frozenset[tuple[int, int]] = frozenset(),
     ) -> dict[int, int] | None:
         network = levelized.network
         levels = levelized.levels
@@ -128,7 +146,7 @@ class HeuristicPhysicalDesign:
                 columns[node] = min(index, width - 1)
 
         nodes = list(network.nodes())
-        energy = placement_conflicts(levelized, width, columns)
+        energy = placement_conflicts(levelized, width, columns, blocked=blocked)
         for _ in range(self.moves_per_restart):
             if energy == 0:
                 return columns
@@ -144,7 +162,7 @@ class HeuristicPhysicalDesign:
                     continue
                 columns[node] = candidate
                 candidate_energy = placement_conflicts(
-                    levelized, width, columns
+                    levelized, width, columns, blocked=blocked
                 )
                 if candidate_energy < best_energy or (
                     candidate_energy == best_energy

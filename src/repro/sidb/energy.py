@@ -26,6 +26,7 @@ affordable.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
@@ -33,6 +34,9 @@ from repro.coords.lattice import LatticeSite
 from repro.sidb.charge import SidbLayout
 from repro.tech.constants import COULOMB_CONSTANT_EV_NM
 from repro.tech.parameters import SiDBSimulationParameters
+
+if TYPE_CHECKING:  # avoid a runtime repro.defects <-> repro.sidb cycle
+    from repro.defects.model import SidbDefect
 
 
 class GeometryCache:
@@ -117,6 +121,52 @@ def clear_geometry_cache() -> None:
     GEOMETRY_CACHE.clear()
 
 
+def external_potential_vector(
+    sites: tuple[LatticeSite, ...],
+    defects: "Iterable[SidbDefect]",
+    parameters: SiDBSimulationParameters,
+) -> np.ndarray | None:
+    """Per-site potential from fixed defect charges (eV), or ``None``.
+
+    Each charged defect contributes a Thomas-Fermi-screened Coulomb term
+    with its own screening overrides when set; the sign convention makes
+    a negatively charged defect (charge -1, like a stray DB-) *repel*
+    the DB- electrons of the logic, i.e. contribute positively, matching
+    the pairwise ``V_ij`` convention.  Returns ``None`` when no charged
+    defect is present, keeping the pristine path untouched.
+    """
+    charged = [d for d in defects if d.charge]
+    if not charged or not sites:
+        return None
+    positions = np.asarray([site.position_nm for site in sites], dtype=float)
+    potential = np.zeros(len(sites))
+    for defect in charged:
+        epsilon_r = (
+            defect.epsilon_r
+            if defect.epsilon_r is not None
+            else parameters.epsilon_r
+        )
+        lambda_tf = (
+            defect.lambda_tf
+            if defect.lambda_tf is not None
+            else parameters.lambda_tf
+        )
+        deltas = positions - np.asarray(defect.position_nm, dtype=float)
+        distances = np.sqrt((deltas**2).sum(axis=1))
+        if float(distances.min()) < 1e-9:
+            raise ValueError(
+                f"charged defect at {defect.site} coincides with an SiDB"
+            )
+        potential += (
+            -defect.charge
+            * COULOMB_CONSTANT_EV_NM
+            / epsilon_r
+            * np.exp(-distances / lambda_tf)
+            / distances
+        )
+    return potential
+
+
 class EnergyModel:
     """Interaction matrix of one SiDB layout at one parameter point.
 
@@ -124,21 +174,33 @@ class EnergyModel:
     only the screened-Coulomb rescale is computed per instance, so
     constructing many models of the same layout at different
     (eps_r, lambda_TF, mu_minus) points is cheap.
+
+    ``defects`` folds charged surface defects in as *fixed* point
+    charges: their screened potential at every site becomes the
+    ``external_potential`` vector added to all local potentials and to
+    the energy functional's on-site term.  With no charged defect the
+    vector is ``None`` and every computation follows the exact pristine
+    code path.
     """
 
     def __init__(
         self,
         layout: SidbLayout,
         parameters: SiDBSimulationParameters | None = None,
+        defects: "Iterable[SidbDefect]" = (),
     ) -> None:
         self.layout = layout
         self.parameters = parameters or SiDBSimulationParameters()
+        self.defects = tuple(defects)
         sites = tuple(layout.sites())
         distances, min_distance = GEOMETRY_CACHE.distance_matrix(sites)
         if min_distance < 1e-9:
             raise ValueError("two SiDBs coincide")
         self.distance_matrix = distances
         self.potential_matrix = self._rescale(distances, self.parameters)
+        self.external_potential = external_potential_vector(
+            sites, self.defects, self.parameters
+        )
 
     @staticmethod
     def _rescale(
@@ -167,8 +229,12 @@ class EnergyModel:
         clone = object.__new__(EnergyModel)
         clone.layout = self.layout
         clone.parameters = parameters
+        clone.defects = self.defects
         clone.distance_matrix = self.distance_matrix
         clone.potential_matrix = self._rescale(self.distance_matrix, parameters)
+        clone.external_potential = external_potential_vector(
+            tuple(self.layout.sites()), self.defects, parameters
+        )
         return clone
 
     @property
@@ -176,8 +242,11 @@ class EnergyModel:
         return len(self.layout)
 
     def local_potentials(self, occupation: np.ndarray) -> np.ndarray:
-        """v_i = sum_j V_ij n_j for one occupation vector."""
-        return self.potential_matrix @ np.asarray(occupation, dtype=float)
+        """v_i = sum_j V_ij n_j (plus any fixed defect potential)."""
+        potentials = self.potential_matrix @ np.asarray(occupation, dtype=float)
+        if self.external_potential is not None:
+            potentials = potentials + self.external_potential
+        return potentials
 
     def electrostatic_energy(self, occupation: np.ndarray) -> float:
         """Pairwise repulsion energy sum_{i<j} V_ij n_i n_j (eV)."""
@@ -187,9 +256,12 @@ class EnergyModel:
     def energy(self, occupation: np.ndarray) -> float:
         """Full energy functional including the chemical-potential term."""
         n = np.asarray(occupation, dtype=float)
-        return self.electrostatic_energy(n) + self.parameters.mu_minus * float(
+        total = self.electrostatic_energy(n) + self.parameters.mu_minus * float(
             n.sum()
         )
+        if self.external_potential is not None:
+            total += float(self.external_potential @ n)
+        return total
 
     def energy_delta_flip(
         self, occupation: np.ndarray, site: int, potentials: np.ndarray
@@ -209,8 +281,14 @@ class EnergyModel:
         interaction = 0.5 * np.einsum(
             "ki,ij,kj->k", n, self.potential_matrix, n
         )
-        return interaction + self.parameters.mu_minus * n.sum(axis=1)
+        total = interaction + self.parameters.mu_minus * n.sum(axis=1)
+        if self.external_potential is not None:
+            total = total + n @ self.external_potential
+        return total
 
     def batched_local_potentials(self, occupations: np.ndarray) -> np.ndarray:
         """Local potentials of many configurations (rows = configs)."""
-        return np.asarray(occupations, dtype=float) @ self.potential_matrix
+        potentials = np.asarray(occupations, dtype=float) @ self.potential_matrix
+        if self.external_potential is not None:
+            potentials = potentials + self.external_potential
+        return potentials

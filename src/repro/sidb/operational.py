@@ -27,6 +27,7 @@ from repro.coords.lattice import LatticeSite
 from repro.networks.truth_table import TruthTable
 from repro.sidb.bdl import BdlPair, read_bdl_pair
 from repro.sidb.charge import SidbLayout
+from repro.sidb.energy import EnergyModel
 from repro.sidb.exhaustive import exhaustive_ground_state
 from repro.sidb.parallel import PatternTask, run_tasks
 from repro.sidb.simanneal import SimAnneal, SimAnnealParameters
@@ -78,7 +79,7 @@ def simulate_pattern(task: PatternTask) -> PatternResult:
     """
     layout = task.build_layout()
     result = _ground_state(
-        layout, task.parameters, task.engine, task.schedule
+        layout, task.parameters, task.engine, task.schedule, task.defects
     )
     if result.ground_states:
         occupation = result.occupation()
@@ -120,6 +121,7 @@ def check_operational(
     engine: str = "auto",
     schedule: SimAnnealParameters | None = None,
     workers: int = 1,
+    defects=None,
 ) -> OperationalReport:
     """Simulate a gate design over all input patterns.
 
@@ -128,7 +130,10 @@ def check_operational(
     state finder: ``"exhaustive"``, ``"simanneal"`` or ``"auto"``
     (exhaustive when the system is small enough).  ``workers > 1`` fans
     the per-pattern simulations out over processes; results are
-    bit-identical to the serial default.
+    bit-identical to the serial default.  ``defects`` optionally lists
+    charged surface defects (:class:`~repro.defects.model.SidbDefect`)
+    folded into every pattern's energy model as fixed point charges;
+    with none the check is bit-identical to the pristine-surface result.
     """
     parameters = parameters or SiDBSimulationParameters()
     num_inputs = len(input_stimuli)
@@ -152,6 +157,7 @@ def check_operational(
             parameters=parameters,
             engine=engine,
             schedule=schedule,
+            defects=tuple(defects) if defects else (),
         )
         for pattern in range(1 << num_inputs)
     ]
@@ -167,9 +173,11 @@ def _ground_state(
     parameters: SiDBSimulationParameters,
     engine: str,
     schedule: SimAnnealParameters | None,
+    defects=(),
 ):
     if engine not in ("auto", "exhaustive", "simanneal"):
         raise ValueError(f"unknown engine {engine!r}")
+    model = EnergyModel(layout, parameters, defects) if defects else None
     if engine == "exhaustive" or (engine == "auto" and len(layout) <= 18):
-        return exhaustive_ground_state(layout, parameters)
-    return SimAnneal(layout, parameters, schedule).run()
+        return exhaustive_ground_state(layout, parameters, model=model)
+    return SimAnneal(layout, parameters, schedule, model=model).run()

@@ -93,7 +93,12 @@ def run_tasks(
 
 @dataclass(frozen=True)
 class PatternTask:
-    """One input pattern of an operational check, ready to ship."""
+    """One input pattern of an operational check, ready to ship.
+
+    ``defects`` carries the fixed charged defects (as picklable
+    :class:`~repro.defects.model.SidbDefect` records) to fold into the
+    pattern's energy model; empty on pristine surfaces.
+    """
 
     pattern: int
     body_sites: tuple[LatticeSite, ...]
@@ -103,6 +108,7 @@ class PatternTask:
     parameters: SiDBSimulationParameters
     engine: str
     schedule: SimAnnealParameters | None
+    defects: tuple = ()
 
     def build_layout(self) -> SidbLayout:
         """Body plus the pattern's chosen far/close input perturbers."""

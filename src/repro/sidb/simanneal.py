@@ -223,6 +223,15 @@ class SimAnneal:
         model = self.model
         n = model.num_sites
         mu = model.parameters.mu_minus
+        # On-site term: scalar mu on pristine surfaces, mu plus the fixed
+        # defect potential per site when charged defects are present.  The
+        # incremental w updates below stay valid either way because the
+        # external contribution is state-independent.
+        onsite = (
+            mu
+            if model.external_potential is None
+            else mu + model.external_potential
+        )
         matrix = model.potential_matrix
         schedule = self.schedule
         seeds = self.instance_seeds()
@@ -245,7 +254,7 @@ class SimAnneal:
             [(g.random(n) < 0.5) for g in generators]
         )
         w = np.zeros((batch, n1))
-        w[:, :n] = occupation[:, :n].astype(float) @ matrix + mu
+        w[:, :n] = occupation[:, :n].astype(float) @ matrix + onsite
 
         # All random draws for the whole run, one call per instance:
         # (sweeps, n) blocks of (site a, site b, Metropolis uniform).
@@ -330,7 +339,7 @@ class SimAnneal:
             # once and record exact best energies.
             occ_real = occupation[:, :n]
             potentials = occ_real.astype(float) @ matrix
-            w[:, :n] = potentials + mu
+            w[:, :n] = potentials + onsite
             slack = w[:, :n]
             occupied_mask = occ_real
             stable = ~(

@@ -5,6 +5,11 @@ for physical simulation and/or fabrication" (step 8); SiQAD's XML format
 is the interchange format of the SiDB community.  We emit the ``DB``
 layer with both lattice coordinates (``latcoord n m l``) and physical
 locations in angstroms (``physloc``), which SiQAD and fiction can read.
+
+Surface defects ride along in a dedicated ``Defects`` layer (one
+``<defect>`` per record with its lattice coordinate, type and charge),
+mirroring how SiQAD annotates fabrication imperfections; pristine
+layouts serialize byte-identically to the defect-free writer.
 """
 
 from __future__ import annotations
@@ -13,13 +18,18 @@ import xml.etree.ElementTree as ET
 from xml.dom import minidom
 
 from repro.coords.lattice import LatticeSite
+from repro.defects.model import DefectType, SidbDefect, SurfaceDefects
 from repro.sidb.charge import SidbLayout
 
 _PROGRAM_NAME = "repro-bestagon"
 _PROGRAM_VERSION = "1.0.0"
 
 
-def write_sqd(layout: SidbLayout, design_name: str = "layout") -> str:
+def write_sqd(
+    layout: SidbLayout,
+    design_name: str = "layout",
+    defects: SurfaceDefects | None = None,
+) -> str:
     """Serialize an SiDB layout as a SiQAD .sqd XML document."""
     root = ET.Element("siqad")
     program = ET.SubElement(root, "program")
@@ -53,6 +63,25 @@ def write_sqd(layout: SidbLayout, design_name: str = "layout") -> str:
             "physloc",
             {"x": f"{x_nm * 10:.6f}", "y": f"{y_nm * 10:.6f}"},
         )
+    if defects:
+        defect_layer = ET.SubElement(
+            design, "layer", {"type": "Defects", "name": "Defects"}
+        )
+        for defect in defects:
+            element = ET.SubElement(defect_layer, "defect")
+            ET.SubElement(element, "layer_id").text = "3"
+            coords = ET.SubElement(element, "incl_coords")
+            ET.SubElement(
+                coords,
+                "latcoord",
+                {
+                    "n": str(defect.site.n),
+                    "m": str(defect.site.m),
+                    "l": str(defect.site.l),
+                },
+            )
+            ET.SubElement(element, "defect_type").text = defect.kind.value
+            ET.SubElement(element, "charge").text = str(defect.charge)
     raw = ET.tostring(root, encoding="unicode")
     return minidom.parseString(raw).toprettyxml(indent="  ")
 
@@ -74,10 +103,40 @@ def read_sqd(text: str) -> SidbLayout:
     return layout
 
 
-def save_sqd(layout: SidbLayout, path: str, design_name: str = "layout") -> None:
+def read_sqd_defects(text: str) -> SurfaceDefects:
+    """Parse the ``Defects`` layer of a SiQAD .sqd XML document."""
+    root = ET.fromstring(text)
+    defects = SurfaceDefects()
+    for element in root.iter("defect"):
+        latcoord = element.find("incl_coords/latcoord")
+        if latcoord is None:
+            raise ValueError("defect without incl_coords/latcoord")
+        site = LatticeSite(
+            int(latcoord.get("n", "0")),
+            int(latcoord.get("m", "0")),
+            int(latcoord.get("l", "0")),
+        )
+        kind_text = element.findtext("defect_type", DefectType.DB.value)
+        charge_text = element.findtext("charge")
+        defects.add(
+            SidbDefect(
+                site,
+                DefectType(kind_text),
+                charge=None if charge_text is None else int(charge_text),
+            )
+        )
+    return defects
+
+
+def save_sqd(
+    layout: SidbLayout,
+    path: str,
+    design_name: str = "layout",
+    defects: SurfaceDefects | None = None,
+) -> None:
     """Write a .sqd file to disk."""
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(write_sqd(layout, design_name))
+        handle.write(write_sqd(layout, design_name, defects))
 
 
 def load_sqd(path: str) -> SidbLayout:

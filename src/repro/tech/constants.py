@@ -33,5 +33,20 @@ MIN_METAL_PITCH_NM = 40.0
 # required to suppress direct Coulombic interference (Section 4.1).
 MIN_CANVAS_SEPARATION_NM = 10.0
 
+# --- Surface defects ------------------------------------------------------
+# Minimum distance between a charged surface defect and a logic design
+# canvas; the same >= 10 nm Coulombic separation rule that applies
+# between canvases of adjacent tiles applies between a canvas and any
+# fixed charge [Walter et al., arXiv:2311.12042].  Tiles whose canvas
+# falls inside a defect's exclusion zone are blacklisted from placement.
+MIN_DEFECT_SEPARATION_NM = 10.0
+
+# Radius within which a charged defect is folded into a placed tile's
+# operational re-validation as a fixed point charge.  Beyond ~25 nm the
+# Thomas-Fermi-screened potential (lambda_TF = 5 nm) is attenuated by
+# more than exp(-5) on top of the 1/d falloff and cannot flip a BDL
+# pair, so farther defects are ignored.
+DEFECT_INFLUENCE_RADIUS_NM = 25.0
+
 # Number of clock phases in the standard FCN clocking scheme.
 CLOCK_PHASES = 4
