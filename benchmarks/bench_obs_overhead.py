@@ -13,6 +13,7 @@ from conftest import print_header
 from repro.obs.perfbench import (
     DISABLED_OVERHEAD_LIMIT,
     run_overhead_benchmark,
+    run_worker_overhead_benchmark,
     write_benchmark_json,
 )
 
@@ -23,6 +24,7 @@ def test_obs_overhead(benchmark):
     record = benchmark.pedantic(
         run_overhead_benchmark, rounds=1, iterations=1
     )
+    record["workers2"] = run_worker_overhead_benchmark()
     write_benchmark_json(record, ARTIFACT)
 
     print_header(
@@ -41,10 +43,23 @@ def test_obs_overhead(benchmark):
     )
     print(f"  artifact: {ARTIFACT}")
 
+    workers2 = record["workers2"]
+    print(
+        f"  workers=2   : {workers2['disabled_seconds'] * 1000:8.1f} ms "
+        f"({workers2['disabled_overhead'] * 100:+.2f}% on "
+        f"{workers2['benchmark']})"
+    )
+
     assert record["trace_spans"] > 10, "enabled run recorded no trace"
     assert record["disabled_overhead"] < DISABLED_OVERHEAD_LIMIT, (
         f"disabled-mode observability costs "
         f"{record['disabled_overhead'] * 100:.2f}% "
         f"(limit {DISABLED_OVERHEAD_LIMIT * 100:.0f}%); "
         "the no-op fast path regressed"
+    )
+    assert workers2["disabled_overhead"] < DISABLED_OVERHEAD_LIMIT, (
+        f"disabled-mode observability with workers=2 costs "
+        f"{workers2['disabled_overhead'] * 100:.2f}% "
+        f"(limit {DISABLED_OVERHEAD_LIMIT * 100:.0f}%); "
+        "the worker-side capture plumbing regressed the fast path"
     )

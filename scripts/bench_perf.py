@@ -29,6 +29,7 @@ sys.path.insert(0, str(REPO / "src"))
 from repro.obs.perfbench import (  # noqa: E402
     DISABLED_OVERHEAD_LIMIT,
     run_overhead_benchmark,
+    run_worker_overhead_benchmark,
     write_benchmark_json as write_obs_json,
 )
 from repro.sidb.perfbench import (  # noqa: E402
@@ -85,6 +86,8 @@ def main() -> int:
     print(f"  artifact: {path}")
 
     obs_record = run_overhead_benchmark()
+    worker_record = run_worker_overhead_benchmark()
+    obs_record["workers2"] = worker_record
     obs_path = write_obs_json(obs_record, OBS_ARTIFACT)
     print(
         f"  obs overhead on {obs_record['benchmark']}: "
@@ -94,6 +97,12 @@ def main() -> int:
         f"enabled {obs_record['enabled_seconds']:.3f}s "
         f"({obs_record['enabled_overhead'] * 100:+.2f}%)"
     )
+    print(
+        f"  obs overhead on {worker_record['benchmark']}: "
+        f"stub {worker_record['stub_seconds']:.3f}s  "
+        f"disabled {worker_record['disabled_seconds']:.3f}s "
+        f"({worker_record['disabled_overhead'] * 100:+.2f}%)"
+    )
     print(f"  artifact: {obs_path}")
     if obs_record["disabled_overhead"] >= DISABLED_OVERHEAD_LIMIT:
         failures.append(
@@ -101,6 +110,23 @@ def main() -> int:
             f"{obs_record['disabled_overhead'] * 100:.2f}% exceeds "
             f"{DISABLED_OVERHEAD_LIMIT * 100:.0f}%"
         )
+    if worker_record["disabled_overhead"] >= DISABLED_OVERHEAD_LIMIT:
+        failures.append(
+            f"disabled-mode observability overhead with workers=2 is "
+            f"{worker_record['disabled_overhead'] * 100:.2f}% (limit "
+            f"{DISABLED_OVERHEAD_LIMIT * 100:.0f}%)"
+        )
+
+    # Trend tracking: log this run and gate against the rolling best.
+    sys.path.insert(0, str(REPO / "scripts"))
+    import bench_trend  # noqa: E402
+
+    trend_record = bench_trend.append_history()
+    print(
+        f"  trend: appended {sorted(trend_record['metrics'])} to "
+        f"{bench_trend.HISTORY.relative_to(REPO)}"
+    )
+    failures.extend(bench_trend.check_history())
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Benchmark trend tracking: history log + regression gate.
+
+Every ``scripts/bench_perf.py`` run appends one timestamped record to
+``benchmarks/artifacts/BENCH_history.jsonl`` with the tracked metrics
+of that run (all lower-is-better seconds).  ``--check`` re-reads the
+log and fails (exit 1) when the most recent record regresses more than
+:data:`REGRESSION_THRESHOLD` (20%) against the rolling best of the
+preceding :data:`ROLLING_WINDOW` records -- the cross-PR complement to
+the in-run gates of ``bench_perf.py``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_trend.py           # append
+    PYTHONPATH=src python scripts/bench_trend.py --check   # gate only
+
+``--check`` is file-based (no benchmarks run), so ``scripts/ci.sh``
+can afford it on every invocation; with fewer than two records it
+passes trivially.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ARTIFACTS = REPO / "benchmarks" / "artifacts"
+HISTORY = ARTIFACTS / "BENCH_history.jsonl"
+
+#: Relative slowdown vs. the rolling best that fails ``--check``.
+REGRESSION_THRESHOLD = 0.20
+
+#: How many preceding records the rolling best is taken over.
+ROLLING_WINDOW = 10
+
+#: Annealer gate size whose batch time is tracked (matches
+#: ``repro.sidb.perfbench.GATE_SIZE``).
+GATE_SIZE = 24
+
+
+def collect_metrics() -> dict[str, float]:
+    """Tracked lower-is-better metrics from the benchmark artifacts.
+
+    Missing artifacts (or artifact fields) are simply skipped, so a
+    partial ``bench_perf`` run still appends what it measured.
+    """
+    metrics: dict[str, float] = {}
+    simanneal = ARTIFACTS / "BENCH_simanneal.json"
+    if simanneal.exists():
+        record = json.loads(simanneal.read_text())
+        for point in record.get("points", []):
+            if point.get("num_sites") == GATE_SIZE:
+                metrics["simanneal_batch_seconds"] = point["batch_seconds"]
+    obs = ARTIFACTS / "BENCH_obs.json"
+    if obs.exists():
+        record = json.loads(obs.read_text())
+        if "disabled_seconds" in record:
+            metrics["obs_disabled_seconds"] = record["disabled_seconds"]
+        workers2 = record.get("workers2", {})
+        if "disabled_seconds" in workers2:
+            metrics["obs_workers2_disabled_seconds"] = workers2[
+                "disabled_seconds"
+            ]
+    return metrics
+
+
+def load_history(path: Path = HISTORY) -> list[dict]:
+    if not path.exists():
+        return []
+    records = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def append_history(path: Path = HISTORY) -> dict:
+    """Append the current artifacts' metrics as one history record."""
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "metrics": collect_metrics(),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def check_history(
+    path: Path = HISTORY,
+    threshold: float = REGRESSION_THRESHOLD,
+    window: int = ROLLING_WINDOW,
+) -> list[str]:
+    """Regressions of the latest record vs. the rolling best; [] is OK."""
+    records = load_history(path)
+    if len(records) < 2:
+        return []
+    latest = records[-1].get("metrics", {})
+    previous = records[-1 - window : -1]
+    failures = []
+    for name, value in sorted(latest.items()):
+        baseline = min(
+            (
+                record["metrics"][name]
+                for record in previous
+                if name in record.get("metrics", {})
+            ),
+            default=None,
+        )
+        if baseline is None or baseline <= 0:
+            continue
+        slowdown = value / baseline - 1.0
+        if slowdown > threshold:
+            failures.append(
+                f"{name}: {value:.4f}s is {slowdown * 100:.1f}% over the "
+                f"rolling best {baseline:.4f}s "
+                f"(limit +{threshold * 100:.0f}%)"
+            )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="gate the recorded history instead of appending to it",
+    )
+    arguments = parser.parse_args()
+
+    if arguments.check:
+        failures = check_history()
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        records = load_history()
+        print(
+            f"bench trend OK ({len(records)} record(s) in "
+            f"{HISTORY.relative_to(REPO)})"
+        )
+        return 0
+
+    record = append_history()
+    print(f"appended to {HISTORY.relative_to(REPO)}:")
+    for name, value in sorted(record["metrics"].items()):
+        print(f"  {name}: {value:.4f}s")
+    failures = check_history()
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,5 +8,8 @@ cd "$(dirname "$0")/.."
 echo "== repro.api surface =="
 python scripts/check_api_surface.py
 
+echo "== benchmark trend =="
+PYTHONPATH=src python scripts/bench_trend.py --check
+
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q

@@ -274,7 +274,12 @@ def stage_two_input_gates():
     for start in range(0, len(candidates), chunk):
         batch = candidates[start:start + chunk]
         for candidate, tt in zip(
-            batch, run_tasks(classify_candidate, batch, workers=WORKERS)
+            batch, run_tasks(
+                classify_candidate,
+                batch,
+                workers=WORKERS,
+                label="design_gates.candidates",
+            )
         ):
             if tt is None:
                 continue

@@ -86,6 +86,7 @@ def tune(kind: str) -> dict | None:
             evaluate_candidate,
             [(kind, core) for core in batch],
             workers=WORKERS,
+            label="tune_gate_tiles.cores",
         )
         for core, score in zip(batch, scores):
             if score > best_score:

@@ -54,6 +54,17 @@ from repro.networks import (
     benchmark_network,
     benchmark_verilog,
 )
+from repro.obs import (
+    Histogram,
+    LineProgressReporter,
+    ProgressReporter,
+    Span,
+    progress_scope,
+    set_progress,
+    to_chrome_trace,
+    to_prometheus,
+    trace_from_json,
+)
 from repro.sidb.bdl import BdlPair, read_bdl_pair
 from repro.sidb.charge import SidbLayout
 from repro.sidb.clocked import ClockedWire
@@ -103,6 +114,16 @@ __all__ = [
     "TABLE1_REFERENCE",
     "trace_json",
     "trace_report",
+    # Telemetry: traces, exporters, live progress.
+    "Span",
+    "Histogram",
+    "ProgressReporter",
+    "LineProgressReporter",
+    "progress_scope",
+    "set_progress",
+    "to_chrome_trace",
+    "to_prometheus",
+    "trace_from_json",
     # Rendering + design files.
     "layout_to_ascii",
     "layout_to_svg",

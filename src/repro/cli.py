@@ -5,12 +5,17 @@
     python -m repro.cli validate <tile-name ...>
     python -m repro.cli library
     python -m repro.cli defects sample [options]
+    python -m repro.cli trace export <trace.json> [--format chrome|prom]
 
 ``synth`` runs the 8-step flow and writes .sqd/.svg artifacts; ``bench``
 prints Table-1 style rows; ``validate`` runs the physics operational
 check on library tiles; ``library`` lists the Bestagon designs;
 ``defects sample`` generates a random defective surface for
-defect-aware runs (``synth --defects surface.json``).
+defect-aware runs (``synth --defects surface.json``); ``trace export``
+converts a ``--trace-json`` file to Chrome trace-event JSON (Perfetto)
+or Prometheus text exposition.  ``--progress`` on any flow command
+streams live single-line progress to stderr, and ``--workers N`` fans
+the parallelizable steps out over processes.
 
 The flow subcommands share their common options through parent parsers
 (:func:`_trace_options`, :func:`_engine_options`), so ``--trace`` and
@@ -49,7 +54,21 @@ def _configuration(args: argparse.Namespace) -> api.FlowConfiguration:
         exact_conflict_limit=args.conflict_limit,
         exact_time_limit_seconds=args.time_limit,
         defects=defects,
+        workers=getattr(args, "workers", 1),
     )
+
+
+def _design(
+    args: argparse.Namespace,
+    verilog: str,
+    name: str,
+    config: api.FlowConfiguration,
+) -> api.DesignResult:
+    """Run the flow, with live progress when ``--progress`` is set."""
+    if getattr(args, "progress", False):
+        with api.progress_scope(api.LineProgressReporter()):
+            return api.design(verilog, name=name, configuration=config)
+    return api.design(verilog, name=name, configuration=config)
 
 
 def _report_trace(args: argparse.Namespace, result: api.DesignResult) -> None:
@@ -64,7 +83,7 @@ def _report_trace(args: argparse.Namespace, result: api.DesignResult) -> None:
 
 def cmd_synth(args: argparse.Namespace) -> int:
     verilog, name = _load_specification(args.spec)
-    result = api.design(verilog, name=name, configuration=_configuration(args))
+    result = _design(args, verilog, name, _configuration(args))
     print(result.summary())
     if result.defect_report is not None:
         print(result.defect_report.summary())
@@ -96,7 +115,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     for name in names:
         verilog, _ = _load_specification(name)
         try:
-            result = api.design(verilog, name=name, configuration=config)
+            result = _design(args, verilog, name, config)
         except Exception as error:
             print(f"{name:15s} failed: {error}")
             status = 1
@@ -155,6 +174,30 @@ def cmd_defects_sample(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_export(args: argparse.Namespace) -> int:
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            span = api.trace_from_json(handle.read())
+    except OSError as error:
+        raise SystemExit(f"cannot read trace '{args.trace}': {error}") from None
+    except (ValueError, KeyError) as error:
+        raise SystemExit(
+            f"'{args.trace}' is not a repro trace JSON file "
+            f"(produce one with --trace-json): {error}"
+        ) from None
+    if args.format == "chrome":
+        text = api.to_chrome_trace(span)
+    else:
+        text = api.to_prometheus(span)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
 def _benchmark_name(value: str) -> str:
     """Argparse type: a built-in benchmark name, rejected with choices."""
     if value not in api.BENCHMARK_NAMES:
@@ -173,6 +216,8 @@ def _trace_options() -> argparse.ArgumentParser:
                        help="print the observability trace tree")
     group.add_argument("--trace-json", metavar="PATH",
                        help="write the observability trace as JSON")
+    group.add_argument("--progress", action="store_true",
+                       help="live single-line progress on stderr")
     return parent
 
 
@@ -187,6 +232,9 @@ def _engine_options() -> argparse.ArgumentParser:
     group.add_argument("--defects", metavar="PATH",
                        help="design around the surface defects in PATH "
                             "(JSON, see 'defects sample')")
+    group.add_argument("--workers", type=int, default=1,
+                       help="worker processes for parallelizable steps "
+                            "(results are identical across counts)")
     return parent
 
 
@@ -223,6 +271,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     library = sub.add_parser("library", help="list Bestagon tile designs")
     library.set_defaults(handler=cmd_library)
+
+    trace = sub.add_parser("trace", help="trace-file utilities")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    export = trace_sub.add_parser(
+        "export",
+        help="convert a --trace-json file to a standard format",
+        description="Convert a trace written by --trace-json into the "
+                    "Chrome trace-event format (load in Perfetto / "
+                    "chrome://tracing) or Prometheus text exposition.",
+    )
+    export.add_argument("trace", help="trace JSON file (from --trace-json)")
+    export.add_argument("--format", choices=["chrome", "prom"],
+                        default="chrome",
+                        help="output format (default: chrome)")
+    export.add_argument("-o", "--output", metavar="PATH",
+                        help="write here instead of stdout")
+    export.set_defaults(handler=cmd_trace_export)
 
     defects = sub.add_parser("defects", help="surface-defect utilities")
     defects_sub = defects.add_subparsers(dest="defects_command", required=True)

@@ -102,6 +102,7 @@ def recheck_layout_against_defects(
     influence_radius_nm: float = DEFECT_INFLUENCE_RADIUS_NM,
     engine: str = "auto",
     schedule: SimAnnealParameters | None = None,
+    workers: int = 1,
 ) -> DefectAwareReport:
     """Re-validate every placed tile against the defects under it.
 
@@ -142,10 +143,15 @@ def recheck_layout_against_defects(
                 parameters=parameters,
                 engine=engine,
                 schedule=schedule,
+                workers=workers,
             )
         return baselines[design.name]
 
-    for coord, content in layout.occupied():
+    occupied = list(layout.occupied())
+    for tile_index, (coord, content) in enumerate(occupied):
+        obs.progress(
+            "defects.tiles", tile_index + 1, len(occupied), tile=str(coord)
+        )
         design = library.design_for(content)
         nearby = defects_near_tile(
             coord, defects, influence_radius_nm, geometry
@@ -191,6 +197,7 @@ def recheck_layout_against_defects(
                 parameters=parameters,
                 engine=engine,
                 schedule=schedule,
+                workers=workers,
                 defects=nearby,
             )
             baseline = pristine_baseline(design)

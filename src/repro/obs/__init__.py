@@ -21,33 +21,85 @@ the whole flow.  :func:`capture` scopes recording to one region (the
 design flow uses it to attach a finished trace to its
 ``DesignResult``); :func:`render_tree` and :func:`trace_to_json`
 export a trace for humans and machines respectively.
+
+Beyond spans and counters the package carries three more signals:
+
+* :func:`observe` feeds a bounded :class:`~repro.obs.metrics.Histogram`
+  on the innermost span (per-candidate CNF sizes, anneal energies);
+* :func:`event` appends to a fixed-size flight-recorder ring
+  (:func:`events` reads it back, oldest first);
+* :func:`progress` ticks an installed
+  :class:`~repro.obs.events.ProgressReporter` -- the CLI's
+  ``--progress`` flag installs a single-line renderer via
+  :func:`progress_scope`.
+
+:func:`to_chrome_trace` and :func:`to_prometheus` export any span tree
+in the Chrome trace-event (Perfetto) and Prometheus text formats; the
+``repro trace export`` subcommand wraps them for saved trace files.
+Worker processes spawned by :mod:`repro.sidb.parallel` capture their
+own span trees and ship them back to the parent, which merges them
+under a ``parallel`` span with per-worker attribution -- so multi-
+process runs trace exactly like serial ones, modulo timings.
 """
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
 from repro.obs.core import NULL_SPAN, NullSpan, Recorder, Span
+from repro.obs.events import (
+    DEFAULT_EVENT_CAPACITY,
+    Event,
+    EventRing,
+    LineProgressReporter,
+    ProgressReporter,
+)
+from repro.obs.export import to_chrome_trace, to_prometheus
+from repro.obs.metrics import Histogram
 from repro.obs.render import render_tree, trace_from_json, trace_to_json
 
 __all__ = [
-    "Span",
+    "Event",
+    "EventRing",
+    "Histogram",
+    "LineProgressReporter",
     "NullSpan",
+    "ProgressReporter",
     "Recorder",
+    "Span",
     "add",
     "capture",
     "current",
     "disable",
     "enable",
     "enabled",
+    "event",
+    "events",
     "gauge",
+    "observe",
+    "progress",
+    "progress_scope",
     "render_tree",
     "reset",
+    "set_event_capacity",
+    "set_progress",
     "span",
+    "to_chrome_trace",
+    "to_prometheus",
     "trace_from_json",
     "trace_to_json",
 ]
 
 #: The process-wide recorder behind the module-level API.
 _recorder = Recorder()
+
+#: The process-wide flight recorder behind :func:`event`.
+_events = EventRing(DEFAULT_EVENT_CAPACITY)
+
+#: The installed progress reporter (``None`` keeps :func:`progress` free).
+_progress: ProgressReporter | None = None
 
 
 def enable() -> None:
@@ -66,8 +118,10 @@ def enabled() -> bool:
 
 
 def reset() -> None:
-    """Drop all recorded spans and counters (keeps the enabled flag)."""
+    """Drop all recorded spans, counters and events (keeps the enabled
+    flag and any installed progress reporter)."""
     _recorder.reset()
+    _events.clear()
 
 
 def recorder() -> Recorder:
@@ -145,6 +199,78 @@ def current() -> Span | NullSpan:
     if not _recorder.enabled:
         return NULL_SPAN
     return _recorder.current() or NULL_SPAN
+
+
+def observe(name: str, value: float) -> None:
+    """Record one histogram observation on the innermost open span."""
+    if not _recorder.enabled:
+        return
+    current_span = _recorder.current()
+    if current_span is not None:
+        current_span.observe(name, value)
+
+
+def event(name: str, **attributes: object) -> None:
+    """Append a flight-recorder event (only while recording is enabled)."""
+    if not _recorder.enabled:
+        return
+    _events.append(Event(name, time.perf_counter(), attributes))
+
+
+def events() -> list[Event]:
+    """The retained flight-recorder events, oldest first."""
+    return _events.snapshot()
+
+
+def event_ring() -> EventRing:
+    """The process-wide flight recorder (tests and advanced callers)."""
+    return _events
+
+
+def set_event_capacity(capacity: int) -> None:
+    """Resize the flight recorder (drops currently retained events)."""
+    global _events
+    _events = EventRing(capacity)
+
+
+def progress(
+    stage: str, current: int, total: int | None = None, **info: object
+) -> None:
+    """Report a progress tick to the installed reporter (if any).
+
+    Unlike spans/counters this is *not* gated on :func:`enabled` --
+    progress reporting is useful on production runs with tracing off --
+    but it still costs only one ``is None`` check when no reporter is
+    installed.
+    """
+    if _progress is None:
+        return
+    _progress.update(stage, current, total, **info)
+
+
+def set_progress(reporter: ProgressReporter | None) -> None:
+    """Install (or with ``None`` remove) the process-wide reporter."""
+    global _progress
+    _progress = reporter
+
+
+@contextmanager
+def progress_scope(reporter: ProgressReporter) -> Iterator[ProgressReporter]:
+    """Install a progress reporter for one region, restoring on exit.
+
+    Calls the reporter's ``finish()`` (when it has one) on the way out
+    so single-line renderers leave a clean terminal.
+    """
+    global _progress
+    previous = _progress
+    _progress = reporter
+    try:
+        yield reporter
+    finally:
+        _progress = previous
+        finish = getattr(reporter, "finish", None)
+        if callable(finish):
+            finish()
 
 
 class capture:

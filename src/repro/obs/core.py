@@ -15,6 +15,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.obs.metrics import Histogram
+
 
 @dataclass
 class Span:
@@ -26,6 +28,7 @@ class Span:
     children: list["Span"] = field(default_factory=list)
     wall_seconds: float = 0.0
     cpu_seconds: float = 0.0
+    histograms: dict[str, Histogram] = field(default_factory=dict)
     _start_wall: float = field(default=0.0, repr=False, compare=False)
     _start_cpu: float = field(default=0.0, repr=False, compare=False)
 
@@ -37,6 +40,13 @@ class Span:
     def add(self, name: str, value: float = 1.0) -> None:
         """Accumulate a named counter on this span."""
         self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into a named histogram on this span."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
 
     # --- querying ------------------------------------------------------
     def walk(self) -> Iterator["Span"]:
@@ -60,10 +70,23 @@ class Span:
         """Sum of a counter over this span and all descendants."""
         return sum(span.counters.get(counter, 0.0) for span in self.walk())
 
+    def histogram_total(self, name: str) -> Histogram:
+        """Merged histogram of ``name`` over this span and descendants."""
+        merged = Histogram()
+        for span in self.walk():
+            histogram = span.histograms.get(name)
+            if histogram is not None:
+                merged.merge(histogram)
+        return merged
+
     # --- (de)serialization ---------------------------------------------
     def to_dict(self) -> dict[str, object]:
-        """JSON-ready dictionary (drops the private start marks)."""
-        return {
+        """JSON-ready dictionary (drops the private start marks).
+
+        ``histograms`` is emitted only when non-empty, so traces from
+        before the histogram metric existed load and diff unchanged.
+        """
+        data: dict[str, object] = {
             "name": self.name,
             "wall_seconds": self.wall_seconds,
             "cpu_seconds": self.cpu_seconds,
@@ -71,6 +94,12 @@ class Span:
             "counters": dict(self.counters),
             "children": [child.to_dict() for child in self.children],
         }
+        if self.histograms:
+            data["histograms"] = {
+                name: histogram.to_dict()
+                for name, histogram in self.histograms.items()
+            }
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "Span":
@@ -85,6 +114,10 @@ class Span:
             cls.from_dict(child)
             for child in data.get("children", [])  # type: ignore[union-attr]
         ]
+        span.histograms = {
+            str(name): Histogram.from_dict(histogram)
+            for name, histogram in data.get("histograms", {}).items()  # type: ignore[union-attr]
+        }
         return span
 
 
@@ -101,6 +134,9 @@ class NullSpan:
         pass
 
     def add(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
         pass
 
 
@@ -131,13 +167,27 @@ class Recorder:
         return span
 
     def end(self, span: Span) -> None:
-        span.wall_seconds = time.perf_counter() - span._start_wall
-        span.cpu_seconds = time.process_time() - span._start_cpu
+        now_wall = time.perf_counter()
+        now_cpu = time.process_time()
+        span.wall_seconds = now_wall - span._start_wall
+        span.cpu_seconds = now_cpu - span._start_cpu
         # Defensive unwinding: pop until (and including) the span, so a
         # child left open by an exception cannot corrupt the stack.
+        # Ending a span that is not on the stack (already closed) must
+        # not unwind anything at all.
+        if not any(open_span is span for open_span in self._stack):
+            return
         while self._stack:
-            if self._stack.pop() is span:
+            popped = self._stack.pop()
+            if popped is span:
                 break
+            # A child left open (exception propagating through its
+            # parent's handle) still gets real durations -- zero-time
+            # spans would misreport exactly the regions that crashed --
+            # and is tagged so consumers know the timing is cut short.
+            popped.wall_seconds = now_wall - popped._start_wall
+            popped.cpu_seconds = now_cpu - popped._start_cpu
+            popped.attributes["truncated"] = True
 
     def current(self) -> Span | None:
         return self._stack[-1] if self._stack else None

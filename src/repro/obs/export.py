@@ -1,0 +1,206 @@
+"""Standard trace exporters: Chrome trace-event JSON and Prometheus text.
+
+:func:`to_chrome_trace` turns any :class:`~repro.obs.core.Span` tree
+into the Chrome trace-event format (the JSON that ``chrome://tracing``
+and https://ui.perfetto.dev load directly).  Spans only store
+durations, not absolute start times -- and worker spans merged from
+other processes have no shared timebase at all -- so the exporter lays
+the tree out on a synthetic timeline: children run back-to-back inside
+their parent, except that spans attributed to different workers (the
+``worker`` attribute set by the cross-process merge) are placed on
+their own thread track (*tid*) starting at their parent's start, which
+renders the fan-out as genuinely parallel lanes.
+
+:func:`to_prometheus` renders the same tree as Prometheus text
+exposition (version 0.0.4): counters summed over the tree become
+``*_total`` counters, per-name span durations/call counts become
+labelled counters, and histograms become summaries with ``quantile``
+labels plus ``*_min``/``*_max`` gauges.  Output ordering is
+deterministic so snapshots diff cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.obs.core import Span
+from repro.obs.metrics import DEFAULT_QUANTILES, Histogram
+
+#: The pid all spans are filed under (one logical trace per export).
+_CHROME_PID = 1
+
+#: The tid of spans not attributed to any worker.
+_CHROME_MAIN_TID = 1
+
+
+def _chrome_args(span: Span) -> dict[str, object]:
+    args: dict[str, object] = dict(span.attributes)
+    args.update(span.counters)
+    for name, histogram in span.histograms.items():
+        args[f"{name}.count"] = histogram.count
+        args[f"{name}.mean"] = histogram.mean
+    return args
+
+
+def to_chrome_trace(span: Span, time_unit: str = "ms") -> str:
+    """One span tree as Chrome trace-event JSON (Perfetto-loadable)."""
+    events: list[dict[str, object]] = []
+    worker_tids: dict[object, int] = {}
+
+    def tid_for(worker: object) -> int:
+        if worker not in worker_tids:
+            worker_tids[worker] = _CHROME_MAIN_TID + 1 + len(worker_tids)
+        return worker_tids[worker]
+
+    def emit(node: Span, start_us: float, tid: int) -> float:
+        """Emit ``node`` at ``start_us``; returns its duration in us."""
+        duration_us = node.wall_seconds * 1e6
+        events.append(
+            {
+                "name": node.name,
+                "ph": "X",
+                "ts": round(start_us, 3),
+                "dur": round(duration_us, 3),
+                "pid": _CHROME_PID,
+                "tid": tid,
+                "cat": "repro",
+                "args": _chrome_args(node),
+            }
+        )
+        cursor = start_us
+        for child in node.children:
+            worker = child.attributes.get("worker")
+            if worker is not None:
+                # Parallel lane: the worker's subtree starts with its
+                # parent instead of queueing behind its siblings.
+                emit(child, start_us, tid_for(worker))
+            else:
+                cursor += emit(child, cursor, tid)
+        return duration_us
+
+    emit(span, 0.0, _CHROME_MAIN_TID)
+
+    metadata: list[dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _CHROME_PID,
+            "tid": _CHROME_MAIN_TID,
+            "args": {"name": f"repro trace: {span.name}"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _CHROME_PID,
+            "tid": _CHROME_MAIN_TID,
+            "args": {"name": "main"},
+        },
+    ]
+    for worker, tid in sorted(worker_tids.items(), key=lambda kv: kv[1]):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _CHROME_PID,
+                "tid": tid,
+                "args": {"name": f"worker {worker}"},
+            }
+        )
+    document = {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": time_unit,
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+# --- Prometheus text exposition ------------------------------------------
+
+_METRIC_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    return _METRIC_SANITIZE.sub("_", f"{prefix}_{name}")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_prometheus(span: Span, prefix: str = "repro") -> str:
+    """One span tree as Prometheus text exposition.
+
+    Counters aggregate over the whole tree by name; span wall/CPU
+    seconds and call counts aggregate by span name into labelled
+    series; histograms aggregate by name into summaries.
+    """
+    counters: dict[str, float] = {}
+    span_wall: dict[str, float] = {}
+    span_cpu: dict[str, float] = {}
+    span_calls: dict[str, int] = {}
+    histograms: dict[str, Histogram] = {}
+    for node in span.walk():
+        for name, value in node.counters.items():
+            counters[name] = counters.get(name, 0.0) + value
+        span_wall[node.name] = span_wall.get(node.name, 0.0) + node.wall_seconds
+        span_cpu[node.name] = span_cpu.get(node.name, 0.0) + node.cpu_seconds
+        span_calls[node.name] = span_calls.get(node.name, 0) + 1
+        for name, histogram in node.histograms.items():
+            merged = histograms.get(name)
+            if merged is None:
+                merged = histograms[name] = Histogram()
+            merged.merge(histogram)
+
+    lines: list[str] = []
+
+    def series(metric: str, value: float, **labels: object) -> str:
+        if labels:
+            rendered = ",".join(
+                f'{key}="{_escape_label(str(val))}"'
+                for key, val in labels.items()
+            )
+            return f"{metric}{{{rendered}}} {_format_value(value)}"
+        return f"{metric} {_format_value(value)}"
+
+    for name in sorted(counters):
+        metric = _metric_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(series(metric, counters[name]))
+
+    wall_metric = f"{prefix}_span_wall_seconds_total"
+    cpu_metric = f"{prefix}_span_cpu_seconds_total"
+    calls_metric = f"{prefix}_span_calls_total"
+    lines.append(f"# TYPE {wall_metric} counter")
+    for name in sorted(span_wall):
+        lines.append(series(wall_metric, span_wall[name], span=name))
+    lines.append(f"# TYPE {cpu_metric} counter")
+    for name in sorted(span_cpu):
+        lines.append(series(cpu_metric, span_cpu[name], span=name))
+    lines.append(f"# TYPE {calls_metric} counter")
+    for name in sorted(span_calls):
+        lines.append(series(calls_metric, span_calls[name], span=name))
+
+    for name in sorted(histograms):
+        histogram = histograms[name]
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for q, value in histogram.quantiles(DEFAULT_QUANTILES).items():
+            lines.append(series(metric, value, quantile=f"{q:g}"))
+        lines.append(series(f"{metric}_sum", histogram.sum))
+        lines.append(series(f"{metric}_count", histogram.count))
+        if histogram.count:
+            lines.append(f"# TYPE {metric}_min gauge")
+            lines.append(series(f"{metric}_min", histogram.min))
+            lines.append(f"# TYPE {metric}_max gauge")
+            lines.append(series(f"{metric}_max", histogram.max))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,142 @@
+"""Histogram metric: bounded-memory value distributions.
+
+Counters answer "how many"; a :class:`Histogram` answers "how big" --
+per-candidate CNF sizes, per-gate anneal energies, per-tile recheck
+times.  It keeps exact ``count``/``sum``/``min``/``max`` plus a
+bounded, deterministic sample set for quantile estimates: every
+``stride``-th observation is retained, and when the retained set
+reaches capacity the stride doubles and every other sample is dropped.
+No randomness, no clock reads -- two identical observation streams
+always produce identical histograms, which keeps cross-process merges
+and golden-snapshot tests reproducible.
+"""
+
+from __future__ import annotations
+
+#: Quantiles reported by :meth:`Histogram.quantiles` and the Prometheus
+#: exporter (summary ``quantile`` labels).
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+
+class Histogram:
+    """Count/sum/min/max plus fixed quantile estimates, bounded memory."""
+
+    __slots__ = (
+        "count", "sum", "min", "max", "samples", "stride", "_seen",
+        "_max_samples",
+    )
+
+    def __init__(self, max_samples: int = 512) -> None:
+        if max_samples < 2:
+            raise ValueError("max_samples must be >= 2")
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        #: Retained observations; each represents ``stride`` real ones.
+        self.samples: list[float] = []
+        self.stride = 1
+        self._seen = 0
+        self._max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self._seen % self.stride == 0:
+            self.samples.append(value)
+            if len(self.samples) >= self._max_samples:
+                self.samples = self.samples[::2]
+                self.stride *= 2
+        self._seen += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile estimate from the retained samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def quantiles(
+        self, qs: tuple[float, ...] = DEFAULT_QUANTILES
+    ) -> dict[float, float]:
+        return {q: self.quantile(q) for q in qs}
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram (e.g. from a worker process) into this.
+
+        Exact for count/sum/min/max; the sample sets concatenate and
+        re-decimate, so quantile estimates stay bounded and reasonable.
+        """
+        self.count += other.count
+        self.sum += other.sum
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        self.samples.extend(other.samples)
+        while len(self.samples) >= self._max_samples:
+            self.samples = self.samples[::2]
+            self.stride *= 2
+        self._seen = len(self.samples) * self.stride
+
+    # --- (de)serialization ---------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready dictionary, including the retained samples so a
+        deserialized histogram can still merge and estimate quantiles."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "stride": self.stride,
+            "samples": list(self.samples),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Histogram":
+        histogram = cls()
+        histogram.count = int(data.get("count", 0))  # type: ignore[arg-type]
+        histogram.sum = float(data.get("sum", 0.0))  # type: ignore[arg-type]
+        minimum = data.get("min")
+        maximum = data.get("max")
+        histogram.min = float("inf") if minimum is None else float(minimum)  # type: ignore[arg-type]
+        histogram.max = float("-inf") if maximum is None else float(maximum)  # type: ignore[arg-type]
+        histogram.stride = int(data.get("stride", 1))  # type: ignore[arg-type]
+        histogram.samples = [
+            float(v) for v in data.get("samples", [])  # type: ignore[union-attr]
+        ]
+        histogram._seen = len(histogram.samples) * histogram.stride
+        return histogram
+
+    # --- comparison / repr ---------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self.count == other.count
+            and self.sum == other.sum
+            and self.min == other.min
+            and self.max == other.max
+            and self.stride == other.stride
+            and self.samples == other.samples
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.count:
+            return "Histogram(empty)"
+        return (
+            f"Histogram(count={self.count}, mean={self.mean:.4g}, "
+            f"min={self.min:.4g}, max={self.max:.4g})"
+        )

@@ -46,6 +46,13 @@ def render_tree(span: Span, unicode_art: bool = True) -> str:
             parts.append(f"[{_format_mapping(node.attributes)}]")
         if node.counters:
             parts.append(f"{{{_format_mapping(node.counters)}}}")
+        if node.histograms:
+            rendered = ", ".join(
+                f"{name}: n={h.count} mean={_format_value(h.mean)} "
+                f"p50={_format_value(h.quantile(0.5))}"
+                for name, h in node.histograms.items()
+            )
+            parts.append(f"<{rendered}>")
         lines.append("  ".join(parts))
         for index, child in enumerate(node.children):
             last = index == len(node.children) - 1

@@ -214,11 +214,18 @@ class ExactPhysicalDesign:
             else None
         )
         timeouts = 0
-        for width, height in candidates:
+        for attempt_index, (width, height) in enumerate(candidates):
             if deadline is not None and time.monotonic() > deadline:
                 raise PhysicalDesignTimeoutError(
                     f"time limit of {self.time_limit_seconds} s exhausted"
                 )
+            obs.progress(
+                "exact.candidates",
+                attempt_index + 1,
+                len(candidates),
+                width=width,
+                height=height,
+            )
             statistics.candidates_tried.append((width, height))
             blocked = frozenset(
                 (x, y) for x, y in all_blocked if x < width and y < height
@@ -304,6 +311,14 @@ class ExactPhysicalDesign:
             statistics.sat_clauses += cnf.num_clauses
             span.set("sat.variables", cnf.num_vars)
             span.set("sat.clauses", cnf.num_clauses)
+            # Per-candidate CNF size distribution over the whole search.
+            obs.observe("exact.cnf_clauses", cnf.num_clauses)
+            obs.event(
+                "exact.attempt",
+                width=width,
+                height=height,
+                clauses=cnf.num_clauses,
+            )
 
             solver = Solver(cnf)
             solver.max_conflicts = self.conflict_limit

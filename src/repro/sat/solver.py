@@ -425,6 +425,19 @@ class Solver:
                     conflict_budget = 100 * _luby_simple(restart_count + 1)
                     conflicts_here = 0
                     self._backtrack(0)
+                    # Restarts are also the cheap place for telemetry:
+                    # at most one tick per ~100 conflicts.
+                    obs.progress(
+                        "sat.restarts",
+                        self.restarts,
+                        conflicts=self.conflicts,
+                    )
+                    obs.event(
+                        "sat.restart",
+                        restarts=self.restarts,
+                        conflicts=self.conflicts,
+                        learned=len(self._learnts),
+                    )
                     if (
                         self.deadline is not None
                         and time.monotonic() > self.deadline

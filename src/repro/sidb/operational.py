@@ -161,7 +161,9 @@ def check_operational(
         )
         for pattern in range(1 << num_inputs)
     ]
-    results = run_tasks(simulate_pattern, tasks, workers)
+    results = run_tasks(
+        simulate_pattern, tasks, workers, label="operational.patterns"
+    )
     return OperationalReport(
         operational=all(result.correct for result in results),
         patterns=results,

@@ -159,7 +159,9 @@ def compute_operational_domain(
                     schedule=schedule,
                 )
             )
-    domain.points.extend(run_tasks(evaluate_domain_point, tasks, workers))
+    domain.points.extend(
+        run_tasks(evaluate_domain_point, tasks, workers, label="domain.points")
+    )
     return domain
 
 

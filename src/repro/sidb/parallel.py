@@ -17,12 +17,15 @@ merge in :meth:`SimAnneal.collect_result` is order-invariant.
 
 from __future__ import annotations
 
+import functools
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro import obs
 from repro.coords.lattice import LatticeSite
+from repro.obs import Span
 from repro.networks.truth_table import TruthTable
 from repro.sidb.bdl import BdlPair
 from repro.sidb.charge import SidbLayout
@@ -67,11 +70,25 @@ def workers_from_env(default: int = 1) -> int:
     return resolve_workers(workers)
 
 
+def _captured_call(function: Callable[[T], R], task: T) -> tuple[R, dict | None, int]:
+    """Run one task under span capture; ships the trace back picklable.
+
+    Runs in the worker process (or inline for serial execution): the
+    task's whole span tree lands under one ``parallel.task`` root that
+    travels back to the parent as a plain dictionary.
+    """
+    with obs.capture("parallel.task", enable=True) as cap:
+        result = function(task)
+    span_dict = cap.span.to_dict() if cap.span is not None else None
+    return result, span_dict, os.getpid()
+
+
 def run_tasks(
     function: Callable[[T], R],
     tasks: Sequence[T],
     workers: int = 1,
     chunksize: int = 1,
+    label: str = "parallel.tasks",
 ) -> list[R]:
     """Apply ``function`` to ``tasks``, preserving order.
 
@@ -80,12 +97,57 @@ def run_tasks(
     module-level callable and the tasks picklable records.  The result
     list is always in task order, so serial and parallel execution are
     interchangeable bit-for-bit (given deterministic tasks).
+
+    When recording is enabled the fan-out traces itself: every task --
+    serial or in a worker process -- runs under a captured
+    ``parallel.task`` span (workers ship theirs back with the result),
+    and all of them merge as children of one ``parallel`` span with
+    ``index``/``worker`` attribution.  The merged tree's *structure*
+    depends only on the tasks, never on the worker count.  Each
+    completed task also ticks ``obs.progress(label, ...)``.
     """
     workers = resolve_workers(workers)
-    if workers <= 1 or len(tasks) <= 1:
-        return [function(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-        return list(pool.map(function, tasks, chunksize=chunksize))
+    serial = workers <= 1 or len(tasks) <= 1
+    total = len(tasks)
+    if not obs.enabled():
+        results: list[R] = []
+        if serial:
+            for index, task in enumerate(tasks):
+                results.append(function(task))
+                obs.progress(label, index + 1, total)
+            return results
+        with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
+            for result in pool.map(function, tasks, chunksize=chunksize):
+                results.append(result)
+                obs.progress(label, len(results), total)
+        return results
+
+    with obs.span("parallel", label=label, tasks=total) as parent:
+        results = []
+        if serial:
+            for index, task in enumerate(tasks):
+                result, _, pid = _captured_call(function, task)
+                results.append(result)
+                # The captured span attached itself to the live tree as
+                # ``parent``'s newest child; attribute it in place.
+                child = parent.children[-1]
+                child.set("index", index)
+                child.set("worker", pid)
+                obs.progress(label, index + 1, total)
+            return results
+        call = functools.partial(_captured_call, function)
+        with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
+            for index, (result, span_dict, pid) in enumerate(
+                pool.map(call, tasks, chunksize=chunksize)
+            ):
+                results.append(result)
+                if span_dict is not None:
+                    child = Span.from_dict(span_dict)
+                    child.set("index", index)
+                    child.set("worker", pid)
+                    parent.children.append(child)
+                obs.progress(label, index + 1, total)
+        return results
 
 
 # --- picklable task records ----------------------------------------------
@@ -185,7 +247,9 @@ def parallel_simanneal(
         if indices
     ]
     finalists = []
-    for batch in run_tasks(_anneal_worker, tasks, workers):
+    for batch in run_tasks(
+        _anneal_worker, tasks, workers, label="simanneal.instances"
+    ):
         finalists.extend(
             (np.asarray(occupation, dtype=np.int8), energy)
             for occupation, energy in batch

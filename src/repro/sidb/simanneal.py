@@ -57,6 +57,11 @@ ENERGY_TOLERANCE = 1e-9
 #: solution quality (the exhaustive cross-validation gates this).
 MAX_SPECULATIVE_PASSES = 6
 
+#: Sweep interval between ``obs.progress`` ticks in the batch kernel --
+#: frequent enough for a live display, sparse enough to stay invisible
+#: in the kernel's per-sweep cost.
+PROGRESS_EVERY_SWEEPS = 50
+
 
 @dataclass
 class SimAnnealParameters:
@@ -144,7 +149,9 @@ class SimAnneal:
                 descended = self._greedy_descent(candidate)
                 if not is_population_stable(self.model, descended):
                     continue
-                finalists.append((descended, self.model.energy(descended)))
+                energy = self.model.energy(descended)
+                finalists.append((descended, energy))
+                span.observe("simanneal.energy", energy)
             span.add("finalists", len(finalists))
         return finalists
 
@@ -356,6 +363,10 @@ class SimAnneal:
                     best_energy[improved] = energies[better]
                     have_best[improved] = True
             temperature *= cooling
+            if (sweep + 1) % PROGRESS_EVERY_SWEEPS == 0 or sweep + 1 == sweeps:
+                obs.progress(
+                    "simanneal.sweeps", sweep + 1, sweeps, instances=batch
+                )
 
         candidates = []
         for row in range(batch):

@@ -1,9 +1,12 @@
 """Tests for the repro.obs tracing and metrics subsystem."""
 
+import io
+
 import pytest
 
 from repro import obs
-from repro.obs import NULL_SPAN, Span
+from repro.obs import NULL_SPAN, Histogram, LineProgressReporter, Span
+from repro.obs.events import Event, EventRing
 from repro.obs.render import render_tree, trace_from_json, trace_to_json
 
 
@@ -15,6 +18,7 @@ def clean_recorder():
     obs.reset()
     yield
     obs.reset()
+    obs.set_progress(None)
     if was_enabled:
         obs.enable()
     else:
@@ -76,6 +80,34 @@ class TestSpanNesting:
         recorder.start("orphan")
         recorder.end(parent)
         assert recorder.current() is None
+
+    def test_orphaned_children_get_durations_and_truncated_tag(self):
+        # Satellite fix: an orphan popped by the defensive unwinding
+        # must not report zero-time -- it gets real (cut-short)
+        # durations and a "truncated" marker.
+        obs.enable()
+        recorder = obs.recorder()
+        parent = recorder.start("parent")
+        orphan = recorder.start("orphan")
+        busy_wait()
+        recorder.end(parent)
+        assert orphan.wall_seconds > 0.0
+        assert orphan.cpu_seconds > 0.0
+        assert orphan.attributes["truncated"] is True
+        assert "truncated" not in parent.attributes
+        assert parent.wall_seconds >= orphan.wall_seconds
+
+    def test_ending_a_closed_span_does_not_unwind_the_stack(self):
+        obs.enable()
+        recorder = obs.recorder()
+        parent = recorder.start("parent")
+        child = recorder.start("child")
+        recorder.end(child)
+        recorder.end(child)  # double end: must leave parent open
+        assert recorder.current() is parent
+        recorder.end(parent)
+        assert recorder.current() is None
+        assert "truncated" not in child.attributes
 
     def test_walk_find_total(self):
         obs.enable()
@@ -247,3 +279,198 @@ class TestInstrumentedSubsystems:
         assert span.counters["sweeps"] > 0
         assert span.counters["moves.proposed"] > 0
         assert 0.0 <= span.attributes["acceptance_rate"] <= 1.0
+        assert span.histograms["simanneal.energy"].count == span.counters[
+            "finalists"
+        ]
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        histogram = Histogram()
+        for value in [4.0, 1.0, 3.0, 2.0]:
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == 10.0
+        assert histogram.min == 1.0 and histogram.max == 4.0
+        assert histogram.mean == 2.5
+
+    def test_quantiles_exact_while_undecimated(self):
+        histogram = Histogram()
+        for value in range(100):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 0.0
+        assert histogram.quantile(0.5) == 50.0
+        assert histogram.quantile(1.0) == 99.0
+
+    def test_quantile_input_validation_and_empty(self):
+        histogram = Histogram()
+        assert histogram.quantile(0.5) == 0.0
+        with pytest.raises(ValueError, match="quantile"):
+            histogram.quantile(1.5)
+
+    def test_decimation_is_deterministic_and_bounded(self):
+        first = Histogram(max_samples=64)
+        second = Histogram(max_samples=64)
+        for value in range(10_000):
+            first.observe(value)
+            second.observe(value)
+        assert len(first.samples) < 64
+        assert first.stride > 1
+        assert first == second  # identical streams, identical state
+        assert first.count == 10_000
+        # The decimated quantiles stay close to the true ones.
+        assert abs(first.quantile(0.5) - 5000) / 10_000 < 0.1
+
+    def test_merge_matches_exact_aggregates(self):
+        left, right, reference = Histogram(), Histogram(), Histogram()
+        for value in range(50):
+            left.observe(value)
+            reference.observe(value)
+        for value in range(50, 80):
+            right.observe(value)
+            reference.observe(value)
+        left.merge(right)
+        assert left.count == reference.count
+        assert left.sum == reference.sum
+        assert left.min == reference.min and left.max == reference.max
+
+    def test_merge_with_empty_keeps_min_max(self):
+        histogram = Histogram()
+        histogram.observe(2.0)
+        histogram.merge(Histogram())
+        assert histogram.min == 2.0 and histogram.max == 2.0
+
+    def test_json_round_trip(self):
+        histogram = Histogram()
+        for value in range(10):
+            histogram.observe(value)
+        restored = Histogram.from_dict(histogram.to_dict())
+        assert restored == histogram
+        assert Histogram.from_dict(Histogram().to_dict()).count == 0
+
+    def test_span_observe_and_histogram_total(self):
+        obs.enable()
+        with obs.span("root") as root:
+            obs.observe("cnf", 100.0)
+            with obs.span("child"):
+                obs.observe("cnf", 300.0)
+        merged = root.histogram_total("cnf")
+        assert merged.count == 2 and merged.sum == 400.0
+        # Histograms survive the trace JSON round trip.
+        restored = trace_from_json(trace_to_json(root))
+        assert restored.histogram_total("cnf").count == 2
+        assert restored.to_dict() == root.to_dict()
+
+    def test_observe_disabled_is_noop(self):
+        obs.observe("cnf", 1.0)
+        with obs.span("quiet") as span:
+            span.observe("cnf", 2.0)
+        assert obs.recorder().roots == []
+
+
+class TestEventRing:
+    def test_drops_oldest_at_capacity(self):
+        ring = EventRing(capacity=3)
+        for index in range(5):
+            ring.append(Event(f"e{index}", float(index)))
+        assert len(ring) == 3
+        assert [event.name for event in ring.snapshot()] == [
+            "e2", "e3", "e4"
+        ]
+        assert ring.dropped == 2
+
+    def test_clear(self):
+        ring = EventRing(capacity=2)
+        ring.append(Event("a", 0.0))
+        ring.append(Event("b", 1.0))
+        ring.append(Event("c", 2.0))
+        ring.clear()
+        assert len(ring) == 0 and ring.dropped == 0
+        assert ring.snapshot() == []
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            EventRing(capacity=0)
+
+    def test_obs_event_gated_on_enabled(self):
+        obs.event("ignored")
+        assert obs.events() == []
+        obs.enable()
+        obs.event("kept", detail=7)
+        events = obs.events()
+        assert [event.name for event in events] == ["kept"]
+        assert events[0].attributes == {"detail": 7}
+        obs.reset()
+        assert obs.events() == []
+
+    def test_set_event_capacity(self):
+        obs.enable()
+        obs.set_event_capacity(2)
+        try:
+            for index in range(4):
+                obs.event(f"e{index}")
+            assert [event.name for event in obs.events()] == ["e2", "e3"]
+            assert obs.event_ring().dropped == 2
+        finally:
+            obs.set_event_capacity(1024)
+
+
+class TestProgress:
+    def test_ticks_reach_installed_reporter(self):
+        ticks = []
+
+        class Collector:
+            def update(self, stage, current, total=None, **info):
+                ticks.append((stage, current, total, info))
+
+        with obs.progress_scope(Collector()):
+            obs.progress("stage", 1, 4, width=3)
+        obs.progress("stage", 2, 4)  # after the scope: dropped
+        assert ticks == [("stage", 1, 4, {"width": 3})]
+
+    def test_progress_without_reporter_is_noop(self):
+        obs.progress("stage", 1, 2)  # must not raise
+
+    def test_scope_restores_previous_reporter_and_finishes(self):
+        finished = []
+
+        class Outer:
+            def update(self, stage, current, total=None, **info):
+                pass
+
+        class Inner(Outer):
+            def finish(self):
+                finished.append(True)
+
+        outer = Outer()
+        obs.set_progress(outer)
+        try:
+            with obs.progress_scope(Inner()):
+                pass
+            assert finished == [True]
+            obs.progress("stage", 1)  # lands on the restored outer
+        finally:
+            obs.set_progress(None)
+
+    def test_line_reporter_renders_and_clears(self):
+        stream = io.StringIO()
+        reporter = LineProgressReporter(stream=stream, min_interval=0.0)
+        reporter.update("simanneal.sweeps", 50, 100, instances=8)
+        reporter.update("simanneal.sweeps", 100, 100)
+        reporter.finish()
+        text = stream.getvalue()
+        assert "simanneal.sweeps 50/100 (instances=8)" in text
+        assert "simanneal.sweeps 100/100" in text
+        assert reporter.updates == 2
+        assert text.endswith("\r")  # the line is cleared at the end
+
+    def test_line_reporter_throttles_but_renders_final_tick(self):
+        stream = io.StringIO()
+        reporter = LineProgressReporter(stream=stream, min_interval=3600.0)
+        reporter.update("stage", 1, 10)
+        reporter.update("stage", 5, 10)  # throttled away
+        reporter.update("stage", 10, 10)  # final: always rendered
+        text = stream.getvalue()
+        assert "stage 1/10" in text
+        assert "stage 5/10" not in text
+        assert "stage 10/10" in text

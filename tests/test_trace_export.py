@@ -1,0 +1,210 @@
+"""Golden-snapshot tests of the Chrome trace-event and Prometheus exporters.
+
+The exporters synthesize a deterministic timeline from span durations,
+so a hand-built trace exports to byte-identical output -- the goldens
+in ``tests/golden/`` pin that contract.  Regenerate them (after an
+intentional format change) with::
+
+    PYTHONPATH=src python tests/test_trace_export.py --regenerate
+"""
+
+import json
+from pathlib import Path
+
+from repro.obs import Span, to_chrome_trace, to_prometheus
+from repro.obs.render import trace_to_json
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def golden_trace() -> Span:
+    """A small, fully deterministic trace with every exporter feature:
+    nested spans, counters, attributes, histograms and worker-attributed
+    parallel children."""
+    root = Span(
+        "design_flow",
+        attributes={"name": "xor2", "engine": "exact"},
+        wall_seconds=0.004,
+        cpu_seconds=0.0035,
+    )
+    place = Span(
+        "flow.place_route",
+        attributes={"engine": "exact"},
+        counters={"sat.conflicts": 12.0, "sat.decisions": 30.0},
+        wall_seconds=0.0025,
+        cpu_seconds=0.0024,
+    )
+    candidate = Span(
+        "exact.candidate",
+        attributes={"width": 2, "height": 3},
+        wall_seconds=0.002,
+        cpu_seconds=0.002,
+    )
+    candidate.observe("exact.cnf_clauses", 120.0)
+    candidate.observe("exact.cnf_clauses", 180.0)
+    place.children.append(candidate)
+    root.children.append(place)
+
+    fanout = Span(
+        "parallel",
+        attributes={"label": "operational.patterns", "tasks": 2},
+        wall_seconds=0.001,
+        cpu_seconds=0.0001,
+    )
+    for index, (worker, wall) in enumerate([(1111, 0.0004), (2222, 0.0006)]):
+        task = Span(
+            "parallel.task",
+            attributes={"index": index, "worker": worker},
+            counters={"sweeps": 100.0},
+            wall_seconds=wall,
+            cpu_seconds=wall,
+        )
+        task.observe("simanneal.energy", 0.25 * (index + 1))
+        fanout.children.append(task)
+    root.children.append(fanout)
+    return root
+
+
+class TestChromeExport:
+    def test_matches_golden(self):
+        assert to_chrome_trace(golden_trace()) == (
+            GOLDEN / "trace_chrome.json"
+        ).read_text()
+
+    def test_is_valid_trace_event_json(self):
+        document = json.loads(to_chrome_trace(golden_trace()))
+        events = document["traceEvents"]
+        assert document["displayTimeUnit"] == "ms"
+        complete = [event for event in events if event["ph"] == "X"]
+        metadata = [event for event in events if event["ph"] == "M"]
+        assert len(complete) == 6  # every span becomes one X event
+        for event in complete:
+            assert set(event) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+            assert event["dur"] >= 0 and event["ts"] >= 0
+        names = {event["name"] for event in metadata}
+        assert "process_name" in names and "thread_name" in names
+
+    def test_worker_spans_land_on_distinct_tids(self):
+        document = json.loads(to_chrome_trace(golden_trace()))
+        by_name: dict[str, list] = {}
+        for event in document["traceEvents"]:
+            if event["ph"] == "X":
+                by_name.setdefault(event["name"], []).append(event)
+        main_tid = by_name["design_flow"][0]["tid"]
+        worker_tids = {event["tid"] for event in by_name["parallel.task"]}
+        assert len(worker_tids) == 2
+        assert main_tid not in worker_tids
+        # Worker lanes run in parallel with (not after) each other: both
+        # start at their parent's start on the synthesized timeline.
+        starts = {event["ts"] for event in by_name["parallel.task"]}
+        assert starts == {by_name["parallel"][0]["ts"]}
+        # Each worker lane is named in the thread metadata.
+        thread_names = {
+            event["args"]["name"]
+            for event in document["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert {"worker 1111", "worker 2222"} <= thread_names
+
+    def test_sibling_spans_are_sequential_on_one_tid(self):
+        document = json.loads(to_chrome_trace(golden_trace()))
+        events = {
+            event["name"]: event
+            for event in document["traceEvents"]
+            if event["ph"] == "X" and event["name"] != "parallel.task"
+        }
+        place = events["flow.place_route"]
+        fanout = events["parallel"]
+        assert fanout["ts"] >= place["ts"] + place["dur"]
+
+
+class TestPrometheusExport:
+    def test_matches_golden(self):
+        assert to_prometheus(golden_trace()) == (
+            GOLDEN / "trace_prom.txt"
+        ).read_text()
+
+    def test_exposition_shape(self):
+        text = to_prometheus(golden_trace())
+        assert "# TYPE repro_sat_conflicts_total counter" in text
+        assert "repro_sat_conflicts_total 12" in text
+        # Counters aggregate across the whole tree (both workers).
+        assert "repro_sweeps_total 200" in text
+        # Spans aggregate by name into labelled series.
+        assert 'repro_span_calls_total{span="parallel.task"} 2' in text
+        # Histograms export as summaries with quantile labels.
+        assert "# TYPE repro_exact_cnf_clauses summary" in text
+        assert 'repro_exact_cnf_clauses{quantile="0.5"}' in text
+        assert "repro_exact_cnf_clauses_count 2" in text
+        assert "repro_exact_cnf_clauses_min 120" in text
+        assert "repro_exact_cnf_clauses_max 180" in text
+        assert text.endswith("\n")
+
+    def test_metric_names_sanitized(self):
+        span = Span("weird", counters={"a.b-c d": 1.0})
+        assert "repro_a_b_c_d_total 1" in to_prometheus(span)
+
+
+class TestCliExport:
+    def test_trace_export_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace_path = tmp_path / "trace.json"
+        trace_path.write_text(trace_to_json(golden_trace()))
+
+        out = tmp_path / "chrome.json"
+        assert main(
+            ["trace", "export", str(trace_path), "--format", "chrome",
+             "-o", str(out)]
+        ) == 0
+        capsys.readouterr()
+        assert json.loads(out.read_text())["traceEvents"]
+
+        assert main(
+            ["trace", "export", str(trace_path), "--format", "prom"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "repro_sweeps_total 200" in captured.out
+
+    def test_trace_export_rejects_garbage(self, tmp_path):
+        import pytest
+
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="not a repro trace"):
+            main(["trace", "export", str(bad)])
+        with pytest.raises(SystemExit, match="cannot read trace"):
+            main(["trace", "export", str(tmp_path / "missing.json")])
+
+
+class TestLiveTraceExports:
+    def test_real_flow_trace_exports_cleanly(self):
+        # Not golden-pinned (timings vary); both exporters must accept a
+        # genuine flow trace after a JSON round trip.
+        from repro.flow.design_flow import design_sidb_circuit
+        from repro.networks import benchmark_verilog
+        from repro.obs.render import trace_from_json
+
+        result = design_sidb_circuit(benchmark_verilog("xor2"), "xor2")
+        restored = trace_from_json(trace_to_json(result.trace))
+        document = json.loads(to_chrome_trace(restored))
+        assert len(document["traceEvents"]) > 10
+        assert "repro_span_calls_total" in to_prometheus(restored)
+
+
+def _regenerate() -> None:
+    GOLDEN.mkdir(exist_ok=True)
+    (GOLDEN / "trace_chrome.json").write_text(to_chrome_trace(golden_trace()))
+    (GOLDEN / "trace_prom.txt").write_text(to_prometheus(golden_trace()))
+    print(f"regenerated goldens in {GOLDEN}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)
