@@ -1,0 +1,52 @@
+"""Design-service cache: cold run vs. warm hit on ``mux21``.
+
+Times ``api.design(cache=...)`` cold (full flow + persist), warm via
+the in-memory memo (the path repeated in-process calls and the job
+scheduler hit) and warm via disk hydration in a fresh store (the
+cross-process path), asserting the memo hit is at least 100x faster
+than the cold run with byte-identical ``.sqd`` output.  Writes
+``benchmarks/artifacts/BENCH_service.json``.
+"""
+
+from pathlib import Path
+
+from conftest import print_header
+from repro.service.perfbench import (
+    MEMO_SPEEDUP_LIMIT,
+    run_service_cache_benchmark,
+    write_benchmark_json,
+)
+
+ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_service.json"
+
+
+def test_service_cache(benchmark):
+    record = benchmark.pedantic(
+        run_service_cache_benchmark, rounds=1, iterations=1
+    )
+    write_benchmark_json(record, ARTIFACT)
+
+    print_header(
+        f"Design-service cache on {record['benchmark']} "
+        f"(min of {record['repeats']} repeats)"
+    )
+    print(f"  cold run    : {record['cold_seconds'] * 1000:10.2f} ms")
+    print(
+        f"  warm (memo) : {record['warm_memo_seconds'] * 1000:10.3f} ms "
+        f"({record['memo_speedup']:.0f}x)"
+    )
+    print(
+        f"  warm (disk) : {record['warm_disk_seconds'] * 1000:10.3f} ms "
+        f"({record['disk_speedup']:.0f}x)"
+    )
+    print(
+        f"  throughput  : "
+        f"{record['warm_throughput_per_second']:10.0f} warm req/s"
+    )
+    print(f"  artifact: {ARTIFACT}")
+
+    assert record["sqd_identical"], "cache returned different .sqd bytes"
+    assert record["memo_speedup"] >= MEMO_SPEEDUP_LIMIT, (
+        f"warm memo hit is only {record['memo_speedup']:.0f}x faster than "
+        f"the cold run (limit {MEMO_SPEEDUP_LIMIT:.0f}x)"
+    )

@@ -32,6 +32,11 @@ from repro.obs.perfbench import (  # noqa: E402
     run_worker_overhead_benchmark,
     write_benchmark_json as write_obs_json,
 )
+from repro.service.perfbench import (  # noqa: E402
+    MEMO_SPEEDUP_LIMIT,
+    run_service_cache_benchmark,
+    write_benchmark_json as write_service_json,
+)
 from repro.sidb.perfbench import (  # noqa: E402
     GATE_SIZE,
     run_scaling_benchmark,
@@ -41,6 +46,7 @@ from repro.sidb.simanneal import SimAnnealParameters  # noqa: E402
 
 ARTIFACT = REPO / "benchmarks" / "artifacts" / "BENCH_simanneal.json"
 OBS_ARTIFACT = REPO / "benchmarks" / "artifacts" / "BENCH_obs.json"
+SERVICE_ARTIFACT = REPO / "benchmarks" / "artifacts" / "BENCH_service.json"
 
 
 def main() -> int:
@@ -115,6 +121,27 @@ def main() -> int:
             f"disabled-mode observability overhead with workers=2 is "
             f"{worker_record['disabled_overhead'] * 100:.2f}% (limit "
             f"{DISABLED_OVERHEAD_LIMIT * 100:.0f}%)"
+        )
+
+    service_record = run_service_cache_benchmark()
+    service_path = write_service_json(service_record, SERVICE_ARTIFACT)
+    print(
+        f"  service cache on {service_record['benchmark']}: "
+        f"cold {service_record['cold_seconds']:.3f}s  "
+        f"warm-memo {service_record['warm_memo_seconds'] * 1000:.3f}ms "
+        f"({service_record['memo_speedup']:.0f}x)  "
+        f"warm-disk {service_record['warm_disk_seconds'] * 1000:.3f}ms "
+        f"({service_record['disk_speedup']:.0f}x)  "
+        f"{service_record['warm_throughput_per_second']:.0f} warm req/s"
+    )
+    print(f"  artifact: {service_path}")
+    if not service_record["sqd_identical"]:
+        failures.append("service cache returned different .sqd bytes")
+    if service_record["memo_speedup"] < MEMO_SPEEDUP_LIMIT:
+        failures.append(
+            f"service warm memo hit only "
+            f"{service_record['memo_speedup']:.0f}x faster than cold "
+            f"(limit {MEMO_SPEEDUP_LIMIT:.0f}x)"
         )
 
     # Trend tracking: log this run and gate against the rolling best.

@@ -9,6 +9,18 @@ log and fails (exit 1) when the most recent record regresses more than
 preceding :data:`ROLLING_WINDOW` records -- the cross-PR complement to
 the in-run gates of ``bench_perf.py``.
 
+Raw wall-clock seconds are not comparable across runs on shared
+hardware: the same code measures 1.5x slower when a noisy neighbour
+owns the other half of the core.  Each appended record therefore also
+carries ``calibration_seconds`` -- the min-of-repeats time of a fixed
+reference workload (:func:`measure_calibration`) run back-to-back with
+the benchmarks -- and ``--check`` compares metrics *normalized by the
+machine speed of their own run* (``seconds / calibration_seconds``).
+A genuinely slower kernel still fails (its time grows while the
+calibration does not); a slower machine no longer false-alarms (both
+grow together).  Records from before the calibration field exist are
+only compared against each other, never across the boundary.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_trend.py           # append
@@ -24,6 +36,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from datetime import datetime, timezone
 from pathlib import Path
 
@@ -40,6 +53,33 @@ ROLLING_WINDOW = 10
 #: Annealer gate size whose batch time is tracked (matches
 #: ``repro.sidb.perfbench.GATE_SIZE``).
 GATE_SIZE = 24
+
+#: Min-of-N repeats for the calibration reference workload.
+CALIBRATION_REPEATS = 5
+
+
+def measure_calibration(repeats: int = CALIBRATION_REPEATS) -> float:
+    """Seconds for a fixed reference workload on *this* machine, now.
+
+    The workload blends a pure-Python loop with a seeded numpy kernel
+    so it scales with machine load the same way the tracked benchmarks
+    do (they are a mix of interpreter-bound obs bookkeeping and
+    numpy-bound annealing).  It is fully deterministic; the only
+    variable is the machine, which is exactly what it measures.
+    """
+    import numpy as np
+
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        accumulator = 0
+        for index in range(150_000):
+            accumulator = (accumulator + index * index) & 0xFFFFFF
+        matrix = np.random.default_rng(0).standard_normal((96, 96))
+        for _ in range(24):
+            matrix = np.tanh(matrix @ matrix.T / 96.0)
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 def collect_metrics() -> dict[str, float]:
@@ -65,6 +105,13 @@ def collect_metrics() -> dict[str, float]:
             metrics["obs_workers2_disabled_seconds"] = workers2[
                 "disabled_seconds"
             ]
+    service = ARTIFACTS / "BENCH_service.json"
+    if service.exists():
+        record = json.loads(service.read_text())
+        if "warm_disk_seconds" in record:
+            metrics["service_warm_disk_seconds"] = record[
+                "warm_disk_seconds"
+            ]
     return metrics
 
 
@@ -86,6 +133,7 @@ def append_history(path: Path = HISTORY) -> dict:
             timespec="seconds"
         ),
         "metrics": collect_metrics(),
+        "calibration_seconds": measure_calibration(),
     }
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("a", encoding="utf-8") as handle:
@@ -98,29 +146,46 @@ def check_history(
     threshold: float = REGRESSION_THRESHOLD,
     window: int = ROLLING_WINDOW,
 ) -> list[str]:
-    """Regressions of the latest record vs. the rolling best; [] is OK."""
+    """Regressions of the latest record vs. the rolling best; [] is OK.
+
+    Calibrated records (those carrying ``calibration_seconds``) are
+    compared on machine-speed-normalized values; records without the
+    field are only comparable to each other, so the two populations
+    never gate across the calibration boundary.
+    """
     records = load_history(path)
     if len(records) < 2:
         return []
     latest = records[-1].get("metrics", {})
+    latest_calibration = records[-1].get("calibration_seconds")
     previous = records[-1 - window : -1]
     failures = []
     for name, value in sorted(latest.items()):
-        baseline = min(
-            (
-                record["metrics"][name]
-                for record in previous
-                if name in record.get("metrics", {})
-            ),
-            default=None,
-        )
+        comparable = []
+        for record in previous:
+            if name not in record.get("metrics", {}):
+                continue
+            calibration = record.get("calibration_seconds")
+            if (calibration is None) != (latest_calibration is None):
+                continue
+            if calibration is None:
+                comparable.append(record["metrics"][name])
+            elif calibration > 0:
+                comparable.append(record["metrics"][name] / calibration)
+        baseline = min(comparable, default=None)
         if baseline is None or baseline <= 0:
             continue
-        slowdown = value / baseline - 1.0
+        if latest_calibration is None:
+            current, unit = value, "s"
+        elif latest_calibration > 0:
+            current, unit = value / latest_calibration, "x calibration"
+        else:
+            continue
+        slowdown = current / baseline - 1.0
         if slowdown > threshold:
             failures.append(
-                f"{name}: {value:.4f}s is {slowdown * 100:.1f}% over the "
-                f"rolling best {baseline:.4f}s "
+                f"{name}: {current:.4f}{unit} is {slowdown * 100:.1f}% "
+                f"over the rolling best {baseline:.4f}{unit} "
                 f"(limit +{threshold * 100:.0f}%)"
             )
     return failures
@@ -151,6 +216,9 @@ def main() -> int:
     print(f"appended to {HISTORY.relative_to(REPO)}:")
     for name, value in sorted(record["metrics"].items()):
         print(f"  {name}: {value:.4f}s")
+    print(
+        f"  calibration: {record['calibration_seconds']:.4f}s"
+    )
     failures = check_history()
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -11,5 +11,8 @@ python scripts/check_api_surface.py
 echo "== benchmark trend =="
 PYTHONPATH=src python scripts/bench_trend.py --check
 
+echo "== design service smoke =="
+PYTHONPATH=src python scripts/service_smoke.py
+
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q

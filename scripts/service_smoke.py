@@ -1,0 +1,87 @@
+"""CI smoke test of the design service.
+
+Spins up a :class:`repro.api.DesignService` on an ephemeral port with a
+throwaway artifact store, then exercises the whole client surface over
+real HTTP: health check, job submission, status polling, artifact
+fetch, cache-hit resubmission (asserting byte-identical ``.sqd``),
+metrics scrape, and shutdown.  Exits non-zero on the first failed
+expectation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+import json
+import sys
+import tempfile
+import time
+import urllib.request
+
+from repro import api
+
+
+def _request(url, payload=None):
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    with urllib.request.urlopen(
+        urllib.request.Request(url, data=data, headers=headers), timeout=30
+    ) as response:
+        body = response.read()
+    if response.headers.get_content_type() == "application/json":
+        return response.status, json.loads(body)
+    return response.status, body
+
+
+def main() -> int:
+    store_root = tempfile.mkdtemp(prefix="repro-smoke-")
+    with api.DesignService(store=store_root, port=0, workers=1) as service:
+        service.start()
+        url = service.url
+        print(f"service on {url} (store: {store_root})")
+
+        status, health = _request(url + "/healthz")
+        assert status == 200 and health["status"] == "ok", health
+        assert health["version"] == api.package_version(), health
+        print(f"healthz ok (version {health['version']})")
+
+        status, doc = _request(
+            url + "/jobs", payload={"specification": "xor2"}
+        )
+        assert status == 202, (status, doc)
+        job = doc["job"]
+        print(f"submitted {job['id']} ({job['status']})")
+
+        deadline = time.time() + 120
+        while job["status"] not in ("done", "failed", "cancelled"):
+            assert time.time() < deadline, "job did not finish in 120 s"
+            time.sleep(0.2)
+            _, job = _request(f"{url}/jobs/{job['id']}")
+        assert job["status"] == "done", job
+        print(f"finished: {job['summary']}")
+
+        _, sqd_first = _request(url + job["artifacts"]["sqd"])
+        assert sqd_first.startswith(b"<?xml"), sqd_first[:40]
+        print(f"fetched design.sqd ({len(sqd_first)} bytes)")
+
+        _, doc = _request(url + "/jobs", payload={"specification": "xor2"})
+        rejob = doc["job"]
+        assert rejob["status"] == "done" and rejob["cache_hit"], rejob
+        _, sqd_second = _request(url + rejob["artifacts"]["sqd"])
+        assert sqd_second == sqd_first, "cache hit returned different bytes"
+        print("resubmission served from cache, byte-identical .sqd")
+
+        status, metrics = _request(url + "/metrics")
+        assert status == 200
+        text = metrics.decode("utf-8")
+        assert "repro_service_service_jobs_done_total" in text, text[:400]
+        print("metrics scrape ok")
+    print("service smoke test passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,8 +27,24 @@ __all__ = [
     "DesignResult",
     "FlowConfiguration",
     "design_sidb_circuit",
+    "package_version",
     "__version__",
 ]
+
+
+def package_version() -> str:
+    """The installed package version (``repro --version``, ``/healthz``).
+
+    Sourced from the installation metadata when the package is actually
+    installed; running straight from a source tree (``PYTHONPATH=src``)
+    falls back to :data:`__version__`.
+    """
+    try:
+        from importlib import metadata
+
+        return metadata.version("repro")
+    except Exception:
+        return __version__
 
 #: Old top-level spelling -> repro.api attribute it moved to.
 _DEPRECATED = {

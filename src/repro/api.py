@@ -20,6 +20,7 @@ from __future__ import annotations
 import os
 import sys
 
+from repro import package_version
 from repro.coords.hexagonal import HexCoord
 from repro.coords.lattice import LatticeSite
 from repro.defects import (
@@ -45,7 +46,7 @@ from repro.flow.reporting import (
 )
 from repro.gatelib.designer import CanvasSearchProblem, search_canvas_design
 from repro.gatelib.designs import core_parameters
-from repro.gatelib.library import BestagonLibrary
+from repro.gatelib.library import GATE_LIBRARY_VERSION, BestagonLibrary
 from repro.layout.render import layout_to_ascii, layout_to_svg
 from repro.networks import (
     BENCHMARK_NAMES,
@@ -70,8 +71,17 @@ from repro.sidb.charge import SidbLayout
 from repro.sidb.clocked import ClockedWire
 from repro.sidb.exhaustive import exhaustive_ground_state
 from repro.sidb.operational import GateFunctionSpec, check_operational
+from repro.service import (
+    ArtifactStore,
+    DesignService,
+    JobScheduler,
+    UncacheableConfigurationError,
+    default_store_root,
+    design_digest,
+)
 from repro.sidb.simanneal import SimAnneal, SimAnnealParameters
 from repro.sqd.sqd import (
+    SQD_WRITER_VERSION,
     load_sqd,
     read_sqd,
     read_sqd_defects,
@@ -157,6 +167,16 @@ __all__ = [
     # Verification.
     "EquivalenceResult",
     "check_layout_against_network",
+    # Design service: artifact cache, job scheduler, HTTP front end.
+    "ArtifactStore",
+    "JobScheduler",
+    "DesignService",
+    "UncacheableConfigurationError",
+    "design_digest",
+    "default_store_root",
+    "package_version",
+    "GATE_LIBRARY_VERSION",
+    "SQD_WRITER_VERSION",
 ]
 
 
@@ -198,6 +218,7 @@ def design(
     engine: Engine | str = Engine.AUTO,
     defects: SurfaceDefects | None = None,
     configuration: FlowConfiguration | None = None,
+    cache: "bool | str | os.PathLike | ArtifactStore | None" = None,
     **options,
 ) -> DesignResult:
     """Run the complete 8-step flow; the one-call entry point.
@@ -209,6 +230,15 @@ def design(
     forwarded to :class:`FlowConfiguration` (e.g. ``verify=False``,
     ``exact_max_width=12``); alternatively pass a ready-made
     ``configuration``, which must not be combined with other knobs.
+
+    ``cache`` enables the design-service artifact store: ``True`` uses
+    the default store (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), a
+    path uses a store rooted there, and an :class:`ArtifactStore` is
+    used directly.  A hit returns a rehydrated result with
+    ``from_cache=True`` and a byte-identical ``.sqd``; a miss runs the
+    flow and persists its artifacts.  Configurations the cache digest
+    cannot canonicalize (custom ``database``/``library`` objects,
+    unregistered clocking schemes) silently run uncached.
     """
     if configuration is not None:
         if options or defects is not None or engine != Engine.AUTO:
@@ -220,8 +250,47 @@ def design(
     else:
         config = FlowConfiguration(engine=engine, defects=defects, **options)
     if isinstance(specification, Xag):
-        return design_sidb_circuit(specification, name, config)
-    if "\n" in specification or "module" in specification:
-        return design_sidb_circuit(specification, name, config)
-    verilog, resolved = load_specification(specification)
-    return design_sidb_circuit(verilog, name or resolved, config)
+        spec: str | Xag = specification
+    elif "\n" in specification or "module" in specification:
+        spec = specification
+    else:
+        spec, resolved = load_specification(specification)
+        name = name or resolved
+    if cache is not None and cache is not False:
+        result = _design_cached(spec, name, config, cache)
+        if result is not None:
+            return result
+    return design_sidb_circuit(spec, name, config)
+
+
+def _design_cached(
+    specification: str | Xag,
+    name: str | None,
+    config: FlowConfiguration,
+    cache: "bool | str | os.PathLike | ArtifactStore",
+) -> DesignResult | None:
+    """The cache-enabled path of :func:`design`.
+
+    Returns ``None`` when the configuration is uncacheable, telling
+    the caller to fall through to an uncached run.
+    """
+    from repro.service.digest import (
+        UncacheableConfigurationError,
+        design_digest,
+        normalize_configuration,
+    )
+    from repro.service.store import ArtifactStore
+
+    try:
+        normalized = normalize_configuration(config)
+        digest = design_digest(specification, name, config)
+    except UncacheableConfigurationError:
+        return None
+    store = ArtifactStore.resolve(cache)
+    cached = store.load_result(digest)
+    if cached is not None:
+        return cached
+    result = design_sidb_circuit(specification, name, config)
+    source = specification if isinstance(specification, str) else None
+    store.store_result(digest, result, normalized, source=source)
+    return result

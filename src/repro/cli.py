@@ -6,6 +6,9 @@
     python -m repro.cli library
     python -m repro.cli defects sample [options]
     python -m repro.cli trace export <trace.json> [--format chrome|prom]
+    python -m repro.cli serve  [--port N --store DIR --workers N]
+    python -m repro.cli submit <spec.v | benchmark-name> [--wait]
+    python -m repro.cli jobs   [ID]
 
 ``synth`` runs the 8-step flow and writes .sqd/.svg artifacts; ``bench``
 prints Table-1 style rows; ``validate`` runs the physics operational
@@ -17,6 +20,12 @@ or Prometheus text exposition.  ``--progress`` on any flow command
 streams live single-line progress to stderr, and ``--workers N`` fans
 the parallelizable steps out over processes.
 
+``serve`` starts the design service (artifact store + job scheduler +
+JSON HTTP API); ``submit`` and ``jobs`` are its thin clients.  ``synth
+--cache [DIR]`` serves repeat runs from the artifact store directly,
+no server needed.  Ctrl-C anywhere exits with status 130 and a
+one-line message, never a traceback.
+
 The flow subcommands share their common options through parent parsers
 (:func:`_trace_options`, :func:`_engine_options`), so ``--trace`` and
 the engine knobs spell and behave identically everywhere.  Everything
@@ -26,9 +35,16 @@ the CLI touches comes from the stable :mod:`repro.api` facade.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
+import urllib.error
+import urllib.request
 
 from repro import api
+from repro.service.http import DEFAULT_PORT as _DEFAULT_PORT
+
+_DEFAULT_URL = f"http://127.0.0.1:{_DEFAULT_PORT}"
 
 
 def _load_specification(source: str) -> tuple[str, str]:
@@ -65,10 +81,13 @@ def _design(
     config: api.FlowConfiguration,
 ) -> api.DesignResult:
     """Run the flow, with live progress when ``--progress`` is set."""
+    cache = getattr(args, "cache", None)
     if getattr(args, "progress", False):
         with api.progress_scope(api.LineProgressReporter()):
-            return api.design(verilog, name=name, configuration=config)
-    return api.design(verilog, name=name, configuration=config)
+            return api.design(
+                verilog, name=name, configuration=config, cache=cache
+            )
+    return api.design(verilog, name=name, configuration=config, cache=cache)
 
 
 def _report_trace(args: argparse.Namespace, result: api.DesignResult) -> None:
@@ -198,6 +217,134 @@ def cmd_trace_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _http_json(
+    url: str,
+    payload: dict | None = None,
+    method: str | None = None,
+) -> dict:
+    """One JSON request to the design service, with friendly errors."""
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(
+        url, data=data, headers=headers, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        try:
+            message = json.loads(error.read().decode("utf-8"))["error"]
+        except Exception:
+            message = str(error)
+        raise SystemExit(f"service error ({error.code}): {message}") from None
+    except urllib.error.URLError as error:
+        raise SystemExit(
+            f"cannot reach design service at {url}: {error.reason} "
+            "(is 'repro serve' running?)"
+        ) from None
+
+
+def _format_job(job: dict) -> str:
+    flags = []
+    if job.get("cache_hit"):
+        flags.append("cache-hit")
+    if job.get("attached"):
+        flags.append(f"attached={job['attached']}")
+    error = job.get("error")
+    if error:
+        flags.append(f"{error.get('kind', 'error')}: {error.get('message')}")
+    suffix = f"  [{', '.join(flags)}]" if flags else ""
+    return (
+        f"{job['id']}  {job['status']:9s} {job.get('name') or '-':12s} "
+        f"{job['digest'][:12]}{suffix}"
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    service = api.DesignService(
+        store=args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        verbose=True,
+    )
+    store_root = service.store.root
+    print(
+        f"repro design service {api.package_version()} on {service.url} "
+        f"(store: {store_root}, {args.workers} workers)",
+        file=sys.stderr,
+    )
+    try:
+        service.serve_forever()
+    finally:
+        service.close()
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    verilog, name = _load_specification(args.spec)
+    options: dict = {
+        "engine": args.engine,
+        "exact_conflict_limit": args.conflict_limit,
+        "exact_time_limit_seconds": args.time_limit,
+    }
+    if getattr(args, "defects", None):
+        try:
+            surface = api.SurfaceDefects.load(args.defects)
+        except (OSError, ValueError) as error:
+            raise SystemExit(
+                f"cannot load defects from '{args.defects}': {error}"
+            ) from None
+        options["defects"] = [defect.to_dict() for defect in surface]
+    document = _http_json(
+        f"{args.url}/jobs",
+        payload={
+            "specification": verilog,
+            "name": name,
+            "options": options,
+            "priority": args.priority,
+            "timeout": args.timeout,
+        },
+    )
+    job = document["job"]
+    print(_format_job(job))
+    if not args.wait:
+        return 0
+    while job["status"] not in ("done", "failed", "cancelled"):
+        time.sleep(args.poll_seconds)
+        job = _http_json(f"{args.url}/jobs/{job['id']}")
+    print(_format_job(job))
+    if job["status"] != "done":
+        return 1
+    if args.output:
+        sqd_url = f"{args.url}{job['artifacts']['sqd']}"
+        request = urllib.request.Request(sqd_url)
+        with urllib.request.urlopen(request, timeout=60) as response:
+            data = response.read()
+        with open(args.output, "wb") as handle:
+            handle.write(data)
+        print(f"wrote {args.output} ({len(data)} bytes)")
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    if args.id:
+        job = _http_json(f"{args.url}/jobs/{args.id}")
+        print(json.dumps(job, indent=1, sort_keys=True))
+        return 0
+    document = _http_json(f"{args.url}/jobs")
+    jobs = document["jobs"]
+    if not jobs:
+        print("no jobs")
+        return 0
+    for job in jobs:
+        print(_format_job(job))
+    return 0
+
+
 def _benchmark_name(value: str) -> str:
     """Argparse type: a built-in benchmark name, rejected with choices."""
     if value not in api.BENCHMARK_NAMES:
@@ -242,6 +389,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SiDB design automation (Bestagon flow)"
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {api.package_version()}",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     trace_options = _trace_options()
     engine_options = _engine_options()
@@ -253,6 +405,10 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--svg", help="write SVG rendering")
     synth.add_argument("--ascii", action="store_true",
                        help="print ASCII layout")
+    synth.add_argument("--cache", nargs="?", const=True, metavar="DIR",
+                       help="serve repeat runs from the design-artifact "
+                            "store (default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro/designs)")
     synth.set_defaults(handler=cmd_synth)
 
     bench = sub.add_parser("bench", help="Table-1 style rows",
@@ -306,12 +462,60 @@ def build_parser() -> argparse.ArgumentParser:
     sample.add_argument("-o", "--output", metavar="PATH",
                         help="write the surface as JSON (default: stdout)")
     sample.set_defaults(handler=cmd_defects_sample)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the design service (artifact store + job queue + HTTP)",
+        description="Serve the JSON design API: POST /jobs, GET /jobs, "
+                    "GET /artifacts/<digest>/<name>, GET /metrics, "
+                    "GET /healthz.  Results are cached in the artifact "
+                    "store; identical in-flight submissions share one "
+                    "execution.",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=_DEFAULT_PORT,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--store", metavar="DIR", default=None,
+                       help="artifact store root (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro/designs)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent design worker processes")
+    serve.set_defaults(handler=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a design job to a running service",
+        parents=[engine_options],
+    )
+    submit.add_argument("spec", help="Verilog file or benchmark name")
+    submit.add_argument("--url", default=_DEFAULT_URL,
+                        help="service base URL")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs earlier")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="per-job timeout in seconds")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes")
+    submit.add_argument("--poll-seconds", type=float, default=0.5,
+                        help=argparse.SUPPRESS)
+    submit.add_argument("-o", "--output", metavar="PATH",
+                        help="with --wait: write the .sqd artifact here")
+    submit.set_defaults(handler=cmd_submit)
+
+    jobs = sub.add_parser("jobs", help="list the service's jobs")
+    jobs.add_argument("id", nargs="?", help="show one job as JSON")
+    jobs.add_argument("--url", default=_DEFAULT_URL,
+                      help="service base URL")
+    jobs.set_defaults(handler=cmd_jobs)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -56,6 +56,31 @@ class TileDefectCheck:
         """True when no defect was near and no simulation ran."""
         return self.nearby_defects == 0
 
+    def to_dict(self) -> dict:
+        """JSON-ready record; inverse of :meth:`from_dict`."""
+        return {
+            "coord": [self.coord.x, self.coord.y],
+            "design_name": self.design_name,
+            "nearby_defects": self.nearby_defects,
+            "operational": self.operational,
+            "patterns_correct": self.patterns_correct,
+            "patterns_total": self.patterns_total,
+            "patterns_pristine": self.patterns_pristine,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TileDefectCheck":
+        x, y = data["coord"]
+        return cls(
+            coord=HexCoord(int(x), int(y)),
+            design_name=str(data["design_name"]),
+            nearby_defects=int(data["nearby_defects"]),
+            operational=bool(data["operational"]),
+            patterns_correct=int(data.get("patterns_correct", 0)),
+            patterns_total=int(data.get("patterns_total", 0)),
+            patterns_pristine=int(data.get("patterns_pristine", 0)),
+        )
+
 
 @dataclass
 class DefectAwareReport:
@@ -83,6 +108,33 @@ class DefectAwareReport:
             f"{self.defects_total} surface defects, "
             f"{self.tiles_checked}/{len(self.tiles)} tiles re-simulated, "
             f"{verdict}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready record; inverse of :meth:`from_dict`.
+
+        This is the ``defects.json`` artifact the design service
+        persists alongside a cached layout.
+        """
+        return {
+            "operational": self.operational,
+            "defects_total": self.defects_total,
+            "influence_radius_nm": self.influence_radius_nm,
+            "tiles": [tile.to_dict() for tile in self.tiles],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DefectAwareReport":
+        return cls(
+            operational=bool(data["operational"]),
+            tiles=[
+                TileDefectCheck.from_dict(tile)
+                for tile in data.get("tiles", [])
+            ],
+            defects_total=int(data.get("defects_total", 0)),
+            influence_radius_nm=float(
+                data.get("influence_radius_nm", DEFECT_INFLUENCE_RADIUS_NM)
+            ),
         )
 
 

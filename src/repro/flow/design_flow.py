@@ -147,6 +147,10 @@ class DesignResult:
     #: Result of the defect-aware operational recheck (``None`` unless
     #: the flow ran with surface defects configured).
     defect_report: DefectAwareReport | None = None
+    #: ``True`` when this result was served from a design-service
+    #: artifact store (:mod:`repro.service`) instead of a fresh flow
+    #: execution; ``runtime_seconds`` then reports the *original* run.
+    from_cache: bool = False
 
     @property
     def width(self) -> int:

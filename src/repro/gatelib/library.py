@@ -16,6 +16,12 @@ from repro.sidb.operational import (
 from repro.sidb.simanneal import SimAnnealParameters
 from repro.tech.parameters import SiDBSimulationParameters
 
+#: Version of the built-in dot-accurate tile designs.  Part of the
+#: design-service cache digest (:mod:`repro.service.digest`): bump it
+#: whenever a tile design changes so persisted artifacts produced with
+#: the old library are invalidated instead of served stale.
+GATE_LIBRARY_VERSION = "bestagon-1"
+
 _GATE_KIND = {
     GateType.BUF: "wire",
     GateType.INV: "inv",

@@ -262,6 +262,29 @@ class LogicNetwork:
                 values[node] = gate_type.evaluate(fanin_values)
         return [values[po] for po in self._pos]
 
+    # --- (de)serialization --------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready structural dump; exact inverse of :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "nodes": [
+                [node.gate_type.value, list(node.fanins), node.name]
+                for node in self._nodes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LogicNetwork":
+        """Rebuild a network dumped by :meth:`to_dict`.
+
+        Goes through :meth:`add_node`, so fanin ordering and arities are
+        re-validated and the PI/PO lists rebuild themselves.
+        """
+        network = cls(str(data.get("name", "netlist")))
+        for gate_type, fanins, name in data["nodes"]:
+            network.add_node(GateType(gate_type), list(fanins), name)
+        return network
+
     def __repr__(self) -> str:
         return (
             f"LogicNetwork(name={self.name!r}, pis={self.num_pis}, "

@@ -311,6 +311,41 @@ class Xag:
             result.create_po(signal, self._po_names[index])
         return result
 
+    # --- (de)serialization ------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready structural dump; exact inverse of :meth:`from_dict`.
+
+        The node list is stored verbatim (including any dangling nodes),
+        so a round-tripped graph reports identical node/gate counts --
+        the property the design-service artifact store relies on.
+        """
+        return {
+            "name": self.name,
+            "nodes": [
+                [node.kind.value, node.fanin0, node.fanin1, node.name]
+                for node in self._nodes
+            ],
+            "pis": list(self._pis),
+            "pos": list(self._pos),
+            "po_names": list(self._po_names),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Xag":
+        """Rebuild a graph dumped by :meth:`to_dict` (strash included)."""
+        xag = cls(str(data.get("name", "xag")))
+        xag._nodes = [
+            _XagNode(XagNodeKind(kind), fanin0, fanin1, name)
+            for kind, fanin0, fanin1, name in data["nodes"]
+        ]
+        xag._pis = [int(pi) for pi in data["pis"]]
+        xag._pos = [int(po) for po in data["pos"]]
+        xag._po_names = list(data["po_names"])
+        for index, node in enumerate(xag._nodes):
+            if node.kind in (XagNodeKind.AND, XagNodeKind.XOR):
+                xag._strash[(node.kind, node.fanin0, node.fanin1)] = index
+        return xag
+
     def _reachable_nodes(self) -> set[int]:
         """Nodes in the transitive fanin of some PO."""
         reachable: set[int] = set()

@@ -166,7 +166,7 @@ def span(name: str, **attributes: object):
     recording is disabled, a shared no-op handle yielding a
     :class:`NullSpan` whose ``set``/``add`` do nothing.
     """
-    if not _recorder.enabled:
+    if not _recorder.maybe_enabled or not _recorder.enabled:
         return _NOOP
     opened = _recorder.start(name)
     if attributes:
@@ -176,7 +176,7 @@ def span(name: str, **attributes: object):
 
 def add(name: str, value: float = 1.0) -> None:
     """Accumulate a counter on the innermost open span."""
-    if not _recorder.enabled:
+    if not _recorder.maybe_enabled or not _recorder.enabled:
         return
     current_span = _recorder.current()
     if current_span is not None:
@@ -187,7 +187,7 @@ def add(name: str, value: float = 1.0) -> None:
 
 def gauge(name: str, value: object) -> None:
     """Set a point-in-time value (attribute) on the innermost open span."""
-    if not _recorder.enabled:
+    if not _recorder.maybe_enabled or not _recorder.enabled:
         return
     current_span = _recorder.current()
     if current_span is not None:
@@ -196,14 +196,14 @@ def gauge(name: str, value: object) -> None:
 
 def current() -> Span | NullSpan:
     """The innermost open span (a :class:`NullSpan` when disabled/idle)."""
-    if not _recorder.enabled:
+    if not _recorder.maybe_enabled or not _recorder.enabled:
         return NULL_SPAN
     return _recorder.current() or NULL_SPAN
 
 
 def observe(name: str, value: float) -> None:
     """Record one histogram observation on the innermost open span."""
-    if not _recorder.enabled:
+    if not _recorder.maybe_enabled or not _recorder.enabled:
         return
     current_span = _recorder.current()
     if current_span is not None:
@@ -212,7 +212,7 @@ def observe(name: str, value: float) -> None:
 
 def event(name: str, **attributes: object) -> None:
     """Append a flight-recorder event (only while recording is enabled)."""
-    if not _recorder.enabled:
+    if not _recorder.maybe_enabled or not _recorder.enabled:
         return
     _events.append(Event(name, time.perf_counter(), attributes))
 
@@ -279,8 +279,11 @@ class capture:
     ``enable=True`` force-enables recording for the duration (restoring
     the previous state afterwards); ``enable=None`` leaves the global
     switch untouched (so a globally-enabled session still records);
-    ``enable=False`` force-disables.  The root span is available as
-    ``.span`` (``None`` when nothing was recorded)::
+    ``enable=False`` force-disables.  The force-(en/dis)able is scoped
+    to the *capturing thread* -- concurrent flows in sibling threads
+    keep their own recording state, and each thread's spans land in its
+    own tree.  The root span is available as ``.span`` (``None`` when
+    nothing was recorded)::
 
         with obs.capture("design_flow", enable=True) as cap:
             ...
@@ -291,12 +294,12 @@ class capture:
         self.name = name
         self._enable = enable
         self.span: Span | None = None
-        self._previous = False
+        self._previous: bool | None = None
 
     def __enter__(self) -> "capture":
-        self._previous = _recorder.enabled
+        self._previous = _recorder.override()
         if self._enable is not None:
-            _recorder.enabled = self._enable
+            _recorder.set_override(self._enable)
         if _recorder.enabled:
             self.span = _recorder.start(self.name)
         return self
@@ -309,4 +312,4 @@ class capture:
             # in the process-wide root list.
             if self.span in _recorder.roots:
                 _recorder.roots.remove(self.span)
-        _recorder.enabled = self._previous
+        _recorder.set_override(self._previous)

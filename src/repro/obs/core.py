@@ -11,6 +11,7 @@ instrumented code pays (almost) nothing when observability is off.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -144,16 +145,74 @@ NULL_SPAN = NullSpan()
 
 
 class Recorder:
-    """Process-wide span stack; disabled (and allocation-free) by default."""
+    """Process-wide recorder with *per-thread* span stacks.
 
-    __slots__ = ("enabled", "roots", "counters", "_stack")
+    Disabled (and allocation-free) by default.  The enabled switch is
+    process-wide, but each thread tracks its own stack of open spans --
+    two threads running the design flow concurrently build two
+    independent span trees instead of nesting into each other -- and
+    :class:`repro.obs.capture` scopes its force-enable to the capturing
+    thread only (a per-thread *override* of the global switch), so one
+    thread's capture ending cannot stop a sibling thread's recording
+    mid-flight.
+    """
+
+    __slots__ = (
+        "_enabled",
+        "maybe_enabled",
+        "roots",
+        "counters",
+        "_local",
+        "_override_lock",
+        "_true_overrides",
+    )
 
     def __init__(self) -> None:
-        self.enabled = False
+        self._enabled = False
+        #: Cheap upper bound on :attr:`enabled` for *any* thread: ``False``
+        #: guarantees nothing records anywhere, so hot paths bail on this
+        #: one plain attribute before paying the thread-local lookup.
+        self.maybe_enabled = False
         self.roots: list[Span] = []
         #: Counters reported outside any open span.
         self.counters: dict[str, float] = {}
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._override_lock = threading.Lock()
+        self._true_overrides = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Effective recording state for the *calling thread*."""
+        override = getattr(self._local, "override", None)
+        return self._enabled if override is None else override
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = bool(value)
+        with self._override_lock:
+            self.maybe_enabled = self._enabled or self._true_overrides > 0
+
+    def override(self) -> bool | None:
+        """The calling thread's capture override (``None`` = global)."""
+        return getattr(self._local, "override", None)
+
+    def set_override(self, value: bool | None) -> None:
+        """Install (or with ``None`` clear) the calling thread's override."""
+        previous = getattr(self._local, "override", None)
+        self._local.override = value
+        if (previous is True) != (value is True):
+            with self._override_lock:
+                self._true_overrides += 1 if value is True else -1
+                self.maybe_enabled = (
+                    self._enabled or self._true_overrides > 0
+                )
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def start(self, name: str) -> Span:
         span = Span(name)
@@ -193,6 +252,7 @@ class Recorder:
         return self._stack[-1] if self._stack else None
 
     def reset(self) -> None:
+        """Drop roots and counters; clears the *calling thread's* stack."""
         self.roots.clear()
         self.counters.clear()
         self._stack.clear()

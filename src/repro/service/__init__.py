@@ -1,0 +1,65 @@
+"""Persistent design-artifact store + concurrent job service.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.service.digest` / :mod:`repro.service.store` -- the
+  content-addressed artifact store.  :func:`design_digest` canonically
+  hashes (specification, name, normalized configuration, gate-library
+  and ``.sqd``-writer versions); :class:`ArtifactStore` persists the
+  flow's outputs (``.sqd``, layout JSON, trace JSON, defect report)
+  under that digest with atomic writes, integrity re-verification on
+  every read, and an LRU size cap.
+* :mod:`repro.service.scheduler` -- :class:`JobScheduler`, a
+  submit/status/result/cancel queue over crash-isolated worker
+  processes with priorities, per-job timeouts, and in-flight dedup
+  (identical digests attach to the one running job).
+* :mod:`repro.service.http` -- :class:`DesignService`, the stdlib
+  ``ThreadingHTTPServer`` JSON front end behind ``repro serve``.
+
+Everything here is Python standard library only.
+"""
+
+from repro.service.digest import (
+    DIGEST_VERSION,
+    UncacheableConfigurationError,
+    design_digest,
+    normalize_configuration,
+)
+from repro.service.http import DEFAULT_PORT, DesignService
+from repro.service.scheduler import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobScheduler,
+)
+from repro.service.store import (
+    ARTIFACT_SQD,
+    SERVABLE_ARTIFACTS,
+    ArtifactStore,
+    default_store_root,
+)
+
+__all__ = [
+    "ARTIFACT_SQD",
+    "ArtifactStore",
+    "CANCELLED",
+    "DEFAULT_PORT",
+    "DIGEST_VERSION",
+    "DONE",
+    "DesignService",
+    "FAILED",
+    "Job",
+    "JobScheduler",
+    "QUEUED",
+    "RUNNING",
+    "SERVABLE_ARTIFACTS",
+    "TERMINAL_STATES",
+    "UncacheableConfigurationError",
+    "default_store_root",
+    "design_digest",
+    "normalize_configuration",
+]

@@ -1,0 +1,348 @@
+"""HTTP front end of the design service (stdlib ``http.server``).
+
+A thin JSON API over :class:`~repro.service.scheduler.JobScheduler` and
+:class:`~repro.service.store.ArtifactStore`:
+
+========  ==============================  =================================
+method    path                            semantics
+========  ==============================  =================================
+GET       ``/healthz``                    liveness + package version
+GET       ``/metrics``                    Prometheus text exposition
+POST      ``/jobs``                       submit a design request
+GET       ``/jobs``                       list known jobs
+GET       ``/jobs/<id>``                  one job's status/result summary
+DELETE    ``/jobs/<id>``                  cancel a queued/running job
+GET       ``/artifacts/<digest>``         entry manifest
+GET       ``/artifacts/<digest>/<name>``  one artifact's bytes
+========  ==============================  =================================
+
+``POST /jobs`` accepts ``{"specification": <benchmark name | Verilog
+source>, "name": ..., "options": {flow knobs}, "priority": int,
+"timeout": seconds}`` and answers with the job record -- immediately
+``done`` (``cache_hit: true``) when the artifact store already holds
+the digest.  Artifact reads are integrity-verified against the entry
+manifest before a single byte is served.
+
+The server is a ``ThreadingHTTPServer``: many clients poll and fetch
+concurrently while the scheduler's process pool does the heavy work.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+import repro
+from repro.service.digest import UncacheableConfigurationError
+from repro.service.scheduler import DONE, JobScheduler
+from repro.service.store import (
+    ARTIFACT_SQD,
+    SERVABLE_ARTIFACTS,
+    ArtifactStore,
+)
+
+#: Default TCP port of ``repro serve`` (pass 0 for an ephemeral port).
+DEFAULT_PORT = 8724
+
+_DIGEST_RE = re.compile(r"^[0-9a-f]{64}$")
+_JOB_PATH_RE = re.compile(r"^/jobs/([A-Za-z0-9-]+)$")
+_ARTIFACT_PATH_RE = re.compile(
+    r"^/artifacts/([0-9a-f]{64})(?:/([A-Za-z0-9._-]+))?$"
+)
+
+_CONTENT_TYPES = {
+    ".sqd": "application/xml; charset=utf-8",
+    ".json": "application/json; charset=utf-8",
+    ".v": "text/plain; charset=utf-8",
+}
+
+#: Upper bound on accepted request bodies (a Verilog file is tiny).
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def _resolve_specification(specification: str) -> tuple[str, str | None]:
+    """(verilog text, name hint) from a request's specification field.
+
+    Inline Verilog passes through; anything else is resolved as a
+    benchmark name.  File paths are deliberately *not* resolved here --
+    the HTTP server must not read arbitrary server-side files on a
+    client's behalf.
+    """
+    if "\n" in specification or "module" in specification:
+        return specification, None
+    from repro.networks import BENCHMARK_NAMES, benchmark_verilog
+
+    if specification in BENCHMARK_NAMES:
+        return benchmark_verilog(specification), specification
+    raise ValueError(
+        f"'{specification}' is neither Verilog source nor a benchmark "
+        f"(known: {', '.join(sorted(BENCHMARK_NAMES))})"
+    )
+
+
+def _configuration_from_options(options: dict):
+    """A FlowConfiguration from a request's ``options`` object."""
+    from repro.defects.model import SidbDefect, SurfaceDefects
+    from repro.flow.design_flow import FlowConfiguration
+
+    options = dict(options)
+    defects = options.pop("defects", None)
+    if defects is not None:
+        options["defects"] = SurfaceDefects(
+            SidbDefect.from_dict(record) for record in defects
+        )
+    return FlowConfiguration(**options)
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    server_version = "repro-service"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> "DesignService":
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        if self.service.verbose:
+            super().log_message(format, *args)
+
+    # --- helpers -------------------------------------------------------
+    def _send_json(self, document: dict, status: int = 200) -> None:
+        body = json.dumps(document, indent=1, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_body(self) -> dict | None:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if not 0 < length <= _MAX_BODY_BYTES:
+            self._send_error_json(400, "missing or oversized request body")
+            return None
+        try:
+            return json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._send_error_json(400, "request body is not valid JSON")
+            return None
+
+    def _job_document(self, job) -> dict:
+        document = job.to_dict()
+        if job.status == DONE:
+            document["artifacts"] = {
+                "manifest": f"/artifacts/{job.digest}",
+                "sqd": f"/artifacts/{job.digest}/{ARTIFACT_SQD}",
+            }
+        return document
+
+    # --- GET -----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(
+                {
+                    "status": "ok",
+                    "version": repro.package_version(),
+                    "scheduler": self.service.scheduler.stats(),
+                    "store": self.service.store.stats(),
+                }
+            )
+        elif path == "/metrics":
+            text = self.service.scheduler.telemetry_prometheus()
+            body = text.encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif path == "/jobs":
+            self._send_json(
+                {
+                    "jobs": [
+                        self._job_document(job)
+                        for job in self.service.scheduler.jobs()
+                    ]
+                }
+            )
+        elif match := _JOB_PATH_RE.match(path):
+            job = self.service.scheduler.job(match.group(1))
+            if job is None:
+                self._send_error_json(404, f"no job {match.group(1)!r}")
+            else:
+                self._send_json(self._job_document(job))
+        elif match := _ARTIFACT_PATH_RE.match(path):
+            self._get_artifact(match.group(1), match.group(2))
+        else:
+            self._send_error_json(404, f"unknown path {path!r}")
+
+    def _get_artifact(self, digest: str, name: str | None) -> None:
+        store = self.service.store
+        if name is None:
+            manifest = store.manifest(digest)
+            if manifest is None:
+                self._send_error_json(404, f"no artifact entry {digest}")
+            else:
+                self._send_json(manifest)
+            return
+        if name not in SERVABLE_ARTIFACTS:
+            self._send_error_json(
+                404,
+                f"unknown artifact {name!r} "
+                f"(know: {', '.join(SERVABLE_ARTIFACTS)})",
+            )
+            return
+        data = store.read_artifact(digest, name)
+        if data is None:
+            self._send_error_json(
+                404, f"artifact {name!r} not stored for {digest}"
+            )
+            return
+        content_type = _CONTENT_TYPES.get(
+            Path(name).suffix, "application/octet-stream"
+        )
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    # --- POST ----------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/jobs":
+            self._send_error_json(404, f"unknown path {path!r}")
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        specification = body.get("specification")
+        if not isinstance(specification, str) or not specification:
+            self._send_error_json(
+                400, "'specification' (benchmark name or Verilog) required"
+            )
+            return
+        try:
+            verilog, name_hint = _resolve_specification(specification)
+            configuration = _configuration_from_options(
+                body.get("options") or {}
+            )
+            job = self.service.scheduler.submit(
+                verilog,
+                name=body.get("name") or name_hint,
+                configuration=configuration,
+                priority=int(body.get("priority", 0)),
+                timeout=body.get("timeout"),
+            )
+        except (
+            ValueError,
+            TypeError,
+            UncacheableConfigurationError,
+        ) as error:
+            self._send_error_json(400, str(error))
+            return
+        except RuntimeError as error:
+            self._send_error_json(503, str(error))
+            return
+        self._send_json({"job": self._job_document(job)}, status=202)
+
+    # --- DELETE --------------------------------------------------------
+    def do_DELETE(self) -> None:  # noqa: N802
+        path = self.path.split("?", 1)[0].rstrip("/")
+        match = _JOB_PATH_RE.match(path)
+        if not match:
+            self._send_error_json(404, f"unknown path {path!r}")
+            return
+        job_id = match.group(1)
+        if self.service.scheduler.job(job_id) is None:
+            self._send_error_json(404, f"no job {job_id!r}")
+            return
+        cancelled = self.service.scheduler.cancel(job_id)
+        job = self.service.scheduler.job(job_id)
+        self._send_json(
+            {"cancelled": cancelled, "job": self._job_document(job)}
+        )
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class DesignService:
+    """The assembled service: store + scheduler + HTTP server.
+
+    ``port=0`` binds an ephemeral port (tests, smoke checks); the bound
+    address is available as :attr:`url` after construction.  Use as a
+    context manager or call :meth:`close` to tear everything down.
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore | str | Path | None = None,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        workers: int = 2,
+        default_timeout: float | None = None,
+        verbose: bool = False,
+    ) -> None:
+        if isinstance(store, (str, Path)):
+            store = ArtifactStore(store)
+        self.store = store if store is not None else ArtifactStore()
+        self.scheduler = JobScheduler(
+            self.store, workers=workers, default_timeout=default_timeout
+        )
+        self.verbose = verbose
+        self._httpd = _Server((host, port), _ServiceHandler)
+        self._httpd.service = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The actually bound (host, port)."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "DesignService":
+        """Serve in a background thread (returns immediately)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``repro serve`` loop)."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Shut down the HTTP server and the scheduler."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.scheduler.close()
+
+    def __enter__(self) -> "DesignService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

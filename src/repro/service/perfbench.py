@@ -1,0 +1,106 @@
+"""Cold-vs-warm benchmark of the design-service artifact cache.
+
+Measures one benchmark circuit three ways:
+
+* **cold** -- a full flow run through ``api.design(cache=...)`` on an
+  empty store (the miss path: run + persist);
+* **warm memo** -- the same call again against the same process-wide
+  store (the in-memory memo path that ``api.design`` and the job
+  scheduler's dedup hit);
+* **warm disk** -- hydration through a *fresh* :class:`ArtifactStore`
+  instance (the cross-process path: manifest verification + JSON
+  deserialization, no flow work).
+
+The gated contract (``benchmarks/bench_service_cache.py`` and
+``scripts/bench_perf.py``) is :data:`MEMO_SPEEDUP_LIMIT` -- a warm memo
+hit must be at least 100x faster than the cold run, with byte-identical
+``.sqd`` output.  ``warm_throughput_per_second`` reports sustained warm
+requests per second for the EXPERIMENTS table.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.networks import benchmark_verilog
+from repro.service.digest import design_digest
+from repro.service.store import ArtifactStore
+
+#: The measured circuit: large enough that a cold run dwarfs every
+#: fixed cost, small enough for a CI budget.
+CACHE_BENCHMARK = "mux21"
+
+#: Minimum cold/warm-memo ratio gated by CI.
+MEMO_SPEEDUP_LIMIT = 100.0
+
+#: Warm requests timed for the throughput figure.
+THROUGHPUT_REQUESTS = 200
+
+
+def run_service_cache_benchmark(
+    benchmark: str = CACHE_BENCHMARK,
+    repeats: int = 3,
+    throughput_requests: int = THROUGHPUT_REQUESTS,
+) -> dict:
+    """Time cold, warm-memo and warm-disk paths; return the record."""
+    from repro import api
+
+    verilog = benchmark_verilog(benchmark)
+    digest = design_digest(verilog, benchmark)
+
+    cold_seconds = []
+    memo_seconds = []
+    disk_seconds = []
+    sqd_identical = True
+    for _ in range(repeats):
+        root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+        store = ArtifactStore(root)
+
+        start = time.perf_counter()
+        cold = api.design(verilog, name=benchmark, cache=store)
+        cold_seconds.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        warm = api.design(verilog, name=benchmark, cache=store)
+        memo_seconds.append(time.perf_counter() - start)
+        sqd_identical &= warm.from_cache and warm.to_sqd() == cold.to_sqd()
+
+        fresh = ArtifactStore(root)
+        start = time.perf_counter()
+        hydrated = fresh.load_result(digest)
+        disk_seconds.append(time.perf_counter() - start)
+        sqd_identical &= (
+            hydrated is not None and hydrated.to_sqd() == cold.to_sqd()
+        )
+
+        start = time.perf_counter()
+        for _ in range(throughput_requests):
+            api.design(verilog, name=benchmark, cache=store)
+        throughput = throughput_requests / (time.perf_counter() - start)
+
+    cold_best = min(cold_seconds)
+    memo_best = min(memo_seconds)
+    disk_best = min(disk_seconds)
+    return {
+        "benchmark": benchmark,
+        "repeats": repeats,
+        "digest": digest,
+        "cold_seconds": cold_best,
+        "warm_memo_seconds": memo_best,
+        "warm_disk_seconds": disk_best,
+        "memo_speedup": cold_best / memo_best if memo_best else float("inf"),
+        "disk_speedup": cold_best / disk_best if disk_best else float("inf"),
+        "warm_throughput_per_second": throughput,
+        "sqd_identical": sqd_identical,
+    }
+
+
+def write_benchmark_json(record: dict, path: str | Path) -> Path:
+    """Write the cache record where the harness expects it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path

@@ -1,0 +1,473 @@
+"""Concurrent job scheduler for the design service.
+
+Jobs -- one flow execution per :func:`~repro.service.digest.design_digest`
+-- run on a bounded pool of worker *processes*, so a crashing or
+runaway flow can never take the service down: the parent observes the
+worker's exit and reports a structured failure instead.  The scheduler
+layers four behaviors over the raw pool:
+
+* **cache short-circuit** -- a digest already in the artifact store
+  completes instantly as a cache hit, no process spawned;
+* **in-flight deduplication** -- submissions of a digest that is
+  already queued or running *attach* to the existing job instead of
+  executing the flow twice;
+* **priorities and timeouts** -- higher-priority jobs dispatch first;
+  a job exceeding its timeout is terminated and reported as such;
+* **observability merge** -- each worker runs under
+  :func:`repro.sidb.parallel._captured_call` span capture (the same
+  plumbing the parallel sweeps use) and ships its span tree back; the
+  parent merges it into the scheduler's service-level telemetry span
+  (and into the process-wide recorder when one is recording), so
+  ``GET /metrics`` aggregates over everything the service executed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import multiprocessing
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.flow.design_flow import FlowConfiguration, design_sidb_circuit
+from repro.networks.xag import Xag
+from repro.obs import Span
+from repro.service.digest import (
+    configuration_from_normalized,
+    design_digest,
+    normalize_configuration,
+)
+from repro.service.store import ArtifactStore, build_payload
+from repro.sidb.parallel import _captured_call
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job can never leave.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+#: How long a terminated worker gets to exit before SIGKILL.
+_TERMINATE_GRACE_SECONDS = 5.0
+
+
+@dataclass
+class Job:
+    """One design request tracked by the scheduler."""
+
+    id: str
+    digest: str
+    name: str | None
+    priority: int = 0
+    timeout: float | None = None
+    status: str = QUEUED
+    cache_hit: bool = False
+    #: How many later submissions deduplicated onto this job.
+    attached: int = 0
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Structured failure: ``{"kind": "error"|"crash"|"timeout", ...}``.
+    error: dict | None = None
+    summary: str | None = None
+    engine: str | None = None
+    worker_pid: int | None = None
+    _cancel_requested: bool = field(default=False, repr=False)
+    _done_event: threading.Event = field(
+        default_factory=threading.Event, repr=False
+    )
+
+    @property
+    def finished(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._done_event.wait(timeout)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view for the HTTP API and the CLI."""
+        return {
+            "id": self.id,
+            "digest": self.digest,
+            "name": self.name,
+            "priority": self.priority,
+            "timeout": self.timeout,
+            "status": self.status,
+            "cache_hit": self.cache_hit,
+            "attached": self.attached,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "summary": self.summary,
+            "engine": self.engine,
+        }
+
+
+def _execute_task(task: dict) -> dict:
+    """Run one flow in the worker process; returns a picklable payload."""
+    configuration = configuration_from_normalized(task["configuration"])
+    specification = task["specification"]
+    if "xag" in specification:
+        spec: str | Xag = Xag.from_dict(specification["xag"])
+    else:
+        spec = specification["verilog"]
+    result = design_sidb_circuit(spec, task.get("name"), configuration)
+    return build_payload(
+        result, task["configuration"], source=specification.get("verilog")
+    )
+
+
+def _job_main(conn, task: dict) -> None:
+    """Worker-process entry point: crash-isolated, span-captured."""
+    import os
+
+    try:
+        payload, span_dict, pid = _captured_call(_execute_task, task)
+        conn.send(
+            {"status": "ok", "payload": payload, "span": span_dict, "pid": pid}
+        )
+    except BaseException as error:  # report, never propagate to a crash
+        conn.send(
+            {
+                "status": "error",
+                "error": {
+                    "kind": "error",
+                    "type": type(error).__name__,
+                    "message": str(error),
+                },
+                "span": None,
+                "pid": os.getpid(),
+            }
+        )
+    finally:
+        conn.close()
+
+
+class JobScheduler:
+    """Submit/status/result/cancel queue over a bounded process pool."""
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        workers: int = 2,
+        default_timeout: float | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.store = store
+        self.workers = workers
+        self.default_timeout = default_timeout
+        #: Service-level telemetry: per-job worker spans merge in here;
+        #: ``GET /metrics`` renders it with :func:`obs.to_prometheus`.
+        self.telemetry = Span("service")
+        self._lock = threading.RLock()
+        self._condition = threading.Condition(self._lock)
+        self._jobs: dict[str, Job] = {}
+        self._by_digest: dict[str, Job] = {}
+        self._heap: list[tuple[int, int, Job]] = []
+        self._sequence = itertools.count()
+        self._running: dict[str, multiprocessing.Process] = {}
+        self._stopping = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-service-dispatch",
+            daemon=True,
+        )
+        self._dispatcher.start()
+
+    # --- submission API ------------------------------------------------
+    def submit(
+        self,
+        specification: str | Xag,
+        *,
+        name: str | None = None,
+        configuration: FlowConfiguration | None = None,
+        priority: int = 0,
+        timeout: float | None = None,
+    ) -> Job:
+        """Enqueue one design request; returns its (possibly shared) job.
+
+        ``specification`` is Verilog source text or an :class:`Xag`
+        (resolve benchmark names / file paths before calling, e.g. via
+        :func:`repro.api.load_specification`).  May raise
+        :class:`~repro.service.digest.UncacheableConfigurationError`
+        for configurations that cannot be digested.
+        """
+        config = configuration or FlowConfiguration()
+        normalized = normalize_configuration(config)
+        digest = design_digest(specification, name, config)
+        if isinstance(specification, Xag):
+            task_spec: dict = {"xag": specification.to_dict()}
+            display_name = name or specification.name
+        else:
+            task_spec = {"verilog": specification}
+            display_name = name
+        if timeout is None:
+            timeout = self.default_timeout
+
+        with self._condition:
+            if self._stopping:
+                raise RuntimeError("scheduler is shut down")
+            active = self._by_digest.get(digest)
+            if active is not None and not active.finished:
+                active.attached += 1
+                self.telemetry.add("service.jobs_deduplicated")
+                return active
+
+            job = Job(
+                id=f"j-{uuid.uuid4().hex[:12]}",
+                digest=digest,
+                name=display_name,
+                priority=priority,
+                timeout=timeout,
+                submitted_at=time.time(),
+            )
+            self._jobs[job.id] = job
+            self.telemetry.add("service.jobs_submitted")
+
+            manifest = self.store.manifest(digest)
+            if manifest is not None:
+                job.status = DONE
+                job.cache_hit = True
+                job.finished_at = job.submitted_at
+                job.summary = manifest.get("summary")
+                job.engine = manifest.get("engine")
+                if job.name is None:
+                    job.name = manifest.get("name")
+                job._done_event.set()
+                self.telemetry.add("service.cache_hits")
+                return job
+
+            job._task = {  # type: ignore[attr-defined]
+                "specification": task_spec,
+                "name": name,
+                "configuration": normalized,
+            }
+            self._by_digest[digest] = job
+            heapq.heappush(
+                self._heap, (-priority, next(self._sequence), job)
+            )
+            self._condition.notify_all()
+            return job
+
+    def job(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """All known jobs, most recently submitted first."""
+        with self._lock:
+            return sorted(
+                self._jobs.values(),
+                key=lambda job: job.submitted_at,
+                reverse=True,
+            )
+
+    def result(self, job_id: str, timeout: float | None = None):
+        """Block until the job finishes; returns the hydrated result.
+
+        ``None`` when the job failed/was cancelled or the wait timed
+        out.
+        """
+        job = self.job(job_id)
+        if job is None:
+            return None
+        if not job.wait(timeout):
+            return None
+        if job.status != DONE:
+            return None
+        return self.store.load_result(job.digest)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued or running job; ``False`` if already final."""
+        with self._condition:
+            job = self._jobs.get(job_id)
+            if job is None or job.finished:
+                return False
+            job._cancel_requested = True
+            if job.status == QUEUED:
+                self._finalize_locked(job, CANCELLED)
+                return True
+            process = self._running.get(job.id)
+        # Running: terminate outside the lock; the watcher finalizes.
+        if process is not None:
+            process.terminate()
+        return True
+
+    def stats(self) -> dict:
+        """Queue/pool gauges for ``/healthz`` and ``/metrics``."""
+        with self._lock:
+            by_status: dict[str, int] = {}
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+            return {
+                "workers": self.workers,
+                "queued": by_status.get(QUEUED, 0),
+                "running": by_status.get(RUNNING, 0),
+                "done": by_status.get(DONE, 0),
+                "failed": by_status.get(FAILED, 0),
+                "cancelled": by_status.get(CANCELLED, 0),
+                "jobs_total": len(self._jobs),
+            }
+
+    def telemetry_prometheus(self) -> str:
+        """The service telemetry span as Prometheus text exposition."""
+        with self._lock:
+            return obs.to_prometheus(self.telemetry, prefix="repro_service")
+
+    def close(self, cancel_running: bool = True) -> None:
+        """Stop dispatching; optionally terminate in-flight workers."""
+        with self._condition:
+            self._stopping = True
+            for _, _, job in self._heap:
+                if job.status == QUEUED:
+                    self._finalize_locked(job, CANCELLED)
+            self._heap.clear()
+            processes = list(self._running.values())
+            self._condition.notify_all()
+        if cancel_running:
+            for process in processes:
+                process.terminate()
+        self._dispatcher.join(timeout=5.0)
+
+    def __enter__(self) -> "JobScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # --- dispatch ------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._condition:
+                while not self._stopping and (
+                    not self._heap or len(self._running) >= self.workers
+                ):
+                    self._condition.wait(timeout=0.5)
+                if self._stopping:
+                    return
+                job = heapq.heappop(self._heap)[2]
+                if job.finished:  # cancelled while queued
+                    continue
+                job.status = RUNNING
+                job.started_at = time.time()
+            self._spawn(job)
+
+    def _spawn(self, job: Job) -> None:
+        receiver, sender = multiprocessing.Pipe(duplex=False)
+        process = multiprocessing.Process(
+            target=_job_main,
+            args=(sender, job._task),  # type: ignore[attr-defined]
+            name=f"repro-job-{job.id}",
+            daemon=True,
+        )
+        process.start()
+        sender.close()
+        with self._lock:
+            self._running[job.id] = process
+            job.worker_pid = process.pid
+        watcher = threading.Thread(
+            target=self._watch,
+            args=(job, process, receiver),
+            name=f"repro-watch-{job.id}",
+            daemon=True,
+        )
+        watcher.start()
+
+    def _watch(self, job: Job, process, receiver) -> None:
+        """Await one worker: result, crash, timeout or cancellation."""
+        message = None
+        poll_hit = False
+        try:
+            poll_hit = receiver.poll(job.timeout)
+            if poll_hit:
+                message = receiver.recv()
+        except (EOFError, OSError):
+            # The pipe reached EOF without a message: the worker died
+            # (or was terminated).  Distinct from a poll timeout.
+            message = None
+        timed_out = not poll_hit and message is None and process.is_alive()
+        if timed_out:
+            process.terminate()
+            process.join(_TERMINATE_GRACE_SECONDS)
+            if process.is_alive():
+                process.kill()
+        process.join()
+        receiver.close()
+
+        span = None
+        if message is not None and message.get("span"):
+            span = Span.from_dict(message["span"])
+            span.set("job", job.id)
+            span.set("digest", job.digest[:12])
+
+        with self._condition:
+            self._running.pop(job.id, None)
+            if job._cancel_requested:
+                self._finalize_locked(job, CANCELLED, span=span)
+            elif message is not None and message.get("status") == "ok":
+                job.worker_pid = message.get("pid", job.worker_pid)
+                payload = message["payload"]
+                job.summary = payload["result"]["summary"]
+                job.engine = payload["result"]["engine_used"]
+                if job.name is None:
+                    job.name = payload["result"]["name"]
+                self._finalize_locked(job, DONE, span=span, payload=payload)
+            elif message is not None:
+                job.error = message.get(
+                    "error", {"kind": "error", "message": "unknown"}
+                )
+                self._finalize_locked(job, FAILED, span=span)
+            elif timed_out:
+                job.error = {
+                    "kind": "timeout",
+                    "message": f"exceeded {job.timeout:.1f} s",
+                    "timeout_seconds": job.timeout,
+                }
+                self._finalize_locked(job, FAILED, span=span)
+            else:
+                job.error = {
+                    "kind": "crash",
+                    "message": (
+                        "worker process died without reporting "
+                        f"(exit code {process.exitcode})"
+                    ),
+                    "exitcode": process.exitcode,
+                }
+                self._finalize_locked(job, FAILED, span=span)
+            self._condition.notify_all()
+
+    def _finalize_locked(
+        self,
+        job: Job,
+        status: str,
+        span: Span | None = None,
+        payload: dict | None = None,
+    ) -> None:
+        """Transition a job to a terminal state (lock already held)."""
+        job.status = status
+        job.finished_at = time.time()
+        self._by_digest.pop(job.digest, None)
+        self.telemetry.add(f"service.jobs_{status}")
+        if job.started_at is not None:
+            self.telemetry.observe(
+                "service.job_seconds", job.finished_at - job.started_at
+            )
+        if span is not None:
+            span.set("status", status)
+            self.telemetry.children.append(span)
+            if obs.enabled():
+                obs.recorder().roots.append(span)
+        if payload is not None:
+            # Persisting can do real I/O but finalize order must hold
+            # the lock anyway (dedup map + telemetry); entries are a
+            # few hundred KB, so this stays short.
+            self.store.put_payload(job.digest, payload)
+        job._done_event.set()

@@ -25,6 +25,7 @@ affordable.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Iterable
 
@@ -56,29 +57,37 @@ class GeometryCache:
         self._entries: OrderedDict[
             tuple[LatticeSite, ...], tuple[np.ndarray, float]
         ] = OrderedDict()
+        # The cache is process-wide and concurrent design flows may run
+        # in sibling threads (the design service does); the lock keeps
+        # the get/move-to-end/evict sequence atomic.  Uncontended cost
+        # is negligible next to the matrix build it guards.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def distance_matrix(
         self, sites: tuple[LatticeSite, ...]
     ) -> tuple[np.ndarray, float]:
         """(distance matrix, minimal pair distance) of a site set."""
-        entry = self._entries.get(sites)
-        if entry is not None:
-            self.hits += 1
-            self._entries.move_to_end(sites)
-            return entry
-        self.misses += 1
+        with self._lock:
+            entry = self._entries.get(sites)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(sites)
+                return entry
+            self.misses += 1
         entry = self._compute(sites)
-        self._entries[sites] = entry
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[sites] = entry
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
         return entry
 
     @staticmethod

@@ -1,5 +1,5 @@
 """SiQAD design-file (.sqd) I/O (flow step 8)."""
 
-from repro.sqd.sqd import read_sqd, write_sqd
+from repro.sqd.sqd import SQD_WRITER_VERSION, read_sqd, write_sqd
 
-__all__ = ["read_sqd", "write_sqd"]
+__all__ = ["SQD_WRITER_VERSION", "read_sqd", "write_sqd"]

@@ -24,6 +24,12 @@ from repro.sidb.charge import SidbLayout
 _PROGRAM_NAME = "repro-bestagon"
 _PROGRAM_VERSION = "1.0.0"
 
+#: Version of the ``.sqd`` serialization itself.  Part of the design-
+#: service cache digest: bump it whenever :func:`write_sqd` changes its
+#: output bytes, so cached artifacts are re-generated rather than served
+#: with a stale layout encoding.
+SQD_WRITER_VERSION = _PROGRAM_VERSION
+
 
 def write_sqd(
     layout: SidbLayout,

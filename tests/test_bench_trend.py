@@ -1,0 +1,102 @@
+"""The benchmark-trend regression gate (``scripts/bench_trend.py``).
+
+The gate compares machine-speed-normalized metrics, so a genuinely
+slower kernel fails while a slower machine does not; these tests pin
+both directions down with synthetic history files, plus the
+legacy-record boundary (no ``calibration_seconds`` field).
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_trend", REPO / "scripts" / "bench_trend.py"
+)
+bench_trend = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("bench_trend", bench_trend)
+_SPEC.loader.exec_module(bench_trend)
+
+
+def _write_history(path, records):
+    path.write_text(
+        "".join(json.dumps(record) + "\n" for record in records)
+    )
+    return path
+
+
+def _record(seconds, calibration=None):
+    record = {
+        "timestamp": "2026-08-06T00:00:00+00:00",
+        "metrics": {"simanneal_batch_seconds": seconds},
+    }
+    if calibration is not None:
+        record["calibration_seconds"] = calibration
+    return record
+
+
+def test_check_passes_with_fewer_than_two_records(tmp_path):
+    history = _write_history(
+        tmp_path / "h.jsonl", [_record(0.03, calibration=0.05)]
+    )
+    assert bench_trend.check_history(history) == []
+
+
+def test_normalized_check_forgives_a_slower_machine(tmp_path):
+    # Metric and calibration both double: same code, loaded machine.
+    history = _write_history(
+        tmp_path / "h.jsonl",
+        [_record(0.03, calibration=0.05), _record(0.06, calibration=0.10)],
+    )
+    assert bench_trend.check_history(history) == []
+
+
+def test_normalized_check_catches_a_real_regression(tmp_path):
+    # Metric doubles while the calibration holds: the code got slower.
+    history = _write_history(
+        tmp_path / "h.jsonl",
+        [_record(0.03, calibration=0.05), _record(0.06, calibration=0.05)],
+    )
+    failures = bench_trend.check_history(history)
+    assert len(failures) == 1
+    assert "simanneal_batch_seconds" in failures[0]
+    assert "100.0%" in failures[0]
+
+
+def test_legacy_records_compare_absolutely(tmp_path):
+    history = _write_history(
+        tmp_path / "h.jsonl", [_record(0.03), _record(0.05)]
+    )
+    failures = bench_trend.check_history(history)
+    assert len(failures) == 1
+
+
+def test_calibration_boundary_is_never_gated_across(tmp_path):
+    # A calibrated record vs. a legacy-only history: raw seconds from a
+    # different machine state are incomparable, so no verdict either way.
+    history = _write_history(
+        tmp_path / "h.jsonl",
+        [_record(0.03), _record(0.30, calibration=0.05)],
+    )
+    assert bench_trend.check_history(history) == []
+
+
+def test_rolling_best_is_the_floor(tmp_path):
+    # Within +20% of the best preceding normalized value passes even
+    # when slower than the immediately preceding record.
+    history = _write_history(
+        tmp_path / "h.jsonl",
+        [
+            _record(0.030, calibration=0.05),
+            _record(0.045, calibration=0.05),
+            _record(0.034, calibration=0.05),
+        ],
+    )
+    assert bench_trend.check_history(history) == []
+
+
+def test_measure_calibration_is_positive_and_repeatable():
+    first = bench_trend.measure_calibration(repeats=1)
+    assert first > 0

@@ -1,0 +1,420 @@
+"""Design service: digests, artifact store, job scheduler, HTTP API."""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import api, obs
+from repro.networks import benchmark_verilog
+from repro.service import (
+    ArtifactStore,
+    DesignService,
+    JobScheduler,
+    UncacheableConfigurationError,
+    design_digest,
+    normalize_configuration,
+)
+from repro.service.digest import configuration_from_normalized
+from repro.service.store import ARTIFACT_SQD
+from repro.synthesis.database import NpnDatabase
+
+
+def _payload(name="fake", sqd="<?xml?>x", layout="{}"):
+    """Minimal synthetic payload for store-mechanics tests."""
+    return {
+        "sqd": sqd,
+        "layout_json": layout,
+        "result": {"name": name, "engine_used": "exact", "summary": name},
+    }
+
+
+# --- digests -----------------------------------------------------------
+
+
+def test_digest_is_stable_across_configuration_instances():
+    verilog = benchmark_verilog("xor2")
+    first = design_digest(verilog, "xor2", api.FlowConfiguration())
+    second = design_digest(verilog, "xor2", api.FlowConfiguration())
+    assert first == second
+    assert len(first) == 64 and set(first) <= set("0123456789abcdef")
+
+
+def test_digest_varies_with_inputs():
+    verilog = benchmark_verilog("xor2")
+    base = design_digest(verilog, "xor2")
+    assert design_digest(verilog, "renamed") != base
+    assert design_digest(benchmark_verilog("mux21"), "xor2") != base
+    assert (
+        design_digest(
+            verilog, "xor2", api.FlowConfiguration(engine="heuristic")
+        )
+        != base
+    )
+
+
+def test_digest_ignores_workers_and_trace():
+    verilog = benchmark_verilog("xor2")
+    base = design_digest(verilog, "xor2")
+    assert (
+        design_digest(
+            verilog, "xor2", api.FlowConfiguration(workers=4, trace=False)
+        )
+        == base
+    )
+
+
+def test_uncacheable_configurations_raise():
+    with pytest.raises(UncacheableConfigurationError):
+        normalize_configuration(
+            api.FlowConfiguration(database=NpnDatabase())
+        )
+    with pytest.raises(UncacheableConfigurationError):
+        normalize_configuration(
+            api.FlowConfiguration(library=api.BestagonLibrary())
+        )
+
+
+def test_normalized_configuration_round_trips():
+    config = api.FlowConfiguration(
+        engine="heuristic", exact_max_width=12, verify=False
+    )
+    rebuilt = configuration_from_normalized(normalize_configuration(config))
+    assert normalize_configuration(rebuilt) == normalize_configuration(config)
+
+
+# --- artifact store ----------------------------------------------------
+
+
+def test_store_put_get_round_trip(tmp_path):
+    store = ArtifactStore(tmp_path)
+    assert store.put_payload("ab" * 32, _payload())
+    assert store.has("ab" * 32)
+    payload = store.get_payload("ab" * 32)
+    assert payload["sqd"] == "<?xml?>x"
+    assert not store.put_payload("ab" * 32, _payload())  # already stored
+    assert store.digests() == ["ab" * 32]
+    # Staging directory left clean (atomic rename committed the entry).
+    assert not any((tmp_path / "tmp").iterdir())
+
+
+def test_store_detects_corruption_and_evicts(tmp_path):
+    store = ArtifactStore(tmp_path)
+    digest = "cd" * 32
+    store.put_payload(digest, _payload())
+    artifact = store.entry_dir(digest) / ARTIFACT_SQD
+    artifact.write_text("tampered")
+    assert store.read_artifact(digest, ARTIFACT_SQD) is None
+    assert store.get_payload(digest) is None
+    assert not store.has(digest)  # corrupt entry evicted
+    assert store.stats()["evictions_corrupt"] >= 1
+
+
+def test_store_lru_size_cap_evicts_oldest(tmp_path):
+    big = "x" * 2000
+    store = ArtifactStore(tmp_path, max_bytes=3 * 2200)
+    for index in range(4):
+        digest = f"{index:02d}" * 32
+        store.put_payload(digest, _payload(sqd=big))
+        time.sleep(0.02)  # distinct manifest mtimes for LRU order
+    kept = store.digests()
+    assert "00" * 32 not in kept  # oldest evicted
+    assert "03" * 32 in kept
+    assert store.total_bytes() <= 3 * 2200
+
+
+def test_store_read_artifact_requires_manifest(tmp_path):
+    store = ArtifactStore(tmp_path)
+    assert store.manifest("ef" * 32) is None
+    assert store.read_artifact("ef" * 32, ARTIFACT_SQD) is None
+
+
+# --- api.design(cache=...) --------------------------------------------
+
+
+def test_design_cache_cold_then_warm(tmp_path):
+    store = ArtifactStore(tmp_path)
+    start = time.perf_counter()
+    cold = api.design("mux21", cache=store)
+    cold_seconds = time.perf_counter() - start
+    assert not cold.from_cache
+
+    warm_seconds = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        warm = api.design("mux21", cache=store)
+        warm_seconds = min(warm_seconds, time.perf_counter() - start)
+    assert warm.from_cache
+    assert warm.to_sqd() == cold.to_sqd()
+    assert warm.summary() == cold.summary()
+    assert cold_seconds / warm_seconds >= 100, (
+        f"warm hit only {cold_seconds / warm_seconds:.0f}x faster"
+    )
+
+
+def test_design_cache_rehydrates_from_disk(tmp_path):
+    cold = api.design("xor2", cache=ArtifactStore(tmp_path))
+    fresh = ArtifactStore(tmp_path)  # no memo: the cross-process path
+    digest = design_digest(benchmark_verilog("xor2"), "xor2")
+    hydrated = fresh.load_result(digest)
+    assert hydrated is not None and hydrated.from_cache
+    assert hydrated.to_sqd() == cold.to_sqd()
+    assert hydrated.name == "xor2"
+    assert hydrated.engine_used == cold.engine_used
+    assert hydrated.equivalence.equivalent
+    assert hydrated.specification.num_gates == cold.specification.num_gates
+    assert hydrated.trace is not None and hydrated.trace.find("flow.parse")
+
+
+def test_design_cache_skips_uncacheable_configuration(tmp_path):
+    config = api.FlowConfiguration(database=NpnDatabase())
+    result = api.design("xor2", cache=str(tmp_path), configuration=config)
+    assert not result.from_cache
+    assert ArtifactStore(tmp_path).digests() == []
+
+
+def test_design_cache_resolve_shares_instances(tmp_path):
+    first = ArtifactStore.resolve(str(tmp_path))
+    second = ArtifactStore.resolve(tmp_path)
+    assert first is second
+
+
+# --- job scheduler -----------------------------------------------------
+
+
+def test_scheduler_runs_job_and_persists(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with JobScheduler(store, workers=1) as scheduler:
+        job = scheduler.submit(benchmark_verilog("xor2"), name="xor2")
+        assert job.wait(120)
+        assert job.status == "done"
+        assert job.summary and "xor2" in job.summary
+        result = scheduler.result(job.id)
+        assert result is not None and result.from_cache
+        assert store.has(job.digest)
+
+
+def test_scheduler_cache_short_circuit(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with JobScheduler(store, workers=1) as scheduler:
+        first = scheduler.submit(benchmark_verilog("xor2"), name="xor2")
+        assert first.wait(120) and first.status == "done"
+        second = scheduler.submit(benchmark_verilog("xor2"), name="xor2")
+        assert second.status == "done" and second.cache_hit
+        assert second.id != first.id
+
+
+def test_scheduler_dedups_inflight_submissions(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with JobScheduler(store, workers=1) as scheduler:
+        verilog = benchmark_verilog("mux21")
+        first = scheduler.submit(verilog, name="mux21")
+        second = scheduler.submit(verilog, name="mux21")
+        third = scheduler.submit(verilog, name="mux21")
+        assert second is first and third is first
+        assert first.attached == 2
+        assert first.wait(120) and first.status == "done"
+        assert scheduler.stats()["jobs_total"] == 1
+        counters = scheduler.telemetry.counters
+        assert counters.get("service.jobs_deduplicated") == 2
+        assert counters.get("service.jobs_done") == 1
+
+
+def test_scheduler_priorities_order_queued_jobs(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with JobScheduler(store, workers=1) as scheduler:
+        occupier = scheduler.submit(benchmark_verilog("mux21"), name="m")
+        low = scheduler.submit(
+            benchmark_verilog("xor2"), name="low", priority=-5
+        )
+        high = scheduler.submit(
+            benchmark_verilog("xnor2"), name="high", priority=5
+        )
+        for job in (occupier, low, high):
+            assert job.wait(120) and job.status == "done", job.error
+        assert high.started_at <= low.started_at
+
+
+def test_scheduler_reports_structured_failure(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with JobScheduler(store, workers=1) as scheduler:
+        job = scheduler.submit("module broken(; endmodule", name="broken")
+        assert job.wait(120)
+        assert job.status == "failed"
+        assert job.error is not None and job.error["kind"] == "error"
+        assert job.error["message"]
+        assert scheduler.result(job.id) is None
+        assert not store.has(job.digest)
+
+
+def test_scheduler_timeout_kills_worker(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with JobScheduler(store, workers=1) as scheduler:
+        job = scheduler.submit(
+            benchmark_verilog("c17"), name="c17", timeout=0.05
+        )
+        assert job.wait(120)
+        assert job.status == "failed"
+        assert job.error is not None and job.error["kind"] == "timeout"
+
+
+def test_scheduler_cancels_queued_job(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with JobScheduler(store, workers=1) as scheduler:
+        occupier = scheduler.submit(benchmark_verilog("mux21"), name="m")
+        queued = scheduler.submit(benchmark_verilog("par_gen"), name="p")
+        assert scheduler.cancel(queued.id)
+        assert queued.status == "cancelled"
+        assert not scheduler.cancel(queued.id)  # already final
+        assert occupier.wait(120) and occupier.status == "done"
+
+
+def test_scheduler_merges_worker_spans_into_telemetry(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with JobScheduler(store, workers=1) as scheduler:
+        job = scheduler.submit(benchmark_verilog("xor2"), name="xor2")
+        assert job.wait(120) and job.status == "done"
+        merged = [
+            child
+            for child in scheduler.telemetry.children
+            if child.attributes.get("job") == job.id
+        ]
+        assert len(merged) == 1
+        assert merged[0].find("design_flow") is not None
+        text = scheduler.telemetry_prometheus()
+        assert "repro_service_service_jobs_done_total 1" in text
+
+
+def test_scheduler_span_merge_respects_parent_recorder(tmp_path):
+    store = ArtifactStore(tmp_path)
+    obs.reset()
+    obs.enable()
+    try:
+        with JobScheduler(store, workers=1) as scheduler:
+            job = scheduler.submit(benchmark_verilog("xor2"), name="xor2")
+            assert job.wait(120) and job.status == "done"
+        roots = [
+            span
+            for span in obs.recorder().roots
+            if span.attributes.get("job") == job.id
+        ]
+        assert len(roots) == 1
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+# --- HTTP API ----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    root = tmp_path_factory.mktemp("service-store")
+    with DesignService(store=root, port=0, workers=1) as running:
+        running.start()
+        yield running
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def _post(url, document):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(document).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def test_http_healthz_reports_version(service):
+    status, body = _get(service.url + "/healthz")
+    document = json.loads(body)
+    assert status == 200
+    assert document["status"] == "ok"
+    assert document["version"] == api.package_version()
+    assert document["scheduler"]["workers"] == 1
+
+
+def test_http_job_lifecycle_and_artifacts(service):
+    status, document = _post(
+        service.url + "/jobs", {"specification": "xor2"}
+    )
+    assert status == 202
+    job = document["job"]
+    deadline = time.time() + 120
+    while job["status"] not in ("done", "failed", "cancelled"):
+        assert time.time() < deadline
+        time.sleep(0.05)
+        _, body = _get(f"{service.url}/jobs/{job['id']}")
+        job = json.loads(body)
+    assert job["status"] == "done", job
+    status, sqd = _get(service.url + job["artifacts"]["sqd"])
+    assert status == 200 and sqd.startswith(b"<?xml")
+    status, body = _get(service.url + job["artifacts"]["manifest"])
+    manifest = json.loads(body)
+    assert status == 200 and manifest["digest"] == job["digest"]
+    # Resubmission: served straight from the artifact store.
+    status, document = _post(
+        service.url + "/jobs", {"specification": "xor2"}
+    )
+    assert status == 202
+    assert document["job"]["status"] == "done"
+    assert document["job"]["cache_hit"] is True
+    # Job listing includes both submissions.
+    status, body = _get(service.url + "/jobs")
+    listed = json.loads(body)["jobs"]
+    assert status == 200 and len(listed) >= 2
+
+
+def test_http_metrics_exposition(service):
+    status, body = _get(service.url + "/metrics")
+    assert status == 200
+    assert b"repro_service_service_jobs_submitted_total" in body
+
+
+def test_http_rejects_bad_requests(service):
+    status, document = _post(service.url + "/jobs", {})
+    assert status == 400 and "specification" in document["error"]
+    status, document = _post(
+        service.url + "/jobs", {"specification": "no-such-benchmark"}
+    )
+    assert status == 400 and "no-such-benchmark" in document["error"]
+    status, document = _post(
+        service.url + "/jobs",
+        {"specification": "xor2", "options": {"engine": "warp-drive"}},
+    )
+    assert status == 400 and "warp-drive" in document["error"]
+
+
+def test_http_404s(service):
+    status, body = _get(service.url + "/jobs/j-nonexistent")
+    assert status == 404
+    status, body = _get(service.url + "/artifacts/" + "0" * 64)
+    assert status == 404
+    status, body = _get(
+        service.url + "/artifacts/" + "0" * 64 + "/design.sqd"
+    )
+    assert status == 404
+    status, body = _get(service.url + "/nowhere")
+    assert status == 404
+
+
+def test_http_cancel_unknown_job(service):
+    request = urllib.request.Request(
+        service.url + "/jobs/j-nonexistent", method="DELETE"
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=30)
+    assert excinfo.value.code == 404
