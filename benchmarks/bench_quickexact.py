@@ -1,0 +1,66 @@
+"""Exact engines head to head: brute-force ExGS vs pruned QuickExact.
+
+Races ground-state searches on BDL wires of 10-30 SiDBs (ExGS only up
+to its feasible range), prints the wall-time/pruning table and writes
+the record to ``benchmarks/artifacts/BENCH_quickexact.json``.  QuickExact
+must return bit-identical ground states wherever both engines run and
+beat ExGS by at least 10x at 20 sites.
+"""
+
+from pathlib import Path
+
+from conftest import print_header
+from repro.sidb.perfbench import (
+    QUICKEXACT_EXGS_CEILING,
+    QUICKEXACT_GATE_SIZE,
+    QUICKEXACT_SIZES,
+    run_quickexact_benchmark,
+    write_benchmark_json,
+)
+
+ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_quickexact.json"
+
+
+def test_quickexact_vs_exgs(benchmark):
+    record = benchmark.pedantic(
+        run_quickexact_benchmark, rounds=1, iterations=1
+    )
+    write_benchmark_json(record, ARTIFACT)
+
+    print_header(
+        "Exact ground-state search on BDL wires: ExGS vs QuickExact"
+    )
+    print(f"{'sites':>6} {'exgs':>9} {'quickexact':>11} "
+          f"{'speedup':>8} {'enumerated':>11}")
+    for point in record["points"]:
+        exgs = (
+            f"{point['exgs_seconds']:>8.3f}s"
+            if "exgs_seconds" in point
+            else f"{'--':>9}"
+        )
+        speedup = (
+            f"{point['speedup_quickexact_over_exgs']:>7.1f}x"
+            if "speedup_quickexact_over_exgs" in point
+            else f"{'--':>8}"
+        )
+        print(
+            f"{point['num_sites']:>6} {exgs} "
+            f"{point['quickexact_seconds']:>10.3f}s "
+            f"{speedup} "
+            f"{point['enumerated_fraction']:>10.2%}"
+        )
+    print(f"  artifact: {ARTIFACT}")
+
+    by_size = {p["num_sites"]: p for p in record["points"]}
+    assert set(by_size) == set(QUICKEXACT_SIZES)
+    for point in record["points"]:
+        if point["num_sites"] <= QUICKEXACT_EXGS_CEILING:
+            assert point["results_identical"], (
+                f"QuickExact diverged from ExGS at "
+                f"{point['num_sites']} sites"
+            )
+    gate = by_size[QUICKEXACT_GATE_SIZE]
+    assert gate["speedup_quickexact_over_exgs"] >= 10.0, (
+        f"QuickExact only {gate['speedup_quickexact_over_exgs']:.1f}x "
+        f"over ExGS at {QUICKEXACT_GATE_SIZE} sites"
+    )

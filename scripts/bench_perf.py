@@ -39,6 +39,8 @@ from repro.service.perfbench import (  # noqa: E402
 )
 from repro.sidb.perfbench import (  # noqa: E402
     GATE_SIZE,
+    QUICKEXACT_GATE_SIZE,
+    run_quickexact_benchmark,
     run_scaling_benchmark,
     write_benchmark_json,
 )
@@ -47,6 +49,12 @@ from repro.sidb.simanneal import SimAnnealParameters  # noqa: E402
 ARTIFACT = REPO / "benchmarks" / "artifacts" / "BENCH_simanneal.json"
 OBS_ARTIFACT = REPO / "benchmarks" / "artifacts" / "BENCH_obs.json"
 SERVICE_ARTIFACT = REPO / "benchmarks" / "artifacts" / "BENCH_service.json"
+QUICKEXACT_ARTIFACT = (
+    REPO / "benchmarks" / "artifacts" / "BENCH_quickexact.json"
+)
+
+#: Minimum QuickExact-over-ExGS speedup at the gate size.
+QUICKEXACT_SPEEDUP_LIMIT = 10.0
 
 
 def main() -> int:
@@ -122,6 +130,40 @@ def main() -> int:
             f"{worker_record['disabled_overhead'] * 100:.2f}% (limit "
             f"{DISABLED_OVERHEAD_LIMIT * 100:.0f}%)"
         )
+
+    if arguments.full:
+        quickexact_record = run_quickexact_benchmark()
+    else:
+        quickexact_record = run_quickexact_benchmark(
+            sizes=(12, 16, QUICKEXACT_GATE_SIZE, 24, 30), repeats=2
+        )
+    quickexact_path = write_benchmark_json(
+        quickexact_record, QUICKEXACT_ARTIFACT
+    )
+    for point in quickexact_record["points"]:
+        speedup = point.get("speedup_quickexact_over_exgs")
+        print(
+            f"  {point['num_sites']:>3} sites: "
+            f"quickexact {point['quickexact_seconds']:.3f}s  "
+            f"enumerated {point['enumerated_fraction']:.2%}"
+            + (f"  vs exgs {speedup:.1f}x" if speedup is not None else "")
+        )
+        if point.get("results_identical") is False:
+            failures.append(
+                f"QuickExact diverged from ExGS at "
+                f"{point['num_sites']} sites"
+            )
+        if (
+            point["num_sites"] == QUICKEXACT_GATE_SIZE
+            and speedup is not None
+            and speedup < QUICKEXACT_SPEEDUP_LIMIT
+        ):
+            failures.append(
+                f"QuickExact only {speedup:.1f}x over ExGS at "
+                f"{QUICKEXACT_GATE_SIZE} sites "
+                f"(limit {QUICKEXACT_SPEEDUP_LIMIT:.0f}x)"
+            )
+    print(f"  artifact: {quickexact_path}")
 
     service_record = run_service_cache_benchmark()
     service_path = write_service_json(service_record, SERVICE_ARTIFACT)

@@ -54,6 +54,10 @@ ROLLING_WINDOW = 10
 #: ``repro.sidb.perfbench.GATE_SIZE``).
 GATE_SIZE = 24
 
+#: Exact-engine gate size whose QuickExact time is tracked (matches
+#: ``repro.sidb.perfbench.QUICKEXACT_GATE_SIZE``).
+QUICKEXACT_GATE_SIZE = 20
+
 #: Min-of-N repeats for the calibration reference workload.
 CALIBRATION_REPEATS = 5
 
@@ -95,6 +99,14 @@ def collect_metrics() -> dict[str, float]:
         for point in record.get("points", []):
             if point.get("num_sites") == GATE_SIZE:
                 metrics["simanneal_batch_seconds"] = point["batch_seconds"]
+    quickexact = ARTIFACTS / "BENCH_quickexact.json"
+    if quickexact.exists():
+        record = json.loads(quickexact.read_text())
+        for point in record.get("points", []):
+            if point.get("num_sites") == QUICKEXACT_GATE_SIZE:
+                metrics["quickexact_20_seconds"] = point[
+                    "quickexact_seconds"
+                ]
     obs = ARTIFACTS / "BENCH_obs.json"
     if obs.exists():
         record = json.loads(obs.read_text())

@@ -71,6 +71,10 @@ from repro.sidb.charge import SidbLayout
 from repro.sidb.clocked import ClockedWire
 from repro.sidb.exhaustive import exhaustive_ground_state
 from repro.sidb.operational import GateFunctionSpec, check_operational
+from repro.sidb.quickexact import (
+    QuickExactStatistics,
+    quickexact_ground_state,
+)
 from repro.service import (
     ArtifactStore,
     DesignService,
@@ -93,7 +97,7 @@ from repro.tech.constants import (
     MIN_DEFECT_SEPARATION_NM,
     MIN_METAL_PITCH_NM,
 )
-from repro.tech.parameters import SiDBSimulationParameters
+from repro.tech.parameters import EXACT_ENGINES, SiDBSimulationParameters
 from repro.verification.equivalence import (
     EquivalenceResult,
     check_layout_against_network,
@@ -155,6 +159,9 @@ __all__ = [
     "SimAnneal",
     "SimAnnealParameters",
     "exhaustive_ground_state",
+    "quickexact_ground_state",
+    "QuickExactStatistics",
+    "EXACT_ENGINES",
     "BdlPair",
     "read_bdl_pair",
     "ClockedWire",

@@ -67,6 +67,7 @@ def _configuration(args: argparse.Namespace) -> api.FlowConfiguration:
             ) from None
     return api.FlowConfiguration(
         engine=args.engine,
+        exact_engine=getattr(args, "exact_engine", "quickexact"),
         exact_conflict_limit=args.conflict_limit,
         exact_time_limit_seconds=args.time_limit,
         defects=defects,
@@ -288,6 +289,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
     verilog, name = _load_specification(args.spec)
     options: dict = {
         "engine": args.engine,
+        "exact_engine": getattr(args, "exact_engine", "quickexact"),
         "exact_conflict_limit": args.conflict_limit,
         "exact_time_limit_seconds": args.time_limit,
     }
@@ -374,6 +376,10 @@ def _engine_options() -> argparse.ArgumentParser:
     group = parent.add_argument_group("physical design engine")
     group.add_argument("--engine", default="auto",
                        choices=[engine.value for engine in api.Engine])
+    group.add_argument("--exact-engine", default="quickexact",
+                       choices=list(api.EXACT_ENGINES),
+                       help="exact ground-state solver for operational "
+                            "simulations (default: quickexact)")
     group.add_argument("--conflict-limit", type=int, default=400_000)
     group.add_argument("--time-limit", type=float, default=None)
     group.add_argument("--defects", metavar="PATH",

@@ -155,6 +155,7 @@ def recheck_layout_against_defects(
     engine: str = "auto",
     schedule: SimAnnealParameters | None = None,
     workers: int = 1,
+    exact_engine: str | None = None,
 ) -> DefectAwareReport:
     """Re-validate every placed tile against the defects under it.
 
@@ -196,6 +197,7 @@ def recheck_layout_against_defects(
                 engine=engine,
                 schedule=schedule,
                 workers=workers,
+                exact_engine=exact_engine,
             )
         return baselines[design.name]
 
@@ -251,6 +253,7 @@ def recheck_layout_against_defects(
                 schedule=schedule,
                 workers=workers,
                 defects=nearby,
+                exact_engine=exact_engine,
             )
             baseline = pristine_baseline(design)
             check.operational = not any(

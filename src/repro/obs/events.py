@@ -111,7 +111,10 @@ class LineProgressReporter:
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval = min_interval
         self.updates = 0
-        self._last_render = 0.0
+        # -inf, not 0.0: time.monotonic() starts near zero on a freshly
+        # booted machine, and 0.0 would throttle the very first update
+        # whenever uptime < min_interval.
+        self._last_render = float("-inf")
         self._last_width = 0
 
     def update(

@@ -35,8 +35,10 @@ from repro.sqd.sqd import SQD_WRITER_VERSION
 from repro.tech.design_rules import DesignRules
 
 #: Bump when the digest document layout itself changes (invalidates
-#: every previously persisted artifact).
-DIGEST_VERSION = 1
+#: every previously persisted artifact).  Version 2 added
+#: ``exact_engine`` (the defect recheck's exact ground-state solver,
+#: which can change the produced defect report).
+DIGEST_VERSION = 2
 
 
 class UncacheableConfigurationError(ValueError):
@@ -78,6 +80,7 @@ def normalize_configuration(configuration: FlowConfiguration) -> dict:
         )
     return {
         "engine": configuration.engine.value,
+        "exact_engine": configuration.exact_engine,
         "clocking": configuration.clocking.name,
         "rewrite": configuration.rewrite,
         "verify": configuration.verify,
@@ -109,6 +112,7 @@ def configuration_from_normalized(normalized: dict) -> FlowConfiguration:
     rules = normalized["design_rules"]
     return FlowConfiguration(
         engine=normalized["engine"],
+        exact_engine=normalized.get("exact_engine", "quickexact"),
         clocking=scheme_by_name(normalized["clocking"]),
         rewrite=normalized["rewrite"],
         verify=normalized["verify"],

@@ -4,9 +4,11 @@ Implements the physical model used by the paper's validation tool chain
 [Ng TNANO'20]: SiDBs as point charges on the H-Si(100)-2x1 surface
 interacting through a Thomas-Fermi-screened Coulomb potential, with the
 chemical potential ``mu_minus`` deciding the neutral/negative population.
-Ground states are found exactly (:mod:`repro.sidb.exhaustive`, for small
-systems) or by simulated annealing (:mod:`repro.sidb.simanneal`, the
-*SimAnneal* port used for Figures 1c and 5).
+Ground states are found exactly -- by the pruned QuickExact search
+(:mod:`repro.sidb.quickexact`, the default) or brute-force enumeration
+(:mod:`repro.sidb.exhaustive`) -- or by simulated annealing
+(:mod:`repro.sidb.simanneal`, the *SimAnneal* port used for Figures 1c
+and 5).
 """
 
 from repro.sidb.charge import ChargeState, SidbLayout
@@ -16,8 +18,17 @@ from repro.sidb.energy import (
     clear_geometry_cache,
     geometry_cache_stats,
 )
-from repro.sidb.stability import is_population_stable, is_configuration_stable
+from repro.sidb.stability import (
+    batched_configuration_stable,
+    configuration_stability_mask,
+    is_configuration_stable,
+    is_population_stable,
+)
 from repro.sidb.exhaustive import exhaustive_ground_state, GroundStateResult
+from repro.sidb.quickexact import (
+    QuickExactStatistics,
+    quickexact_ground_state,
+)
 from repro.sidb.simanneal import SimAnneal, SimAnnealParameters
 from repro.sidb.parallel import (
     parallel_simanneal,
@@ -46,8 +57,12 @@ __all__ = [
     "geometry_cache_stats",
     "is_population_stable",
     "is_configuration_stable",
+    "batched_configuration_stable",
+    "configuration_stability_mask",
     "exhaustive_ground_state",
     "GroundStateResult",
+    "quickexact_ground_state",
+    "QuickExactStatistics",
     "SimAnneal",
     "SimAnnealParameters",
     "parallel_simanneal",

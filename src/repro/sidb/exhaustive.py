@@ -15,7 +15,10 @@ import numpy as np
 
 from repro.sidb.charge import SidbLayout
 from repro.sidb.energy import EnergyModel
-from repro.sidb.stability import POPULATION_TOLERANCE, is_configuration_stable
+from repro.sidb.stability import (
+    POPULATION_TOLERANCE,
+    configuration_stability_mask,
+)
 from repro.tech.parameters import SiDBSimulationParameters
 
 _MAX_EXHAUSTIVE_SITES = 24
@@ -24,13 +27,29 @@ _CHUNK_BITS = 16
 
 @dataclass
 class GroundStateResult:
-    """Outcome of a ground-state search."""
+    """Outcome of a ground-state search.
+
+    ``valid_count`` counts the physically valid configurations the
+    search *examined*: population-stable ones, further filtered for
+    configuration stability when the search ran with
+    ``require_configuration_stability=True`` (i.e. metastable ones).
+    For the exhaustive engine this is the exact number of such states
+    in the whole 2^N space; for the pruned QuickExact engine
+    (:mod:`repro.sidb.quickexact`) subtrees provably above the energy
+    incumbent are skipped, so it is a lower bound that becomes exact
+    with ``energy_pruning=False``.  For SimAnneal it is simply the
+    number of distinct ground states reported.
+    """
 
     layout: SidbLayout
     ground_states: list[np.ndarray] = field(default_factory=list)
     ground_energy: float = float("inf")
     valid_count: int = 0
     total_count: int = 0
+    #: Engine-specific search statistics (:class:`~repro.sidb.
+    #: quickexact.QuickExactStatistics` for the pruned engine, ``None``
+    #: otherwise).
+    stats: object | None = None
 
     @property
     def degeneracy(self) -> int:
@@ -55,6 +74,12 @@ def exhaustive_ground_state(
     ``model`` lets callers reuse a prebuilt (geometry-cached)
     :class:`EnergyModel` so the chunked enumeration never recomputes the
     pairwise interaction matrix.
+
+    The returned ``valid_count`` matches the stability filter that
+    actually ran: with ``require_configuration_stability=True`` it is
+    the number of *metastable* configurations (population- and
+    configuration-stable); with ``False`` it counts population-stable
+    ones only.
     """
     n = len(layout)
     if n > _MAX_EXHAUSTIVE_SITES:
@@ -92,7 +117,20 @@ def exhaustive_ground_state(
         if not stable.any():
             continue
         stable_configs = configs[stable]
-        valid_count += int(stable.sum())
+        if require_configuration_stability:
+            # One batched array op instead of a per-candidate Python
+            # double loop; also makes valid_count agree with the
+            # docstring (it counts configurations passing *both*
+            # stability filters when both are requested).
+            configuration_stable = configuration_stability_mask(
+                model, stable_configs
+            )
+            stable_configs = stable_configs[configuration_stable]
+            valid_count += int(configuration_stable.sum())
+            if not len(stable_configs):
+                continue
+        else:
+            valid_count += int(stable.sum())
         energies = model.batched_energies(stable_configs)
         order = np.argsort(energies)
         for position in order:
@@ -100,10 +138,6 @@ def exhaustive_ground_state(
             if energy > best_energy + energy_tolerance:
                 break
             config = stable_configs[position]
-            if require_configuration_stability and not is_configuration_stable(
-                model, config
-            ):
-                continue
             if energy < best_energy - energy_tolerance:
                 best_energy = energy
                 best = [config.copy()]

@@ -30,8 +30,36 @@ from repro.sidb.charge import SidbLayout
 from repro.sidb.energy import EnergyModel
 from repro.sidb.exhaustive import exhaustive_ground_state
 from repro.sidb.parallel import PatternTask, run_tasks
+from repro.sidb.quickexact import quickexact_ground_state
 from repro.sidb.simanneal import SimAnneal, SimAnnealParameters
-from repro.tech.parameters import SiDBSimulationParameters
+from repro.tech.parameters import EXACT_ENGINES, SiDBSimulationParameters
+
+#: Ground-state engine selectors accepted by the operational checks:
+#: ``"auto"`` picks the configured exact engine up to its ceiling and
+#: falls back to SimAnneal beyond it; ``"exact"`` forces the configured
+#: exact engine regardless of size; ``"exhaustive"``, ``"quickexact"``
+#: and ``"simanneal"`` name a specific solver.
+ENGINES = ("auto", "exact", "exhaustive", "quickexact", "simanneal")
+
+#: Largest systems ``engine="auto"`` still solves exactly, per exact
+#: engine.  The pruned engine pushes the crossover from 18 to 30 sites;
+#: SimAnneal takes over beyond.
+QUICKEXACT_AUTO_MAX_SITES = 30
+EXGS_AUTO_MAX_SITES = 18
+
+
+def resolve_exact_engine(
+    exact_engine: str | None, parameters: SiDBSimulationParameters
+) -> str:
+    """The exact solver to use: explicit choice, else the parameters'."""
+    resolved = (
+        exact_engine if exact_engine is not None else parameters.exact_engine
+    )
+    if resolved not in EXACT_ENGINES:
+        raise ValueError(
+            f"unknown exact engine {resolved!r}; know {EXACT_ENGINES}"
+        )
+    return resolved
 
 
 @dataclass(frozen=True)
@@ -79,7 +107,12 @@ def simulate_pattern(task: PatternTask) -> PatternResult:
     """
     layout = task.build_layout()
     result = _ground_state(
-        layout, task.parameters, task.engine, task.schedule, task.defects
+        layout,
+        task.parameters,
+        task.engine,
+        task.schedule,
+        task.defects,
+        task.exact_engine,
     )
     if result.ground_states:
         occupation = result.occupation()
@@ -122,25 +155,30 @@ def check_operational(
     schedule: SimAnnealParameters | None = None,
     workers: int = 1,
     defects=None,
+    exact_engine: str | None = None,
 ) -> OperationalReport:
     """Simulate a gate design over all input patterns.
 
     ``input_stimuli[i]`` is the pair (sites_for_0, sites_for_1) of input
     ``i`` -- the far/close perturber sets.  ``engine`` selects the ground
-    state finder: ``"exhaustive"``, ``"simanneal"`` or ``"auto"``
-    (exhaustive when the system is small enough).  ``workers > 1`` fans
-    the per-pattern simulations out over processes; results are
-    bit-identical to the serial default.  ``defects`` optionally lists
-    charged surface defects (:class:`~repro.defects.model.SidbDefect`)
-    folded into every pattern's energy model as fixed point charges;
-    with none the check is bit-identical to the pristine-surface result.
+    state finder (see :data:`ENGINES`); with the default ``"auto"`` the
+    exact solver named by ``exact_engine`` (or, when ``None``, by
+    ``parameters.exact_engine`` -- ``"quickexact"`` unless overridden)
+    handles systems up to its ceiling and SimAnneal handles the rest.
+    ``workers > 1`` fans the per-pattern simulations out over processes;
+    results are bit-identical to the serial default.  ``defects``
+    optionally lists charged surface defects
+    (:class:`~repro.defects.model.SidbDefect`) folded into every
+    pattern's energy model as fixed point charges; with none the check
+    is bit-identical to the pristine-surface result.
     """
     parameters = parameters or SiDBSimulationParameters()
     num_inputs = len(input_stimuli)
     if spec.num_inputs != num_inputs:
         raise ValueError("spec arity does not match the number of inputs")
-    if engine not in ("auto", "exhaustive", "simanneal"):
+    if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}")
+    exact_engine = resolve_exact_engine(exact_engine, parameters)
 
     stimuli_spec = tuple(
         (tuple(sites0), tuple(sites1)) for sites0, sites1 in input_stimuli
@@ -158,6 +196,7 @@ def check_operational(
             engine=engine,
             schedule=schedule,
             defects=tuple(defects) if defects else (),
+            exact_engine=exact_engine,
         )
         for pattern in range(1 << num_inputs)
     ]
@@ -176,10 +215,21 @@ def _ground_state(
     engine: str,
     schedule: SimAnnealParameters | None,
     defects=(),
+    exact_engine: str | None = None,
 ):
-    if engine not in ("auto", "exhaustive", "simanneal"):
+    if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}")
+    exact_engine = resolve_exact_engine(exact_engine, parameters)
     model = EnergyModel(layout, parameters, defects) if defects else None
-    if engine == "exhaustive" or (engine == "auto" and len(layout) <= 18):
+    if engine == "quickexact":
+        return quickexact_ground_state(layout, parameters, model=model)
+    if engine == "exhaustive":
         return exhaustive_ground_state(layout, parameters, model=model)
+    if engine in ("exact", "auto"):
+        if exact_engine == "quickexact":
+            solver, ceiling = quickexact_ground_state, QUICKEXACT_AUTO_MAX_SITES
+        else:
+            solver, ceiling = exhaustive_ground_state, EXGS_AUTO_MAX_SITES
+        if engine == "exact" or len(layout) <= ceiling:
+            return solver(layout, parameters, model=model)
     return SimAnneal(layout, parameters, schedule, model=model).run()

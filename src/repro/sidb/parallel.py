@@ -171,6 +171,9 @@ class PatternTask:
     engine: str
     schedule: SimAnnealParameters | None
     defects: tuple = ()
+    #: Exact solver the engine dispatch should use; ``None`` defers to
+    #: ``parameters.exact_engine``.
+    exact_engine: str | None = None
 
     def build_layout(self) -> SidbLayout:
         """Body plus the pattern's chosen far/close input perturbers."""
@@ -194,6 +197,7 @@ class DomainPointTask:
     parameters: SiDBSimulationParameters
     engine: str
     schedule: SimAnnealParameters | None
+    exact_engine: str | None = None
 
 
 @dataclass(frozen=True)

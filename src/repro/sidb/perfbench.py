@@ -136,3 +136,74 @@ def write_benchmark_json(record: dict, path: str | Path) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(record, indent=2) + "\n")
     return path
+
+
+#: System sizes of the exact-engine sweep.  ExGS is only timed up to
+#: :data:`QUICKEXACT_EXGS_CEILING` (2^n enumeration beyond that would
+#: dominate the whole benchmark run); QuickExact covers the full range.
+QUICKEXACT_SIZES = (10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30)
+QUICKEXACT_EXGS_CEILING = 22
+
+#: The size at which the QuickExact-over-ExGS speedup is asserted.
+QUICKEXACT_GATE_SIZE = 20
+
+
+def measure_quickexact_point(num_sites: int, repeats: int = 3) -> dict:
+    """Time ExGS vs QuickExact at one BDL-wire size.
+
+    Both engines share one prebuilt :class:`EnergyModel`, so the timing
+    isolates the search itself.  ExGS runs only up to
+    :data:`QUICKEXACT_EXGS_CEILING` sites; beyond, the record carries
+    QuickExact alone (there is nothing exact left to race).
+    """
+    from repro.sidb.energy import EnergyModel
+    from repro.sidb.exhaustive import exhaustive_ground_state
+    from repro.sidb.quickexact import quickexact_ground_state
+
+    layout = scaling_layout(num_sites)
+    model = EnergyModel(layout)
+
+    quickexact_time, quickexact_result = _time(
+        lambda: quickexact_ground_state(layout, model=model), repeats
+    )
+    stats = quickexact_result.stats
+    point = {
+        "num_sites": num_sites,
+        "search_space": stats.search_space,
+        "quickexact_seconds": quickexact_time,
+        "quickexact_energy": quickexact_result.ground_energy,
+        "degeneracy": quickexact_result.degeneracy,
+        "nodes_visited": stats.nodes_visited,
+        "configurations_enumerated": stats.configurations_enumerated,
+        "enumerated_fraction": stats.enumerated_fraction,
+        "cut_histogram": stats.cut_histogram(),
+    }
+    if num_sites <= QUICKEXACT_EXGS_CEILING:
+        exgs_time, exgs_result = _time(
+            lambda: exhaustive_ground_state(layout, model=model), repeats
+        )
+        point["exgs_seconds"] = exgs_time
+        point["speedup_quickexact_over_exgs"] = exgs_time / quickexact_time
+        point["results_identical"] = bool(
+            exgs_result.ground_energy == quickexact_result.ground_energy
+            and {tuple(s) for s in exgs_result.ground_states}
+            == {tuple(s) for s in quickexact_result.ground_states}
+        )
+    return point
+
+
+def run_quickexact_benchmark(
+    sizes: tuple[int, ...] = QUICKEXACT_SIZES, repeats: int = 3
+) -> dict:
+    """The exact-engine race; returns the ``BENCH_quickexact`` record."""
+    points = [measure_quickexact_point(n, repeats=repeats) for n in sizes]
+    return {
+        "benchmark": "quickexact_vs_exgs",
+        "description": (
+            "Wall time of exact ground-state search on BDL wires: "
+            "brute-force ExGS enumeration vs the pruned QuickExact "
+            "engine (witness bounds + branch-and-bound + vectorized "
+            "leaves), with nodes-visited pruning telemetry."
+        ),
+        "points": points,
+    }

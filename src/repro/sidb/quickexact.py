@@ -1,0 +1,479 @@
+"""QuickExact-style pruned exact ground-state search.
+
+The exhaustive engine (:mod:`repro.sidb.exhaustive`) enumerates all
+2^N occupation vectors, which caps exact simulation at ~24 sites.
+"The Need for Speed: Efficient Exact Simulation of Silicon Dangling
+Bond Logic" (Drewniok, Walter, Wille) shows that physically informed
+search-space pruning finds the very same ground states orders of
+magnitude faster.  This module implements that idea on top of the
+repo's :class:`~repro.sidb.energy.EnergyModel`:
+
+* **Negative-charge witness bounds.**  Sites are decided one by one
+  (negative or neutral).  Because every pairwise interaction
+  ``V_ij >= 0``, the local potential of site *i* over all completions
+  of a partial assignment is bracketed by ``base_i`` (contributions of
+  the already-decided negatives) and ``base_i + rem_i`` (``rem_i`` =
+  total potential the still-undecided sites could add).  A decided
+  *negative* site that violates ``v_i + mu <= 0`` even at its minimum
+  potential, or a decided *neutral* site that violates
+  ``v_i + mu >= 0`` even at its maximum, witnesses that **no**
+  completion of the subtree is population stable -- the subtree is cut
+  without losing a single stable configuration.
+
+* **Branch-and-bound energy pruning.**  A cheap SimAnneal run seeds an
+  incumbent energy (every finalist is metastable, hence a valid upper
+  bound on the ground-state energy).  Each partial assignment carries
+  an energy lower bound -- the decided part's exact energy plus
+  ``min(0, mu + ext_j + base_j)`` per undecided site, valid because
+  cross-terms among undecided negatives are repulsive -- and subtrees
+  provably above the incumbent (plus the degeneracy tolerance) are
+  skipped.  Disable with ``energy_pruning=False`` to enumerate *every*
+  stable configuration (then ``valid_count`` matches ExGS exactly).
+
+* **Vectorized leaf enumeration.**  Once only ``leaf_bits`` sites
+  remain undecided, the whole 2^leaf_bits subtree is evaluated as one
+  numpy batch -- the same chunked formulation as the exhaustive engine
+  -- so the Python-level recursion only ever runs over the pruned
+  prefix tree.
+
+Candidate energies are *recomputed* through the shared
+:meth:`~repro.sidb.energy.EnergyModel.batched_energies` before they are
+compared or reported, so the returned ground energy and degenerate
+state set are bit-identical to the exhaustive engine's (the
+incrementally maintained decomposition is only used for pruning, with
+a small slack guarding against last-ulp drift).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.sidb.charge import SidbLayout
+from repro.sidb.energy import EnergyModel
+from repro.sidb.exhaustive import GroundStateResult
+from repro.sidb.stability import (
+    POPULATION_TOLERANCE,
+    batched_configuration_stable,
+)
+from repro.tech.parameters import SiDBSimulationParameters
+
+#: Hard site ceiling of the pruned engine.  Beyond this even the pruned
+#: prefix tree can degenerate; the automatic engine selection hands
+#: larger systems to SimAnneal.
+MAX_QUICKEXACT_SITES = 32
+
+#: Remaining-site count at which the recursion hands the subtree to the
+#: vectorized leaf enumeration.  Small enough that the witness cuts get
+#: a deep prefix to prune, large enough that the numpy batches stay
+#: efficient.
+DEFAULT_LEAF_BITS = 10
+
+#: Slack added wherever the search's decomposed (incrementally
+#: maintained) energies are compared against exactly recomputed ones;
+#: covers last-ulp differences between the two summation orders.
+_DECOMPOSITION_SLACK = 1e-12
+
+#: SimAnneal budget of the incumbent seeding run -- deliberately tiny;
+#: any metastable finalist tightens the branch-and-bound, and a missed
+#: incumbent only costs pruning power, never correctness.
+_INCUMBENT_INSTANCES = 8
+_INCUMBENT_SWEEPS = 120
+
+#: Site count below which the incumbent is left to the search itself
+#: (the first evaluated leaf already seeds it).  Small systems finish in
+#: milliseconds; a SimAnneal warm start would cost more than the whole
+#: search.  Above the legacy exhaustive ceiling the prefix tree is deep
+#: enough that an up-front metastable incumbent pays for itself.
+_INCUMBENT_MIN_SITES = 24
+
+#: Cached (2^m, m) suffix occupation patterns, keyed on m.
+_SUFFIX_PATTERNS: dict[int, np.ndarray] = {}
+
+
+def _suffix_patterns(m: int) -> np.ndarray:
+    patterns = _SUFFIX_PATTERNS.get(m)
+    if patterns is None:
+        indices = np.arange(1 << m, dtype=np.uint32)
+        bits = np.arange(m, dtype=np.uint32)
+        patterns = ((indices[:, None] >> bits[None, :]) & 1).astype(np.int8)
+        patterns.setflags(write=False)
+        _SUFFIX_PATTERNS[m] = patterns
+    return patterns
+
+
+@dataclass
+class QuickExactStatistics:
+    """Pruning telemetry of one QuickExact search.
+
+    ``nodes_visited`` counts interior partial assignments explored,
+    ``configurations_enumerated`` the full occupation vectors the
+    vectorized leaves evaluated; their relation to ``search_space``
+    (2^N) is the engine's whole speed story.  The ``cut_*`` counters
+    attribute every pruned subtree to the bound that fired.
+    """
+
+    num_sites: int = 0
+    search_space: int = 0
+    nodes_visited: int = 0
+    leaves_evaluated: int = 0
+    configurations_enumerated: int = 0
+    cut_witness_occupied: int = 0
+    cut_witness_empty: int = 0
+    cut_energy_bound: int = 0
+    incumbent_energy: float = float("inf")
+
+    @property
+    def enumerated_fraction(self) -> float:
+        """Leaf configurations evaluated as a fraction of 2^N."""
+        if not self.search_space:
+            return 0.0
+        return self.configurations_enumerated / self.search_space
+
+    def cut_histogram(self) -> dict[str, int]:
+        """Pruned-subtree attribution by the bound that cut it."""
+        return {
+            "witness_occupied": self.cut_witness_occupied,
+            "witness_empty": self.cut_witness_empty,
+            "energy_bound": self.cut_energy_bound,
+        }
+
+
+def _site_order(layout: SidbLayout) -> np.ndarray:
+    """Spatial (x, then y) visiting order of the sites.
+
+    Deciding sites in spatial order keeps the decided prefix
+    geometrically contiguous, so a decided site's strongest interaction
+    partners are decided soon after it -- which is what makes the
+    witness bounds tight early in the recursion.
+    """
+    positions = np.asarray(
+        [site.position_nm for site in layout.sites()], dtype=float
+    )
+    if positions.size == 0:
+        return np.zeros(0, dtype=np.intp)
+    return np.lexsort((positions[:, 1], positions[:, 0]))
+
+
+def _seed_incumbent(
+    layout: SidbLayout, model: EnergyModel
+) -> float:
+    """Upper bound on the metastable ground energy from a cheap anneal.
+
+    Every SimAnneal finalist is greedy-descended and metastable, so its
+    energy bounds the minimum over metastable states from above -- and
+    the metastable minimum is what both stability modes of the search
+    report (the configuration-stability filter only ever *raises* the
+    reported minimum; pruning against a metastable energy therefore
+    never cuts an eventual ground state).
+    """
+    from repro.sidb.simanneal import SimAnneal, SimAnnealParameters
+
+    schedule = SimAnnealParameters(
+        instances=_INCUMBENT_INSTANCES, sweeps=_INCUMBENT_SWEEPS, seed=0
+    )
+    seeded = SimAnneal(layout, schedule=schedule, model=model).run()
+    if seeded.ground_states:
+        return float(seeded.ground_energy)
+    return float("inf")
+
+
+def quickexact_ground_state(
+    layout: SidbLayout,
+    parameters: SiDBSimulationParameters | None = None,
+    require_configuration_stability: bool = True,
+    energy_tolerance: float = 1e-9,
+    model: EnergyModel | None = None,
+    leaf_bits: int = DEFAULT_LEAF_BITS,
+    energy_pruning: bool = True,
+    incumbent: float | None = None,
+) -> GroundStateResult:
+    """Exact ground state(s) of an SiDB layout via pruned search.
+
+    Drop-in replacement for :func:`~repro.sidb.exhaustive.
+    exhaustive_ground_state` with the site ceiling raised from 24 to
+    :data:`MAX_QUICKEXACT_SITES`: same ground energy, same degenerate
+    state set (collection order may differ), computed from the same
+    :class:`EnergyModel` arithmetic.  ``valid_count`` counts the
+    (meta)stable configurations the pruned search enumerated -- equal
+    to the exhaustive count when ``energy_pruning=False`` (the witness
+    cuts alone never skip a stable configuration), a lower bound
+    otherwise.
+
+    ``incumbent`` optionally injects a known upper bound on the ground
+    energy (e.g. from a previous simulation of a related layout);
+    ``None`` seeds one with a small SimAnneal run.  The result's
+    ``stats`` field carries a :class:`QuickExactStatistics` record with
+    node/cut attribution.
+    """
+    n = len(layout)
+    if n > MAX_QUICKEXACT_SITES:
+        raise ValueError(
+            f"{n} sites exceed the QuickExact limit of "
+            f"{MAX_QUICKEXACT_SITES}"
+        )
+    if not 1 <= leaf_bits <= 16:
+        raise ValueError(f"leaf_bits must be in [1, 16], got {leaf_bits}")
+    model = model or EnergyModel(layout, parameters)
+    stats = QuickExactStatistics(num_sites=n, search_space=1 << n)
+    result = GroundStateResult(layout, total_count=1 << n, stats=stats)
+    if n == 0:
+        result.ground_states = [np.zeros(0, dtype=np.int8)]
+        result.ground_energy = 0.0
+        result.valid_count = 1
+        return result
+
+    with obs.span("quickexact.run") as span:
+        span.set("sites", n)
+        if incumbent is None and energy_pruning and n >= _INCUMBENT_MIN_SITES:
+            incumbent = _seed_incumbent(layout, model)
+        incumbent_energy = (
+            float("inf") if incumbent is None else float(incumbent)
+        )
+        stats.incumbent_energy = incumbent_energy
+
+        search = _QuickExactSearch(
+            model=model,
+            order=_site_order(layout),
+            require_configuration_stability=require_configuration_stability,
+            energy_tolerance=energy_tolerance,
+            leaf_bits=min(leaf_bits, n),
+            energy_pruning=energy_pruning,
+            incumbent_energy=incumbent_energy,
+            stats=stats,
+        )
+        search.run()
+
+        result.valid_count = search.valid_count
+        result.ground_energy = search.best_energy
+        result.ground_states = search.ground_states()
+        span.add("quickexact.nodes", stats.nodes_visited)
+        span.add("quickexact.leaves", stats.leaves_evaluated)
+        span.add("quickexact.configs", stats.configurations_enumerated)
+        span.add("quickexact.cut.witness_occupied", stats.cut_witness_occupied)
+        span.add("quickexact.cut.witness_empty", stats.cut_witness_empty)
+        span.add("quickexact.cut.energy_bound", stats.cut_energy_bound)
+        span.set("enumerated_fraction", round(stats.enumerated_fraction, 6))
+    return result
+
+
+class _QuickExactSearch:
+    """One pruned depth-first search over the permuted site order."""
+
+    def __init__(
+        self,
+        model: EnergyModel,
+        order: np.ndarray,
+        require_configuration_stability: bool,
+        energy_tolerance: float,
+        leaf_bits: int,
+        energy_pruning: bool,
+        incumbent_energy: float,
+        stats: QuickExactStatistics,
+    ) -> None:
+        self.model = model
+        self.order = order
+        self.require_configuration_stability = require_configuration_stability
+        self.tolerance = energy_tolerance
+        self.leaf_bits = leaf_bits
+        self.energy_pruning = energy_pruning
+        self.incumbent_energy = incumbent_energy
+        self.stats = stats
+
+        n = model.num_sites
+        self.n = n
+        # Permuted-space views of the model: Vp[i, j] couples the i-th
+        # and j-th *visited* sites; c = mu + external potential is the
+        # full on-site term, so w = base + c is exactly v + mu.
+        self.matrix = model.potential_matrix[np.ix_(order, order)].copy()
+        onsite = np.full(n, model.parameters.mu_minus)
+        if model.external_potential is not None:
+            onsite = onsite + model.external_potential[order]
+        self.onsite = onsite
+        self.external = (
+            model.external_potential[order]
+            if model.external_potential is not None
+            else None
+        )
+
+        # Mutable DFS state (permuted space).
+        self.occupation = np.zeros(n, dtype=np.int8)
+        self.base = np.zeros(n)
+        self.rem = self.matrix.sum(axis=1)
+
+        self.valid_count = 0
+        self.best_energy = float("inf")
+        #: (original-order int8 config, exact energy) candidates.
+        self.candidates: list[tuple[np.ndarray, float]] = []
+
+    # --- result assembly --------------------------------------------------
+    def ground_states(self) -> list[np.ndarray]:
+        """Degenerate ground set from the collected candidates."""
+        if not self.candidates:
+            return []
+        floor = self.best_energy + self.tolerance
+        return [
+            config
+            for config, energy in self.candidates
+            if energy <= floor
+        ]
+
+    # --- search -----------------------------------------------------------
+    def run(self) -> None:
+        self._descend(0, 0.0)
+
+    def _descend(self, depth: int, energy_decided: float) -> None:
+        if self.n - depth <= self.leaf_bits:
+            self._evaluate_leaf(depth, energy_decided)
+            return
+        site = depth
+        base = self.base
+        rem = self.rem
+        occupation = self.occupation
+        column = self.matrix[site]
+        stats = self.stats
+        # Branch the likelier ground-state value first so the incumbent
+        # tightens as early as possible.
+        first = 1 if self.onsite[site] + base[site] <= 0.0 else 0
+        for value in (first, 1 - first):
+            stats.nodes_visited += 1
+            occupation[site] = value
+            if value:
+                child_energy = (
+                    energy_decided + self.onsite[site] + base[site]
+                )
+                base += column
+            else:
+                child_energy = energy_decided
+            rem -= column
+            try:
+                if self._cut(site, value, child_energy):
+                    continue
+                self._descend(depth + 1, child_energy)
+            finally:
+                rem += column
+                if value:
+                    base -= column
+        occupation[site] = 0
+
+    def _cut(self, site: int, value: int, energy_decided: float) -> bool:
+        """True when the just-extended partial assignment is hopeless."""
+        decided = site + 1
+        base = self.base[:decided]
+        occupied = self.occupation[:decided] > 0
+        stats = self.stats
+        # Witness bounds.  Assigning a negative only *raises* decided
+        # potentials (base), so only the occupied-side criterion can
+        # newly fail; assigning a neutral only *lowers* the attainable
+        # maximum (base + rem), so only the empty-side criterion can.
+        if value:
+            minimum_w = base + self.onsite[:decided]
+            if np.any(occupied & (minimum_w > POPULATION_TOLERANCE)):
+                stats.cut_witness_occupied += 1
+                return True
+        else:
+            maximum_w = (
+                base + self.rem[:decided] + self.onsite[:decided]
+            )
+            if np.any(~occupied & (maximum_w < -POPULATION_TOLERANCE)):
+                stats.cut_witness_empty += 1
+                return True
+        # Branch-and-bound: undecided negatives each contribute at
+        # least min(0, mu + ext + base); cross-terms among them are
+        # repulsive and only add energy.
+        if self.energy_pruning and self.incumbent_energy < float("inf"):
+            undecided_floor = np.minimum(
+                0.0, self.onsite[decided:] + self.base[decided:]
+            ).sum()
+            bound = energy_decided + undecided_floor
+            if bound > (
+                self.incumbent_energy
+                + self.tolerance
+                + _DECOMPOSITION_SLACK
+            ):
+                stats.cut_energy_bound += 1
+                return True
+        return False
+
+    def _evaluate_leaf(self, depth: int, energy_decided: float) -> None:
+        n = self.n
+        remaining = n - depth
+        stats = self.stats
+        stats.leaves_evaluated += 1
+        stats.configurations_enumerated += 1 << remaining
+        suffixes = _suffix_patterns(remaining)
+        suffix_float = suffixes.astype(float)
+        # Local potentials of every completion, all n sites at once.
+        potentials = self.base[None, :] + suffix_float @ self.matrix[depth:, :]
+        w = potentials + self.onsite[None, :]
+        occupied = np.empty((len(suffixes), n), dtype=bool)
+        occupied[:, :depth] = self.occupation[:depth] > 0
+        occupied[:, depth:] = suffixes > 0
+        stable = np.all(
+            np.where(
+                occupied,
+                w <= POPULATION_TOLERANCE,
+                w >= -POPULATION_TOLERANCE,
+            ),
+            axis=1,
+        )
+        if not stable.any():
+            return
+        stable_rows = np.flatnonzero(stable)
+        if self.require_configuration_stability:
+            externals = (
+                self.external[None, :] if self.external is not None else 0.0
+            )
+            configuration_stable = batched_configuration_stable(
+                potentials[stable_rows] + externals,
+                occupied[stable_rows],
+                self.matrix,
+            )
+            stable_rows = stable_rows[configuration_stable]
+            self.valid_count += int(configuration_stable.sum())
+            if not stable_rows.size:
+                return
+        else:
+            self.valid_count += int(stable_rows.size)
+
+        # Decomposed energies of the surviving configurations: decided
+        # part + on-site/decided coupling of the suffix + suffix pairs.
+        chosen = suffix_float[stable_rows]
+        suffix_onsite = self.onsite[depth:] + self.base[depth:]
+        energies = (
+            energy_decided
+            + chosen @ suffix_onsite
+            + 0.5
+            * np.einsum(
+                "ki,ij,kj->k", chosen, self.matrix[depth:, depth:], chosen
+            )
+        )
+        window = (
+            self.best_energy + self.tolerance + _DECOMPOSITION_SLACK
+        )
+        near = energies <= window
+        if not near.any():
+            return
+        # Exact recomputation (identical arithmetic to the exhaustive
+        # engine) for everything that could join the degenerate set.
+        near_rows = stable_rows[near]
+        originals = np.empty((len(near_rows), n), dtype=np.int8)
+        originals[:, self.order] = occupied[near_rows].astype(np.int8)
+        exact = self.model.batched_energies(originals)
+        for position in np.argsort(exact, kind="stable"):
+            energy = float(exact[position])
+            if energy > self.best_energy + self.tolerance:
+                break
+            if energy < self.best_energy - self.tolerance:
+                self.best_energy = energy
+                self.candidates = [(originals[position].copy(), energy)]
+            else:
+                self.best_energy = min(self.best_energy, energy)
+                self.candidates.append(
+                    (originals[position].copy(), energy)
+                )
+        if self.best_energy < self.incumbent_energy:
+            self.incumbent_energy = self.best_energy
+            self.stats.incumbent_energy = self.best_energy

@@ -37,21 +37,78 @@ def is_population_stable(
 def is_configuration_stable(
     model: EnergyModel, occupation: np.ndarray, tolerance: float = POPULATION_TOLERANCE
 ) -> bool:
-    """No single electron hop to an empty site lowers the energy."""
+    """No single electron hop to an empty site lowers the energy.
+
+    The hop energies are evaluated as one outer-difference array:
+    ``delta[s, t] = v[t] - v[s] - V[s, t]`` for every (source, target)
+    pair at once, masked down to occupied sources and empty targets --
+    no Python-level pair loop.
+    """
     n = np.asarray(occupation, dtype=float)
     potentials = model.local_potentials(n)
-    occupied = np.flatnonzero(n > 0.5)
-    empty = np.flatnonzero(n < 0.5)
-    for source in occupied:
-        for target in empty:
-            delta = (
-                potentials[target]
-                - potentials[source]
-                - model.potential_matrix[source, target]
-            )
-            if delta < -tolerance:
-                return False
-    return True
+    occupied = n > 0.5
+    deltas = (
+        potentials[None, :] - potentials[:, None] - model.potential_matrix
+    )
+    relevant = occupied[:, None] & ~occupied[None, :]
+    return not bool(np.any(relevant & (deltas < -tolerance)))
+
+
+#: Upper bound on ``configs * n * n`` elements materialized per slice of
+#: the batched configuration-stability check (keeps peak memory low even
+#: for very large stable sets).
+_CONFIGURATION_BATCH_ELEMENTS = 1 << 22
+
+
+def batched_configuration_stable(
+    potentials: np.ndarray,
+    occupations: np.ndarray,
+    matrix: np.ndarray,
+    tolerance: float = POPULATION_TOLERANCE,
+) -> np.ndarray:
+    """Configuration stability of many configurations at once.
+
+    ``potentials`` are the per-configuration local potentials (rows =
+    configs, including any fixed external contribution) and ``matrix``
+    the pairwise interaction matrix.  Returns a boolean mask: ``True``
+    where no single electron hop lowers the energy.  The check is
+    sliced internally so peak memory stays bounded regardless of how
+    many configurations are passed.
+    """
+    occupied = np.asarray(occupations) > 0.5
+    count, n = occupied.shape
+    stable = np.empty(count, dtype=bool)
+    step = max(1, _CONFIGURATION_BATCH_ELEMENTS // max(1, n * n))
+    for start in range(0, count, step):
+        stop = min(start + step, count)
+        occ = occupied[start:stop]
+        pot = potentials[start:stop]
+        # delta[c, s, t] = v_c[t] - v_c[s] - V[s, t]
+        deltas = pot[:, None, :] - pot[:, :, None] - matrix[None, :, :]
+        relevant = occ[:, :, None] & ~occ[:, None, :]
+        stable[start:stop] = ~np.any(
+            relevant & (deltas < -tolerance), axis=(1, 2)
+        )
+    return stable
+
+
+def configuration_stability_mask(
+    model: EnergyModel,
+    occupations: np.ndarray,
+    tolerance: float = POPULATION_TOLERANCE,
+) -> np.ndarray:
+    """Batched :func:`is_configuration_stable` over configuration rows.
+
+    One array op replaces the per-candidate Python calls of the
+    exhaustive engine's filter loop.
+    """
+    occupations = np.asarray(occupations)
+    if occupations.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    potentials = model.batched_local_potentials(occupations)
+    return batched_configuration_stable(
+        potentials, occupations, model.potential_matrix, tolerance
+    )
 
 
 def is_metastable(model: EnergyModel, occupation: np.ndarray) -> bool:

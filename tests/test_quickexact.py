@@ -1,0 +1,272 @@
+"""Cross-validation of the pruned QuickExact engine against ExGS.
+
+QuickExact must be *bit-exact*: identical ground energy and identical
+degenerate-state sets on every layout both engines can solve, with and
+without charged-defect external potentials -- plus the engine-selector
+plumbing that makes it the default exact simulator.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coords.lattice import LatticeSite
+from repro.defects.model import DefectType, SidbDefect
+from repro.gatelib.library import BestagonLibrary
+from repro.sidb.charge import SidbLayout
+from repro.sidb.energy import EnergyModel
+from repro.sidb.exhaustive import exhaustive_ground_state
+from repro.sidb.operational import (
+    EXGS_AUTO_MAX_SITES,
+    QUICKEXACT_AUTO_MAX_SITES,
+    _ground_state,
+    check_operational,
+    resolve_exact_engine,
+)
+from repro.sidb.parallel import PatternTask
+from repro.sidb.perfbench import scaling_layout
+from repro.sidb.quickexact import (
+    MAX_QUICKEXACT_SITES,
+    QuickExactStatistics,
+    quickexact_ground_state,
+)
+from repro.sidb.stability import is_metastable
+from repro.tech.parameters import EXACT_ENGINES, SiDBSimulationParameters
+
+S = LatticeSite.from_row
+P32 = SiDBSimulationParameters(mu_minus=-0.32)
+
+
+def ground_set(result):
+    return {tuple(int(x) for x in state) for state in result.ground_states}
+
+
+def assert_bit_exact(layout, model=None, **kwargs):
+    exgs = exhaustive_ground_state(layout, P32, model=model, **kwargs)
+    quick = quickexact_ground_state(layout, P32, model=model, **kwargs)
+    if np.isinf(exgs.ground_energy):
+        assert np.isinf(quick.ground_energy)
+    else:
+        assert quick.ground_energy == exgs.ground_energy
+    assert ground_set(quick) == ground_set(exgs)
+    return exgs, quick
+
+
+def random_layout(rng, num_sites):
+    coords = set()
+    while len(coords) < num_sites:
+        coords.add((int(rng.integers(0, 16)), int(rng.integers(0, 30))))
+    return SidbLayout(S(column, row) for column, row in coords)
+
+
+class TestCrossValidation:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 24)),
+            min_size=5,
+            max_size=12,
+            unique=True,
+        ),
+        st.booleans(),
+    )
+    def test_property_matches_exgs(self, pairs, require_stability):
+        layout = SidbLayout(S(n, r) for n, r in pairs)
+        assert_bit_exact(
+            layout, require_configuration_stability=require_stability
+        )
+
+    @pytest.mark.parametrize("num_sites", [5, 8, 11, 14, 16, 18, 20])
+    def test_randomized_sizes_5_to_20(self, num_sites):
+        rng = np.random.default_rng(num_sites)
+        layout = random_layout(rng, num_sites)
+        assert_bit_exact(layout)
+
+    @pytest.mark.parametrize("num_sites", [6, 10, 14, 18])
+    def test_with_charged_defects(self, num_sites):
+        rng = np.random.default_rng(100 + num_sites)
+        layout = random_layout(rng, num_sites)
+        defects = [
+            SidbDefect(LatticeSite(18, 4, 0), DefectType.DB),
+            SidbDefect(LatticeSite(18, 20, 0), DefectType.ARSENIC),
+        ]
+        model = EnergyModel(layout, P32, defects=defects)
+        assert model.external_potential is not None
+        assert_bit_exact(layout, model=model)
+
+    def test_valid_count_exact_without_energy_pruning(self):
+        rng = np.random.default_rng(7)
+        for num_sites in (6, 9, 12):
+            layout = random_layout(rng, num_sites)
+            for require in (True, False):
+                exgs = exhaustive_ground_state(
+                    layout, P32, require_configuration_stability=require
+                )
+                quick = quickexact_ground_state(
+                    layout,
+                    P32,
+                    require_configuration_stability=require,
+                    energy_pruning=False,
+                )
+                assert quick.valid_count == exgs.valid_count
+
+    def test_ground_states_are_metastable(self):
+        layout = scaling_layout(20)
+        model = EnergyModel(layout, P32)
+        result = quickexact_ground_state(layout, P32, model=model)
+        assert result.ground_states
+        for state in result.ground_states:
+            assert is_metastable(model, state)
+
+
+class TestGateLibrary:
+    def test_bit_exact_on_all_small_library_layouts(self):
+        """Every gate-library pattern layout <= 20 sites, both engines."""
+        library = BestagonLibrary()
+        checked = 0
+        for name in library.names():
+            design = library.design(name)
+            body = tuple(design.sites) + tuple(design.output_perturbers)
+            stimuli = tuple(
+                (tuple(far), tuple(close))
+                for far, close in design.input_stimuli
+            )
+            for pattern in range(1 << len(design.input_stimuli)):
+                task = PatternTask(
+                    pattern=pattern,
+                    body_sites=body,
+                    input_stimuli=stimuli,
+                    output_pairs=tuple(design.output_pairs),
+                    expected=(),
+                    parameters=P32,
+                    engine="auto",
+                    schedule=None,
+                )
+                layout = task.build_layout()
+                if len(layout) > 20:
+                    continue
+                assert_bit_exact(layout)
+                checked += 1
+        assert checked >= 20  # wires, inverters, pi/po tiles
+
+
+class TestScalingAndStatistics:
+    def test_beyond_the_exhaustive_ceiling(self):
+        """30 sites -- undoable for ExGS -- solves exactly and fast."""
+        layout = scaling_layout(30)
+        result = quickexact_ground_state(layout, P32)
+        assert result.ground_states
+        stats = result.stats
+        assert isinstance(stats, QuickExactStatistics)
+        assert stats.search_space == 1 << 30
+        assert stats.configurations_enumerated < stats.search_space // 100
+
+    def test_statistics_attribution(self):
+        layout = scaling_layout(16)
+        result = quickexact_ground_state(layout, P32)
+        stats = result.stats
+        assert stats.num_sites == 16
+        assert stats.nodes_visited > 0
+        assert stats.leaves_evaluated > 0
+        assert 0.0 < stats.enumerated_fraction <= 1.0
+        histogram = stats.cut_histogram()
+        assert set(histogram) == {
+            "witness_occupied",
+            "witness_empty",
+            "energy_bound",
+        }
+        assert sum(histogram.values()) > 0
+
+    def test_site_ceiling_enforced(self):
+        layout = SidbLayout(
+            S(column, row)
+            for column in range(6)
+            for row in range(6)
+        )
+        assert len(layout) > MAX_QUICKEXACT_SITES
+        with pytest.raises(ValueError, match="exceed"):
+            quickexact_ground_state(layout, P32)
+
+    def test_empty_layout(self):
+        result = quickexact_ground_state(SidbLayout(), P32)
+        assert result.ground_energy == 0.0
+        assert result.valid_count == 1
+
+    def test_external_incumbent_does_not_cut_ground_state(self):
+        layout = scaling_layout(14)
+        exact = quickexact_ground_state(layout, P32)
+        seeded = quickexact_ground_state(
+            layout, P32, incumbent=exact.ground_energy
+        )
+        assert seeded.ground_energy == exact.ground_energy
+        assert ground_set(seeded) == ground_set(exact)
+
+
+class TestEngineSelection:
+    def test_parameters_validate_exact_engine(self):
+        assert SiDBSimulationParameters().exact_engine == "quickexact"
+        assert set(EXACT_ENGINES) == {"quickexact", "exgs"}
+        with pytest.raises(ValueError, match="exact engine"):
+            SiDBSimulationParameters(exact_engine="simanneal")
+
+    def test_resolution_order(self):
+        exgs_params = SiDBSimulationParameters(exact_engine="exgs")
+        assert resolve_exact_engine(None, exgs_params) == "exgs"
+        assert resolve_exact_engine("quickexact", exgs_params) == "quickexact"
+        with pytest.raises(ValueError, match="exact engine"):
+            resolve_exact_engine("bogus", exgs_params)
+
+    def test_auto_uses_quickexact_up_to_30_sites(self):
+        layout = scaling_layout(QUICKEXACT_AUTO_MAX_SITES)
+        result = _ground_state(layout, P32, "auto", None)
+        assert isinstance(result.stats, QuickExactStatistics)
+
+    def test_auto_with_exgs_keeps_the_legacy_ceiling(self):
+        params = SiDBSimulationParameters(exact_engine="exgs")
+        small = scaling_layout(EXGS_AUTO_MAX_SITES)
+        result = _ground_state(small, params, "auto", None)
+        assert result.stats is None  # exhaustive, not quickexact
+        assert result.total_count == 1 << EXGS_AUTO_MAX_SITES
+        # One past the exgs ceiling falls back to SimAnneal (which only
+        # ever counts the distinct ground states it reports)...
+        larger = scaling_layout(EXGS_AUTO_MAX_SITES + 2)
+        annealed = _ground_state(larger, params, "auto", None)
+        assert annealed.stats is None
+        assert annealed.valid_count == annealed.degeneracy
+        # ...while the default quickexact still solves it exactly.
+        exact = _ground_state(larger, P32, "auto", None)
+        assert isinstance(exact.stats, QuickExactStatistics)
+
+    def test_explicit_engine_values(self):
+        layout = scaling_layout(12)
+        quick = _ground_state(layout, P32, "quickexact", None)
+        brute = _ground_state(layout, P32, "exhaustive", None)
+        exact = _ground_state(layout, P32, "exact", None)
+        assert quick.ground_energy == brute.ground_energy
+        assert exact.ground_energy == brute.ground_energy
+        with pytest.raises(ValueError, match="unknown engine"):
+            _ground_state(layout, P32, "bogus", None)
+
+    def test_check_operational_accepts_exact_engine(self):
+        library = BestagonLibrary()
+        design = library.design("wire_NW_SE")
+        from repro.sidb.operational import GateFunctionSpec
+
+        kwargs = dict(
+            body_sites=list(design.sites) + list(design.output_perturbers),
+            input_stimuli=[
+                (list(far), list(close))
+                for far, close in design.input_stimuli
+            ],
+            output_pairs=list(design.output_pairs),
+            spec=GateFunctionSpec(design.functions),
+            parameters=P32,
+        )
+        default = check_operational(**kwargs)
+        forced = check_operational(**kwargs, exact_engine="exgs")
+        assert default.operational == forced.operational
+        assert [p.ground_energy for p in default.patterns] == [
+            p.ground_energy for p in forced.patterns
+        ]
+        with pytest.raises(ValueError, match="exact engine"):
+            check_operational(**kwargs, exact_engine="bogus")
