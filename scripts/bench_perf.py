@@ -7,7 +7,10 @@ the vectorized batch kernel fails to beat the legacy serial loop at
 24 sites -- the canary for performance regressions in the annealer.
 Also measures the observability layer's overhead on the ``par_check``
 flow (``benchmarks/artifacts/BENCH_obs.json``) and fails when the
-disabled-mode no-op path costs more than 2% of the flow.
+disabled-mode no-op path costs more than 2% of the flow, and the
+design service's cache + warm-worker-pool load benchmarks
+(``benchmarks/artifacts/BENCH_service.json``), failing when the warm
+pool beats process-per-job by less than 3x on a 50-job burst.
 
 Usage::
 
@@ -34,7 +37,9 @@ from repro.obs.perfbench import (  # noqa: E402
 )
 from repro.service.perfbench import (  # noqa: E402
     MEMO_SPEEDUP_LIMIT,
+    POOL_SPEEDUP_LIMIT,
     run_service_cache_benchmark,
+    run_service_load_benchmark,
     write_benchmark_json as write_service_json,
 )
 from repro.sidb.perfbench import (  # noqa: E402
@@ -166,6 +171,8 @@ def main() -> int:
     print(f"  artifact: {quickexact_path}")
 
     service_record = run_service_cache_benchmark()
+    load_record = run_service_load_benchmark()
+    service_record["load"] = load_record
     service_path = write_service_json(service_record, SERVICE_ARTIFACT)
     print(
         f"  service cache on {service_record['benchmark']}: "
@@ -176,6 +183,22 @@ def main() -> int:
         f"({service_record['disk_speedup']:.0f}x)  "
         f"{service_record['warm_throughput_per_second']:.0f} warm req/s"
     )
+    print(
+        f"  service pool on {load_record['benchmark']} "
+        f"({load_record['burst_jobs']} jobs, "
+        f"{load_record['workers']} workers): "
+        f"warm {load_record['warm_wall_seconds']:.2f}s "
+        f"({load_record['warm_jobs_per_second']:.0f} jobs/s)  "
+        f"process-per-job {load_record['cold_wall_seconds']:.2f}s "
+        f"({load_record['cold_jobs_per_second']:.1f} jobs/s)  "
+        f"speedup {load_record['pool_speedup']:.1f}x"
+    )
+    for level in load_record["saturation"]:
+        print(
+            f"    {level['clients']:>3} clients: "
+            f"p50 {level['p50_ms']:.1f}ms  p99 {level['p99_ms']:.1f}ms  "
+            f"{level['throughput_per_second']:.0f} req/s"
+        )
     print(f"  artifact: {service_path}")
     if not service_record["sqd_identical"]:
         failures.append("service cache returned different .sqd bytes")
@@ -184,6 +207,17 @@ def main() -> int:
             f"service warm memo hit only "
             f"{service_record['memo_speedup']:.0f}x faster than cold "
             f"(limit {MEMO_SPEEDUP_LIMIT:.0f}x)"
+        )
+    if load_record["pool_speedup"] < POOL_SPEEDUP_LIMIT:
+        failures.append(
+            f"warm pool only {load_record['pool_speedup']:.1f}x faster "
+            f"than process-per-job on the {load_record['burst_jobs']}-job "
+            f"burst (limit {POOL_SPEEDUP_LIMIT:.0f}x)"
+        )
+    if load_record["warm_completed"] < load_record["burst_jobs"]:
+        failures.append(
+            f"warm pool completed only {load_record['warm_completed']}/"
+            f"{load_record['burst_jobs']} burst jobs"
         )
 
     # Trend tracking: log this run and gate against the rolling best.

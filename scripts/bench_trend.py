@@ -124,6 +124,11 @@ def collect_metrics() -> dict[str, float]:
             metrics["service_warm_disk_seconds"] = record[
                 "warm_disk_seconds"
             ]
+        load = record.get("load", {})
+        if "warm_wall_seconds" in load:
+            metrics["service_warm_pool_wall_seconds"] = load[
+                "warm_wall_seconds"
+            ]
     return metrics
 
 

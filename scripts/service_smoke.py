@@ -4,8 +4,11 @@ Spins up a :class:`repro.api.DesignService` on an ephemeral port with a
 throwaway artifact store, then exercises the whole client surface over
 real HTTP: health check, job submission, status polling, artifact
 fetch, cache-hit resubmission (asserting byte-identical ``.sqd``),
-metrics scrape, and shutdown.  Exits non-zero on the first failed
-expectation.
+metrics scrape, and shutdown.  A second phase runs a 2-worker pool
+with ``max_queued=2`` to exercise admission control (submit until 429
+with a ``Retry-After`` header) and graceful drain (admitted jobs
+finalize as done/cancelled, never as a crash).  Exits non-zero on the
+first failed expectation.
 
 Usage::
 
@@ -16,6 +19,7 @@ import json
 import sys
 import tempfile
 import time
+import urllib.error
 import urllib.request
 
 from repro import api
@@ -27,13 +31,72 @@ def _request(url, payload=None):
     if payload is not None:
         data = json.dumps(payload).encode("utf-8")
         headers["Content-Type"] = "application/json"
-    with urllib.request.urlopen(
-        urllib.request.Request(url, data=data, headers=headers), timeout=30
-    ) as response:
-        body = response.read()
-    if response.headers.get_content_type() == "application/json":
-        return response.status, json.loads(body)
-    return response.status, body
+    try:
+        with urllib.request.urlopen(
+            urllib.request.Request(url, data=data, headers=headers),
+            timeout=30,
+        ) as response:
+            body = response.read()
+            status = response.status
+            content_type = response.headers.get_content_type()
+            response_headers = dict(response.headers)
+    except urllib.error.HTTPError as error:
+        body = error.read()
+        status = error.code
+        content_type = error.headers.get_content_type()
+        response_headers = dict(error.headers)
+    if content_type == "application/json":
+        return status, json.loads(body), response_headers
+    return status, body, response_headers
+
+
+def _smoke_backpressure_and_drain() -> None:
+    """429 on a full admission queue, then a clean graceful drain."""
+    store_root = tempfile.mkdtemp(prefix="repro-smoke-pool-")
+    service = api.DesignService(
+        store=store_root, port=0, workers=2, max_queued=2
+    )
+    service.start()
+    url = service.url
+    print(f"pool service on {url} (2 workers, max_queued=2)")
+
+    # Fill both workers and the 2-deep admission queue with slow,
+    # distinct designs, then overflow it.
+    admitted = []
+    rejected = None
+    for index in range(8):
+        status, doc, headers = _request(
+            url + "/jobs",
+            payload={"specification": "c17", "name": f"pool-{index}"},
+        )
+        if status == 202:
+            admitted.append(doc["job"])
+        elif status == 429:
+            rejected = (doc, headers)
+            break
+        else:
+            raise AssertionError(f"unexpected status {status}: {doc}")
+    assert rejected is not None, "queue never filled (no 429)"
+    doc, headers = rejected
+    assert "Retry-After" in headers, headers
+    assert int(headers["Retry-After"]) >= 1, headers
+    print(
+        f"backpressure ok: {len(admitted)} admitted, then 429 with "
+        f"Retry-After: {headers['Retry-After']}s"
+    )
+
+    service.close(drain=True, drain_timeout=60.0)
+    statuses = {}
+    for job in admitted:
+        record = service.scheduler.job(job["id"])
+        assert record is not None, job["id"]
+        statuses[record.id] = record.status
+        error = record.error or {}
+        assert error.get("kind") != "crash", (record.id, record.error)
+    assert all(s in ("done", "cancelled") for s in statuses.values()), (
+        statuses
+    )
+    print(f"drain ok: {sorted(statuses.values())}")
 
 
 def main() -> int:
@@ -43,12 +106,12 @@ def main() -> int:
         url = service.url
         print(f"service on {url} (store: {store_root})")
 
-        status, health = _request(url + "/healthz")
+        status, health, _ = _request(url + "/healthz")
         assert status == 200 and health["status"] == "ok", health
         assert health["version"] == api.package_version(), health
         print(f"healthz ok (version {health['version']})")
 
-        status, doc = _request(
+        status, doc, _ = _request(
             url + "/jobs", payload={"specification": "xor2"}
         )
         assert status == 202, (status, doc)
@@ -59,26 +122,28 @@ def main() -> int:
         while job["status"] not in ("done", "failed", "cancelled"):
             assert time.time() < deadline, "job did not finish in 120 s"
             time.sleep(0.2)
-            _, job = _request(f"{url}/jobs/{job['id']}")
+            _, job, _ = _request(f"{url}/jobs/{job['id']}")
         assert job["status"] == "done", job
         print(f"finished: {job['summary']}")
 
-        _, sqd_first = _request(url + job["artifacts"]["sqd"])
+        _, sqd_first, _ = _request(url + job["artifacts"]["sqd"])
         assert sqd_first.startswith(b"<?xml"), sqd_first[:40]
         print(f"fetched design.sqd ({len(sqd_first)} bytes)")
 
-        _, doc = _request(url + "/jobs", payload={"specification": "xor2"})
+        _, doc, _ = _request(url + "/jobs", payload={"specification": "xor2"})
         rejob = doc["job"]
         assert rejob["status"] == "done" and rejob["cache_hit"], rejob
-        _, sqd_second = _request(url + rejob["artifacts"]["sqd"])
+        _, sqd_second, _ = _request(url + rejob["artifacts"]["sqd"])
         assert sqd_second == sqd_first, "cache hit returned different bytes"
         print("resubmission served from cache, byte-identical .sqd")
 
-        status, metrics = _request(url + "/metrics")
+        status, metrics, _ = _request(url + "/metrics")
         assert status == 200
         text = metrics.decode("utf-8")
         assert "repro_service_service_jobs_done_total" in text, text[:400]
         print("metrics scrape ok")
+
+    _smoke_backpressure_and_drain()
     print("service smoke test passed")
     return 0
 

@@ -79,6 +79,7 @@ from repro.service import (
     ArtifactStore,
     DesignService,
     JobScheduler,
+    QueueFullError,
     UncacheableConfigurationError,
     default_store_root,
     design_digest,
@@ -178,6 +179,7 @@ __all__ = [
     "ArtifactStore",
     "JobScheduler",
     "DesignService",
+    "QueueFullError",
     "UncacheableConfigurationError",
     "design_digest",
     "default_store_root",

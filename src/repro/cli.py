@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import time
 import urllib.error
@@ -264,22 +265,55 @@ def _format_job(job: dict) -> str:
     )
 
 
+class _DrainSignal(BaseException):
+    """Raised out of ``serve_forever`` by the SIGTERM handler.
+
+    A ``BaseException`` so no handler between the signal frame and
+    ``cmd_serve`` can swallow it.
+    """
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
+    max_queued = args.max_queued if args.max_queued >= 0 else None
     service = api.DesignService(
         store=args.store,
         host=args.host,
         port=args.port,
         workers=args.workers,
         verbose=True,
+        max_queued=max_queued,
     )
-    store_root = service.store.root
-    print(
-        f"repro design service {api.package_version()} on {service.url} "
-        f"(store: {store_root}, {args.workers} workers)",
-        file=sys.stderr,
-    )
+    def _on_sigterm(signum, frame):
+        raise _DrainSignal()
+
     try:
+        # Only the main thread may install handlers; embedded callers
+        # (tests driving cmd_serve from a thread) just skip the drain
+        # path.  Installed before the banner so a supervisor reacting
+        # to the banner can already deliver SIGTERM safely.
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        pass
+    try:
+        # The banner prints inside the guarded region: a supervisor
+        # may deliver SIGTERM the moment it sees the banner, and the
+        # drain handler must already cover that instant.
+        store_root = service.store.root
+        print(
+            f"repro design service {api.package_version()} on "
+            f"{service.url} (store: {store_root}, {args.workers} "
+            f"workers, max_queued={max_queued})",
+            file=sys.stderr,
+        )
         service.serve_forever()
+    except _DrainSignal:
+        print(
+            f"SIGTERM: draining (up to {args.drain_seconds:.0f}s) ...",
+            file=sys.stderr,
+        )
+        service.close(drain=True, drain_timeout=args.drain_seconds)
+        print("drained, bye", file=sys.stderr)
+        return 0
     finally:
         service.close()
     return 0
@@ -485,7 +519,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="artifact store root (default: "
                             "$REPRO_CACHE_DIR or ~/.cache/repro/designs)")
     serve.add_argument("--workers", type=int, default=2,
-                       help="concurrent design worker processes")
+                       help="warm pool size (long-lived design worker "
+                            "processes)")
+    serve.add_argument("--max-queued", type=int, default=256,
+                       help="admission-queue bound; a full queue answers "
+                            "HTTP 429 with Retry-After (default 256, "
+                            "negative disables the bound)")
+    serve.add_argument("--drain-seconds", type=float, default=30.0,
+                       help="on SIGTERM, let admitted jobs finish for up "
+                            "to this long before cancelling (default 30)")
     serve.set_defaults(handler=cmd_serve)
 
     submit = sub.add_parser(

@@ -10,9 +10,11 @@ Three layers, each usable on its own:
   under that digest with atomic writes, integrity re-verification on
   every read, and an LRU size cap.
 * :mod:`repro.service.scheduler` -- :class:`JobScheduler`, a
-  submit/status/result/cancel queue over crash-isolated worker
-  processes with priorities, per-job timeouts, and in-flight dedup
-  (identical digests attach to the one running job).
+  submit/status/result/cancel queue over a persistent warm pool of
+  crash-isolated worker processes, with priorities, per-job timeouts,
+  in-flight dedup (identical digests attach to the one running job),
+  bounded admission (:class:`QueueFullError` past ``max_queued``),
+  bounded terminal-job retention, and graceful drain.
 * :mod:`repro.service.http` -- :class:`DesignService`, the stdlib
   ``ThreadingHTTPServer`` JSON front end behind ``repro serve``.
 
@@ -28,6 +30,7 @@ from repro.service.digest import (
 from repro.service.http import DEFAULT_PORT, DesignService
 from repro.service.scheduler import (
     CANCELLED,
+    DEFAULT_RETAIN_JOBS,
     DONE,
     FAILED,
     QUEUED,
@@ -35,6 +38,7 @@ from repro.service.scheduler import (
     TERMINAL_STATES,
     Job,
     JobScheduler,
+    QueueFullError,
 )
 from repro.service.store import (
     ARTIFACT_SQD,
@@ -48,6 +52,7 @@ __all__ = [
     "ArtifactStore",
     "CANCELLED",
     "DEFAULT_PORT",
+    "DEFAULT_RETAIN_JOBS",
     "DIGEST_VERSION",
     "DONE",
     "DesignService",
@@ -55,6 +60,7 @@ __all__ = [
     "Job",
     "JobScheduler",
     "QUEUED",
+    "QueueFullError",
     "RUNNING",
     "SERVABLE_ARTIFACTS",
     "TERMINAL_STATES",

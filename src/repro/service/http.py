@@ -20,8 +20,12 @@ GET       ``/artifacts/<digest>/<name>``  one artifact's bytes
 source>, "name": ..., "options": {flow knobs}, "priority": int,
 "timeout": seconds}`` and answers with the job record -- immediately
 ``done`` (``cache_hit: true``) when the artifact store already holds
-the digest.  Artifact reads are integrity-verified against the entry
-manifest before a single byte is served.
+the digest.  When the scheduler's admission queue is full the response
+is **429** with a ``Retry-After`` header (backlog-derived estimate in
+seconds); clients should back off and resubmit -- the request was not
+admitted.  A draining or stopped service answers 503.  Artifact reads
+are integrity-verified against the entry manifest before a single byte
+is served.
 
 The server is a ``ThreadingHTTPServer``: many clients poll and fetch
 concurrently while the scheduler's process pool does the heavy work.
@@ -37,7 +41,12 @@ from pathlib import Path
 
 import repro
 from repro.service.digest import UncacheableConfigurationError
-from repro.service.scheduler import DONE, JobScheduler
+from repro.service.scheduler import (
+    DEFAULT_RETAIN_JOBS,
+    DONE,
+    JobScheduler,
+    QueueFullError,
+)
 from repro.service.store import (
     ARTIFACT_SQD,
     SERVABLE_ARTIFACTS,
@@ -110,16 +119,38 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     # --- helpers -------------------------------------------------------
-    def _send_json(self, document: dict, status: int = 200) -> None:
+    def _send_json(
+        self,
+        document: dict,
+        status: int = 200,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(document, indent=1, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json({"error": message}, status=status)
+    def _send_error_json(
+        self,
+        status: int,
+        message: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        self._send_json({"error": message}, status=status, headers=headers)
+
+    def _send_job_404(self, job_id: str) -> None:
+        if self.service.scheduler.evicted(job_id):
+            self._send_error_json(
+                404,
+                f"job {job_id!r} has been evicted from the retained "
+                f"history (bounded retention)",
+            )
+        else:
+            self._send_error_json(404, f"no job {job_id!r}")
 
     def _read_body(self) -> dict | None:
         try:
@@ -178,7 +209,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         elif match := _JOB_PATH_RE.match(path):
             job = self.service.scheduler.job(match.group(1))
             if job is None:
-                self._send_error_json(404, f"no job {match.group(1)!r}")
+                self._send_job_404(match.group(1))
             else:
                 self._send_json(self._job_document(job))
         elif match := _ARTIFACT_PATH_RE.match(path):
@@ -251,6 +282,20 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         ) as error:
             self._send_error_json(400, str(error))
             return
+        except QueueFullError as error:
+            # Before RuntimeError: QueueFullError subclasses it.  429
+            # tells the client the request was *not* admitted and when
+            # a queue slot should open up.
+            self._send_error_json(
+                429,
+                str(error),
+                headers={
+                    "Retry-After": str(
+                        max(1, round(error.retry_after_seconds))
+                    )
+                },
+            )
+            return
         except RuntimeError as error:
             self._send_error_json(503, str(error))
             return
@@ -265,7 +310,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             return
         job_id = match.group(1)
         if self.service.scheduler.job(job_id) is None:
-            self._send_error_json(404, f"no job {job_id!r}")
+            self._send_job_404(job_id)
             return
         cancelled = self.service.scheduler.cancel(job_id)
         job = self.service.scheduler.job(job_id)
@@ -295,12 +340,19 @@ class DesignService:
         workers: int = 2,
         default_timeout: float | None = None,
         verbose: bool = False,
+        *,
+        max_queued: int | None = None,
+        retain_jobs: int = DEFAULT_RETAIN_JOBS,
     ) -> None:
         if isinstance(store, (str, Path)):
             store = ArtifactStore(store)
         self.store = store if store is not None else ArtifactStore()
         self.scheduler = JobScheduler(
-            self.store, workers=workers, default_timeout=default_timeout
+            self.store,
+            workers=workers,
+            default_timeout=default_timeout,
+            max_queued=max_queued,
+            retain_jobs=retain_jobs,
         )
         self.verbose = verbose
         self._httpd = _Server((host, port), _ServiceHandler)
@@ -332,8 +384,18 @@ class DesignService:
         """Serve on the calling thread (the ``repro serve`` loop)."""
         self._httpd.serve_forever()
 
-    def close(self) -> None:
-        """Shut down the HTTP server and the scheduler."""
+    def close(
+        self, *, drain: bool = False, drain_timeout: float | None = None
+    ) -> None:
+        """Shut down the HTTP server and the scheduler.
+
+        With ``drain=True`` the scheduler drains first -- admissions
+        answer 503 while already-admitted jobs finish (up to
+        ``drain_timeout`` seconds) -- and the HTTP server keeps serving
+        status polls until the drain completes, then shuts down.
+        """
+        if drain:
+            self.scheduler.close(drain=True, drain_timeout=drain_timeout)
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:

@@ -1,4 +1,6 @@
-"""Cold-vs-warm benchmark of the design-service artifact cache.
+"""Service benchmarks: artifact-cache speedup and worker-pool load.
+
+Cold-vs-warm benchmark of the design-service artifact cache.
 
 Measures one benchmark circuit three ways:
 
@@ -16,13 +18,26 @@ The gated contract (``benchmarks/bench_service_cache.py`` and
 hit must be at least 100x faster than the cold run, with byte-identical
 ``.sqd`` output.  ``warm_throughput_per_second`` reports sustained warm
 requests per second for the EXPERIMENTS table.
+
+:func:`run_service_load_benchmark` measures the warm worker pool: a
+:data:`BURST_JOBS`-job burst of distinct designs through the persistent
+pool versus the same burst through ``recycle_after=1`` (the honest
+process-per-job baseline -- identical machinery, but every job pays the
+spawn + import + gate-library cost).  The gated contract is
+:data:`POOL_SPEEDUP_LIMIT` (warm >= 3x cold).  It also drives an HTTP
+saturation curve (:data:`SATURATION_CLIENTS` concurrent clients against
+a live :class:`~repro.service.http.DesignService`) recording p50/p99
+latency and throughput per level.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import tempfile
+import threading
 import time
+import urllib.request
 from pathlib import Path
 
 from repro.networks import benchmark_verilog
@@ -95,6 +110,201 @@ def run_service_cache_benchmark(
         "disk_speedup": cold_best / disk_best if disk_best else float("inf"),
         "warm_throughput_per_second": throughput,
         "sqd_identical": sqd_identical,
+    }
+
+
+#: The load-benchmark circuit: small, so fixed per-job costs (the
+#: thing the warm pool removes) dominate -- exactly the regime the
+#: pool exists for.
+LOAD_BENCHMARK = "xor2"
+
+#: Jobs in the timed submission burst (acceptance: warm >= 3x cold).
+BURST_JOBS = 50
+
+#: Pool size for the load benchmark.
+POOL_WORKERS = 2
+
+#: Minimum warm-pool-over-process-per-job burst speedup gated by CI.
+POOL_SPEEDUP_LIMIT = 3.0
+
+#: Concurrent HTTP clients per saturation level.
+SATURATION_CLIENTS = (1, 4, 16, 64)
+
+#: Total requests per saturation level (divisible by every level).
+SATURATION_REQUESTS = 192
+
+
+def _run_burst(
+    verilog: str, jobs: int, workers: int, recycle_after: int | None
+) -> dict:
+    """Wall-clock one burst of distinct jobs through a pool.
+
+    ``recycle_after=None`` is the warm pool; ``recycle_after=1`` makes
+    every job pay the full process boot -- the process-per-job
+    baseline.  Pool boot itself is excluded via a warm-up job per
+    worker (it is a one-time service-lifetime cost, and the baseline
+    re-pays it per job anyway).
+    """
+    from repro.service.scheduler import DONE, JobScheduler
+
+    root = tempfile.mkdtemp(prefix="repro-bench-load-")
+    with JobScheduler(
+        ArtifactStore(root), workers=workers, recycle_after=recycle_after
+    ) as scheduler:
+        warmup = [
+            scheduler.submit(verilog, name=f"warmup-{index}")
+            for index in range(workers)
+        ]
+        for job in warmup:
+            job.wait()
+
+        start = time.perf_counter()
+        burst = [
+            scheduler.submit(verilog, name=f"burst-{index}")
+            for index in range(jobs)
+        ]
+        for job in burst:
+            job.wait()
+        wall = time.perf_counter() - start
+
+        completed = sum(job.status == DONE for job in burst)
+        pids = {job.worker_pid for job in burst if job.worker_pid}
+    return {
+        "jobs": jobs,
+        "completed": completed,
+        "wall_seconds": wall,
+        "jobs_per_second": jobs / wall if wall else float("inf"),
+        "distinct_worker_pids": len(pids),
+    }
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _measure_saturation(
+    verilog: str,
+    levels: tuple[int, ...],
+    total_requests: int,
+    workers: int,
+) -> list[dict]:
+    """p50/p99 latency + throughput of ``POST /jobs`` under load.
+
+    Requests are warm (the digest is already in the store), so the
+    curve isolates the serving stack -- HTTP, admission, dedup, job
+    table -- rather than flow compute.
+    """
+    from repro.service.http import DesignService
+
+    root = tempfile.mkdtemp(prefix="repro-bench-sat-")
+    results = []
+    with DesignService(store=root, port=0, workers=workers) as service:
+        service.start()
+        body = json.dumps(
+            {"specification": verilog, "name": "saturation"}
+        ).encode("utf-8")
+
+        def post() -> float:
+            request = urllib.request.Request(
+                f"{service.url}/jobs",
+                data=body,
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            # Retry transient connection drops (the threaded stdlib
+            # server resets the odd connection under heavy client
+            # concurrency) with exponential backoff; the measured
+            # latency is the successful attempt's.
+            for attempt in range(6):
+                start = time.perf_counter()
+                try:
+                    with urllib.request.urlopen(
+                        request, timeout=60
+                    ) as response:
+                        response.read()
+                    return time.perf_counter() - start
+                except (OSError, http.client.HTTPException):
+                    if attempt == 5:
+                        raise
+                    time.sleep(0.05 * 2**attempt)
+            raise AssertionError("unreachable")
+
+        post()  # prime: one cold run, everything after is a cache hit
+        for clients in levels:
+            per_client = total_requests // clients
+            latencies: list[list[float]] = [[] for _ in range(clients)]
+            dropped = [0] * clients
+
+            def drive(slot: int) -> None:
+                for _ in range(per_client):
+                    try:
+                        latencies[slot].append(post())
+                    except (OSError, http.client.HTTPException):
+                        # Recorded, never silently absorbed into the
+                        # curve -- a drop past all retries means the
+                        # box is genuinely past saturation.
+                        dropped[slot] += 1
+
+            threads = [
+                threading.Thread(target=drive, args=(slot,))
+                for slot in range(clients)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - start
+            flat = [sample for slot in latencies for sample in slot]
+            results.append(
+                {
+                    "clients": clients,
+                    "requests": len(flat),
+                    "dropped": sum(dropped),
+                    "p50_ms": _percentile(flat, 0.50) * 1000.0,
+                    "p99_ms": _percentile(flat, 0.99) * 1000.0,
+                    "throughput_per_second": len(flat) / wall,
+                }
+            )
+    return results
+
+
+def run_service_load_benchmark(
+    benchmark: str = LOAD_BENCHMARK,
+    burst_jobs: int = BURST_JOBS,
+    workers: int = POOL_WORKERS,
+    saturation_levels: tuple[int, ...] = SATURATION_CLIENTS,
+    saturation_requests: int = SATURATION_REQUESTS,
+) -> dict:
+    """Warm-pool vs process-per-job burst + HTTP saturation curve."""
+    verilog = benchmark_verilog(benchmark)
+
+    warm = _run_burst(verilog, burst_jobs, workers, recycle_after=None)
+    cold = _run_burst(verilog, burst_jobs, workers, recycle_after=1)
+    saturation = _measure_saturation(
+        verilog, saturation_levels, saturation_requests, workers
+    )
+
+    warm_wall = warm["wall_seconds"]
+    cold_wall = cold["wall_seconds"]
+    return {
+        "benchmark": benchmark,
+        "burst_jobs": burst_jobs,
+        "workers": workers,
+        "warm_wall_seconds": warm_wall,
+        "warm_jobs_per_second": warm["jobs_per_second"],
+        "warm_completed": warm["completed"],
+        "warm_distinct_worker_pids": warm["distinct_worker_pids"],
+        "cold_wall_seconds": cold_wall,
+        "cold_jobs_per_second": cold["jobs_per_second"],
+        "cold_completed": cold["completed"],
+        "cold_distinct_worker_pids": cold["distinct_worker_pids"],
+        "pool_speedup": (
+            cold_wall / warm_wall if warm_wall else float("inf")
+        ),
+        "saturation": saturation,
     }
 
 
