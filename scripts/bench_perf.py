@@ -49,6 +49,12 @@ from repro.sidb.perfbench import (  # noqa: E402
     run_scaling_benchmark,
     write_benchmark_json,
 )
+from repro.timing.perfbench import (  # noqa: E402
+    STA_FLOW_FRACTION_LIMIT,
+    run_quick_timing_benchmark,
+    run_timing_benchmark,
+    write_benchmark_json as write_timing_json,
+)
 from repro.sidb.simanneal import SimAnnealParameters  # noqa: E402
 
 ARTIFACT = REPO / "benchmarks" / "artifacts" / "BENCH_simanneal.json"
@@ -57,6 +63,7 @@ SERVICE_ARTIFACT = REPO / "benchmarks" / "artifacts" / "BENCH_service.json"
 QUICKEXACT_ARTIFACT = (
     REPO / "benchmarks" / "artifacts" / "BENCH_quickexact.json"
 )
+TIMING_ARTIFACT = REPO / "benchmarks" / "artifacts" / "BENCH_timing.json"
 
 #: Minimum QuickExact-over-ExGS speedup at the gate size.
 QUICKEXACT_SPEEDUP_LIMIT = 10.0
@@ -219,6 +226,32 @@ def main() -> int:
             f"warm pool completed only {load_record['warm_completed']}/"
             f"{load_record['burst_jobs']} burst jobs"
         )
+
+    if arguments.full:
+        timing_record = run_timing_benchmark()
+    else:
+        timing_record = run_quick_timing_benchmark()
+    timing_path = write_timing_json(timing_record, TIMING_ARTIFACT)
+    analyzed = [r for r in timing_record["rows"] if "error" not in r]
+    print(
+        f"  timing STA on {len(analyzed)} designs x "
+        f"{len(timing_record['schemes'])} schemes: "
+        f"{timing_record['total_sta_seconds'] * 1000:.1f}ms total "
+        f"({timing_record['sta_flow_fraction']:.2%} of flow time)"
+    )
+    print(f"  artifact: {timing_path}")
+    if timing_record["sta_flow_fraction"] >= STA_FLOW_FRACTION_LIMIT:
+        failures.append(
+            f"STA cost {timing_record['sta_flow_fraction']:.1%} of flow "
+            f"time (limit {STA_FLOW_FRACTION_LIMIT:.0%})"
+        )
+    for row in analyzed:
+        native = row["schemes"].get("columnar-rows", {})
+        if native.get("wns_phases") != 0:
+            failures.append(
+                f"{row['name']}: native columnar-rows slack "
+                f"{native.get('wns_phases')} (expected fully pipelined, 0)"
+            )
 
     # Trend tracking: log this run and gate against the rolling best.
     sys.path.insert(0, str(REPO / "scripts"))

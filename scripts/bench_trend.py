@@ -117,6 +117,22 @@ def collect_metrics() -> dict[str, float]:
             metrics["obs_workers2_disabled_seconds"] = workers2[
                 "disabled_seconds"
             ]
+    timing = ARTIFACTS / "BENCH_timing.json"
+    if timing.exists():
+        record = json.loads(timing.read_text())
+        # Sum over the Trindade subset only: present in both the quick
+        # and the --full budget, so the metric is comparable across
+        # modes.
+        trindade = {"xor2", "xnor2", "par_gen", "mux21", "par_check"}
+        seconds = 0.0
+        found = False
+        for row in record.get("rows", []):
+            if row.get("name") in trindade and "schemes" in row:
+                for cell in row["schemes"].values():
+                    seconds += cell.get("sta_seconds", 0.0)
+                    found = True
+        if found:
+            metrics["timing_sta_trindade_seconds"] = seconds
     service = ARTIFACTS / "BENCH_service.json"
     if service.exists():
         record = json.loads(service.read_text())

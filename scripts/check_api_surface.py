@@ -5,10 +5,12 @@ Snapshots every name exported by :mod:`repro.api` together with its
 callable signature (functions, class constructors) or value kind
 (constants, enums with their members) into ``scripts/api_surface.json``.
 CI compares the live surface against the snapshot and fails on any
-removal or signature change -- additions are reported but tolerated, so
-the API can grow without churn.
+removal or signature change.  By default additions are reported but
+tolerated; ``--strict`` (the CI gate) fails on them too, so every new
+export is a deliberate, snapshotted decision.
 
-    python scripts/check_api_surface.py            # compare (CI mode)
+    python scripts/check_api_surface.py            # compare, lenient
+    python scripts/check_api_surface.py --strict   # compare (CI mode)
     python scripts/check_api_surface.py --update   # regenerate snapshot
 """
 
@@ -56,6 +58,9 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--update", action="store_true",
                         help="regenerate the snapshot from the live API")
+    parser.add_argument("--strict", action="store_true",
+                        help="also fail on exports missing from the "
+                             "snapshot (CI mode)")
     args = parser.parse_args()
 
     surface = current_surface()
@@ -84,7 +89,11 @@ def main() -> int:
             )
     added = sorted(set(surface) - set(expected))
     if added:
-        print(f"new exports (run --update to snapshot): {', '.join(added)}")
+        message = f"new exports (run --update to snapshot): {', '.join(added)}"
+        if args.strict:
+            problems.append(message)
+        else:
+            print(message)
 
     if problems:
         print("repro.api surface breakage:", file=sys.stderr)

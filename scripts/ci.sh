@@ -6,7 +6,7 @@ set -e
 cd "$(dirname "$0")/.."
 
 echo "== repro.api surface =="
-python scripts/check_api_surface.py
+python scripts/check_api_surface.py --strict
 
 echo "== benchmark trend =="
 PYTHONPATH=src python scripts/bench_trend.py --check

@@ -2,9 +2,11 @@
 
 Spins up a :class:`repro.api.DesignService` on an ephemeral port with a
 throwaway artifact store, then exercises the whole client surface over
-real HTTP: health check, job submission, status polling, artifact
-fetch, cache-hit resubmission (asserting byte-identical ``.sqd``),
-metrics scrape, and shutdown.  A second phase runs a 2-worker pool
+real HTTP against the ``/v1`` API: health check, job submission, status
+polling, artifact fetch, cache-hit resubmission (asserting
+byte-identical ``.sqd``), metrics scrape, the deprecated unversioned
+aliases (must still work and carry a ``Deprecation`` header), and
+shutdown.  A second phase runs a 2-worker pool
 with ``max_queued=2`` to exercise admission control (submit until 429
 with a ``Retry-After`` header) and graceful drain (admitted jobs
 finalize as done/cancelled, never as a crash).  Exits non-zero on the
@@ -66,7 +68,7 @@ def _smoke_backpressure_and_drain() -> None:
     rejected = None
     for index in range(8):
         status, doc, headers = _request(
-            url + "/jobs",
+            url + "/v1/jobs",
             payload={"specification": "c17", "name": f"pool-{index}"},
         )
         if status == 202:
@@ -106,42 +108,65 @@ def main() -> int:
         url = service.url
         print(f"service on {url} (store: {store_root})")
 
-        status, health, _ = _request(url + "/healthz")
+        status, health, headers = _request(url + "/v1/healthz")
         assert status == 200 and health["status"] == "ok", health
         assert health["version"] == api.package_version(), health
+        assert "Deprecation" not in headers, headers
         print(f"healthz ok (version {health['version']})")
 
         status, doc, _ = _request(
-            url + "/jobs", payload={"specification": "xor2"}
+            url + "/v1/jobs", payload={"specification": "xor2"}
         )
         assert status == 202, (status, doc)
         job = doc["job"]
+        assert job["schema_version"] == 1, job
         print(f"submitted {job['id']} ({job['status']})")
 
         deadline = time.time() + 120
         while job["status"] not in ("done", "failed", "cancelled"):
             assert time.time() < deadline, "job did not finish in 120 s"
             time.sleep(0.2)
-            _, job, _ = _request(f"{url}/jobs/{job['id']}")
+            _, job, _ = _request(f"{url}/v1/jobs/{job['id']}")
         assert job["status"] == "done", job
         print(f"finished: {job['summary']}")
 
+        assert job["artifacts"]["sqd"].startswith("/v1/"), job["artifacts"]
         _, sqd_first, _ = _request(url + job["artifacts"]["sqd"])
         assert sqd_first.startswith(b"<?xml"), sqd_first[:40]
         print(f"fetched design.sqd ({len(sqd_first)} bytes)")
 
-        _, doc, _ = _request(url + "/jobs", payload={"specification": "xor2"})
+        status, doc, _ = _request(
+            url + "/v1/jobs", payload={"specification": "xor2"}
+        )
         rejob = doc["job"]
         assert rejob["status"] == "done" and rejob["cache_hit"], rejob
         _, sqd_second, _ = _request(url + rejob["artifacts"]["sqd"])
         assert sqd_second == sqd_first, "cache hit returned different bytes"
         print("resubmission served from cache, byte-identical .sqd")
 
-        status, metrics, _ = _request(url + "/metrics")
+        status, metrics, _ = _request(url + "/v1/metrics")
         assert status == 200
         text = metrics.decode("utf-8")
         assert "repro_service_service_jobs_done_total" in text, text[:400]
         print("metrics scrape ok")
+
+        # The historical unversioned paths must keep working as
+        # deprecated aliases: same payloads, plus a Deprecation header
+        # pointing at the /v1 successor.
+        status, alias_health, headers = _request(url + "/healthz")
+        assert status == 200 and alias_health["status"] == "ok", alias_health
+        assert headers.get("Deprecation") == "true", headers
+        assert "/v1/healthz" in headers.get("Link", ""), headers
+        status, alias_doc, headers = _request(f"{url}/jobs/{job['id']}")
+        assert status == 200 and alias_doc["status"] == "done", alias_doc
+        assert headers.get("Deprecation") == "true", headers
+        assert alias_doc["artifacts"]["sqd"].startswith("/artifacts/"), (
+            alias_doc["artifacts"]
+        )
+        _, alias_sqd, headers = _request(url + alias_doc["artifacts"]["sqd"])
+        assert alias_sqd == sqd_first, "alias served different bytes"
+        assert headers.get("Deprecation") == "true", headers
+        print("unversioned aliases ok (Deprecation headers present)")
 
     _smoke_backpressure_and_drain()
     print("service smoke test passed")

@@ -39,12 +39,16 @@ from repro.flow.design_flow import (
     design_sidb_circuit,
 )
 from repro.flow.reporting import (
+    REPORT_SCHEMA_VERSION,
     TABLE1_REFERENCE,
     format_table1_row,
+    render_summary,
     trace_json,
     trace_report,
 )
 from repro.gatelib.designer import CanvasSearchProblem, search_canvas_design
+from repro.layout.clocking import SCHEMES as _CLOCKING_SCHEME_REGISTRY
+from repro.layout.clocking import ClockingScheme, scheme_by_name
 from repro.gatelib.designs import core_parameters
 from repro.gatelib.library import GATE_LIBRARY_VERSION, BestagonLibrary
 from repro.layout.render import layout_to_ascii, layout_to_svg
@@ -84,6 +88,17 @@ from repro.service import (
     default_store_root,
     design_digest,
 )
+from repro.service.scheduler import JOB_SCHEMA_VERSION
+from repro.timing import (
+    ClockingExploration,
+    ClockingPoint,
+    PhaseDelayModel,
+    TimingReport,
+    analyze_timing,
+    explore_clocking,
+    pareto_front,
+)
+from repro.timing.sta import TIMING_SCHEMA_VERSION
 from repro.sidb.simanneal import SimAnneal, SimAnnealParameters
 from repro.sqd.sqd import (
     SQD_WRITER_VERSION,
@@ -103,6 +118,11 @@ from repro.verification.equivalence import (
     EquivalenceResult,
     check_layout_against_network,
 )
+
+#: Names of the registered clocking schemes; each resolves through
+#: :func:`scheme_by_name` and is accepted by ``FlowConfiguration(
+#: clocking=...)``.
+CLOCKING_SCHEMES = tuple(sorted(_CLOCKING_SCHEME_REGISTRY))
 
 __all__ = [
     # The one-call flow.
@@ -127,8 +147,22 @@ __all__ = [
     "benchmark_verilog",
     "format_table1_row",
     "TABLE1_REFERENCE",
+    "render_summary",
+    "REPORT_SCHEMA_VERSION",
     "trace_json",
     "trace_report",
+    # Static timing analysis + clocking exploration.
+    "TimingReport",
+    "PhaseDelayModel",
+    "analyze_timing",
+    "TIMING_SCHEMA_VERSION",
+    "ClockingExploration",
+    "ClockingPoint",
+    "explore_clocking",
+    "pareto_front",
+    "ClockingScheme",
+    "CLOCKING_SCHEMES",
+    "scheme_by_name",
     # Telemetry: traces, exporters, live progress.
     "Span",
     "Histogram",
@@ -179,6 +213,7 @@ __all__ = [
     "ArtifactStore",
     "JobScheduler",
     "DesignService",
+    "JOB_SCHEMA_VERSION",
     "QueueFullError",
     "UncacheableConfigurationError",
     "design_digest",

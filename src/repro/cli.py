@@ -2,6 +2,8 @@
 
     python -m repro.cli synth  <spec.v | benchmark-name> [options]
     python -m repro.cli bench  [name ...]
+    python -m repro.cli timing report <spec> [--clocking NAME]
+    python -m repro.cli timing sweep  <spec> [--widths N ...]
     python -m repro.cli validate <tile-name ...>
     python -m repro.cli library
     python -m repro.cli defects sample [options]
@@ -10,21 +12,26 @@
     python -m repro.cli submit <spec.v | benchmark-name> [--wait]
     python -m repro.cli jobs   [ID]
 
-``synth`` runs the 8-step flow and writes .sqd/.svg artifacts; ``bench``
-prints Table-1 style rows; ``validate`` runs the physics operational
-check on library tiles; ``library`` lists the Bestagon designs;
-``defects sample`` generates a random defective surface for
-defect-aware runs (``synth --defects surface.json``); ``trace export``
-converts a ``--trace-json`` file to Chrome trace-event JSON (Perfetto)
-or Prometheus text exposition.  ``--progress`` on any flow command
-streams live single-line progress to stderr, and ``--workers N`` fans
-the parallelizable steps out over processes.
+``synth`` runs the 8-step flow and writes .sqd/.svg artifacts
+(``--json`` emits the structured, ``schema_version``-stamped design
+report instead of the one-line summary); ``bench`` prints Table-1
+style rows; ``timing report`` runs static timing analysis on a design
+under one clocking scheme, and ``timing sweep`` explores the
+area--latency trade-off across all registered schemes (the Pareto
+front); ``validate`` runs the physics operational check on library
+tiles; ``library`` lists the Bestagon designs; ``defects sample``
+generates a random defective surface for defect-aware runs (``synth
+--defects surface.json``); ``trace export`` converts a ``--trace-json``
+file to Chrome trace-event JSON (Perfetto) or Prometheus text
+exposition.  ``--progress`` on any flow command streams live
+single-line progress to stderr, and ``--workers N`` fans the
+parallelizable steps out over processes.
 
 ``serve`` starts the design service (artifact store + job scheduler +
-JSON HTTP API); ``submit`` and ``jobs`` are its thin clients.  ``synth
---cache [DIR]`` serves repeat runs from the artifact store directly,
-no server needed.  Ctrl-C anywhere exits with status 130 and a
-one-line message, never a traceback.
+JSON HTTP API, versioned under ``/v1``); ``submit`` and ``jobs`` are
+its thin clients.  ``synth --cache [DIR]`` serves repeat runs from the
+artifact store directly, no server needed.  Ctrl-C anywhere exits with
+status 130 and a one-line message, never a traceback.
 
 The flow subcommands share their common options through parent parsers
 (:func:`_trace_options`, :func:`_engine_options`), so ``--trace`` and
@@ -66,14 +73,19 @@ def _configuration(args: argparse.Namespace) -> api.FlowConfiguration:
             raise SystemExit(
                 f"cannot load defects from '{args.defects}': {error}"
             ) from None
-    return api.FlowConfiguration(
-        engine=args.engine,
-        exact_engine=getattr(args, "exact_engine", "quickexact"),
-        exact_conflict_limit=args.conflict_limit,
-        exact_time_limit_seconds=args.time_limit,
-        defects=defects,
-        workers=getattr(args, "workers", 1),
-    )
+    try:
+        return api.FlowConfiguration(
+            engine=args.engine,
+            exact_engine=getattr(args, "exact_engine", "quickexact"),
+            clocking=getattr(args, "clocking", "columnar-rows"),
+            exact_conflict_limit=args.conflict_limit,
+            exact_time_limit_seconds=args.time_limit,
+            timing=getattr(args, "timing", False),
+            defects=defects,
+            workers=getattr(args, "workers", 1),
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
 
 
 def _design(
@@ -105,8 +117,13 @@ def _report_trace(args: argparse.Namespace, result: api.DesignResult) -> None:
 def cmd_synth(args: argparse.Namespace) -> int:
     verilog, name = _load_specification(args.spec)
     result = _design(args, verilog, name, _configuration(args))
-    print(result.summary())
-    if result.defect_report is not None:
+    if args.json:
+        print(json.dumps(result.report(), indent=1, sort_keys=True))
+    else:
+        print(result.summary())
+        if result.timing is not None:
+            print(result.timing.summary())
+    if result.defect_report is not None and not args.json:
         print(result.defect_report.summary())
     if args.ascii:
         print()
@@ -147,6 +164,44 @@ def cmd_bench(args: argparse.Namespace) -> int:
         ))
         _report_trace(args, result)
     return status
+
+
+def cmd_timing_report(args: argparse.Namespace) -> int:
+    verilog, name = _load_specification(args.spec)
+    config = _configuration(args)
+    result = _design(args, verilog, name, config)
+    report = result.timing
+    if report is None:
+        report = api.analyze_timing(
+            result.layout, config.clocking, name=name
+        )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+        return 0
+    print(result.summary())
+    print(report.summary())
+    path = " -> ".join(f"({c.x},{c.y})" for c in report.critical_path)
+    print(f"critical path: {path}")
+    _report_trace(args, result)
+    return 0
+
+
+def cmd_timing_sweep(args: argparse.Namespace) -> int:
+    verilog, name = _load_specification(args.spec)
+    exploration = api.explore_clocking(
+        verilog,
+        name=name,
+        widths=args.widths or None,
+    )
+    if args.json:
+        print(json.dumps(exploration.to_dict(), indent=1, sort_keys=True))
+        return 0
+    print(exploration.render_table())
+    front = exploration.front()
+    print(
+        f"pareto front: {len(front)} of {len(exploration.points)} points"
+    )
+    return 0
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
@@ -324,8 +379,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
     options: dict = {
         "engine": args.engine,
         "exact_engine": getattr(args, "exact_engine", "quickexact"),
+        "clocking": getattr(args, "clocking", "columnar-rows"),
         "exact_conflict_limit": args.conflict_limit,
         "exact_time_limit_seconds": args.time_limit,
+        "timing": getattr(args, "timing", False),
     }
     if getattr(args, "defects", None):
         try:
@@ -336,7 +393,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
             ) from None
         options["defects"] = [defect.to_dict() for defect in surface]
     document = _http_json(
-        f"{args.url}/jobs",
+        f"{args.url}/v1/jobs",
         payload={
             "specification": verilog,
             "name": name,
@@ -351,7 +408,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
         return 0
     while job["status"] not in ("done", "failed", "cancelled"):
         time.sleep(args.poll_seconds)
-        job = _http_json(f"{args.url}/jobs/{job['id']}")
+        job = _http_json(f"{args.url}/v1/jobs/{job['id']}")
     print(_format_job(job))
     if job["status"] != "done":
         return 1
@@ -368,10 +425,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
 
 def cmd_jobs(args: argparse.Namespace) -> int:
     if args.id:
-        job = _http_json(f"{args.url}/jobs/{args.id}")
+        job = _http_json(f"{args.url}/v1/jobs/{args.id}")
         print(json.dumps(job, indent=1, sort_keys=True))
         return 0
-    document = _http_json(f"{args.url}/jobs")
+    document = _http_json(f"{args.url}/v1/jobs")
     jobs = document["jobs"]
     if not jobs:
         print("no jobs")
@@ -414,6 +471,14 @@ def _engine_options() -> argparse.ArgumentParser:
                        choices=list(api.EXACT_ENGINES),
                        help="exact ground-state solver for operational "
                             "simulations (default: quickexact)")
+    group.add_argument("--clocking", default="columnar-rows",
+                       choices=sorted(api.CLOCKING_SCHEMES),
+                       help="clocking scheme the layout is zoned under "
+                            "(default: columnar-rows, the paper's native "
+                            "row discipline)")
+    group.add_argument("--timing", action="store_true",
+                       help="run static timing analysis and report "
+                            "latency/throughput with the result")
     group.add_argument("--conflict-limit", type=int, default=400_000)
     group.add_argument("--time-limit", type=float, default=None)
     group.add_argument("--defects", metavar="PATH",
@@ -449,7 +514,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve repeat runs from the design-artifact "
                             "store (default: $REPRO_CACHE_DIR or "
                             "~/.cache/repro/designs)")
+    synth.add_argument("--json", action="store_true",
+                       help="print the structured design report as JSON "
+                            "instead of the one-line summary")
     synth.set_defaults(handler=cmd_synth)
+
+    timing = sub.add_parser(
+        "timing", help="static timing analysis of clocked layouts"
+    )
+    timing_sub = timing.add_subparsers(dest="timing_command", required=True)
+    timing_report = timing_sub.add_parser(
+        "report",
+        help="design one circuit and report its timing",
+        parents=[engine_options, trace_options],
+        description="Run the flow with static timing analysis enabled "
+                    "and print latency (clock phases and ns), "
+                    "throughput, worst slack, and the critical path "
+                    "under the chosen clocking scheme.",
+    )
+    timing_report.add_argument("spec",
+                               help="Verilog file or benchmark name")
+    timing_report.add_argument("--json", action="store_true",
+                               help="print the timing report as JSON")
+    timing_report.set_defaults(timing=True, handler=cmd_timing_report)
+    timing_sweep = timing_sub.add_parser(
+        "sweep",
+        help="area-latency Pareto sweep over clocking schemes",
+        description="Design once, then re-zone the layout under every "
+                    "registered clocking scheme (and optionally "
+                    "re-place at bounded widths) to chart the "
+                    "area-latency trade-off; Pareto-optimal points "
+                    "are marked.",
+    )
+    timing_sweep.add_argument("spec",
+                              help="Verilog file or benchmark name")
+    timing_sweep.add_argument("--widths", type=int, nargs="*",
+                              metavar="N",
+                              help="also re-place heuristically at these "
+                                   "max widths (native scheme only)")
+    timing_sweep.add_argument("--json", action="store_true",
+                              help="print the exploration as JSON")
+    timing_sweep.set_defaults(handler=cmd_timing_sweep)
 
     bench = sub.add_parser("bench", help="Table-1 style rows",
                            parents=[engine_options, trace_options])
@@ -506,11 +611,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve",
         help="run the design service (artifact store + job queue + HTTP)",
-        description="Serve the JSON design API: POST /jobs, GET /jobs, "
-                    "GET /artifacts/<digest>/<name>, GET /metrics, "
-                    "GET /healthz.  Results are cached in the artifact "
-                    "store; identical in-flight submissions share one "
-                    "execution.",
+        description="Serve the JSON design API (versioned under /v1): "
+                    "POST /v1/jobs, GET /v1/jobs, "
+                    "GET /v1/artifacts/<digest>/<name>, GET /v1/metrics, "
+                    "GET /v1/healthz; unversioned paths remain as "
+                    "deprecated aliases.  Results are cached in the "
+                    "artifact store; identical in-flight submissions "
+                    "share one execution.",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=_DEFAULT_PORT,

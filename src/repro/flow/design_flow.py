@@ -13,6 +13,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import time
 from dataclasses import dataclass, field
@@ -23,9 +24,10 @@ from repro.defects.aware import (
     recheck_layout_against_defects,
 )
 from repro.defects.model import SurfaceDefects
+from repro.flow.reporting import REPORT_SCHEMA_VERSION, render_summary
 from repro.gatelib.apply import apply_library
 from repro.gatelib.library import BestagonLibrary
-from repro.layout.clocking import ClockingScheme, columnar_rows
+from repro.layout.clocking import ClockingScheme, columnar_rows, scheme_by_name
 from repro.layout.drc import check_layout
 from repro.layout.gate_layout import GateLevelLayout
 from repro.layout.supertile import SuperTilePlan, merge_into_supertiles
@@ -48,6 +50,7 @@ from repro.synthesis.mapping import map_to_bestagon
 from repro.synthesis.rewrite import cut_rewrite
 from repro.tech.design_rules import DesignRules, DesignRuleViolation
 from repro.tech.parameters import EXACT_ENGINES
+from repro.timing.sta import TimingReport, analyze_timing
 from repro.verification.equivalence import (
     EquivalenceResult,
     check_layout_against_network,
@@ -87,11 +90,14 @@ class FlowConfiguration:
 
     ``engine`` accepts an :class:`Engine` member or its string value;
     unknown strings are rejected at construction time with the valid
-    choices listed.
+    choices listed.  ``clocking`` accepts a ready
+    :class:`~repro.layout.clocking.ClockingScheme` or a registry name
+    (validated through
+    :func:`~repro.layout.clocking.scheme_by_name`).
     """
 
     engine: Engine | str = Engine.AUTO
-    clocking: ClockingScheme = field(default_factory=columnar_rows)
+    clocking: ClockingScheme | str = field(default_factory=columnar_rows)
     rewrite: bool = True
     verify: bool = True
     verify_conflict_limit: int | None = None
@@ -119,6 +125,12 @@ class FlowConfiguration:
     #: :mod:`repro.obs` recorder for the duration).  With ``False`` the
     #: flow still records when the recorder is enabled globally.
     trace: bool = True
+    #: Run static timing analysis (:mod:`repro.timing`) as part of the
+    #: flow and attach a :class:`~repro.timing.sta.TimingReport` as
+    #: ``DesignResult.timing``.  Off by default: without it every
+    #: artifact (layout, ``summary()`` text, ``.sqd``) is bit-identical
+    #: to a flow without the timing layer.
+    timing: bool = False
 
     def __post_init__(self) -> None:
         try:
@@ -128,6 +140,11 @@ class FlowConfiguration:
             raise ValueError(
                 f"unknown engine {self.engine!r} (choose from {choices})"
             ) from None
+        if isinstance(self.clocking, str):
+            try:
+                self.clocking = scheme_by_name(self.clocking)
+            except KeyError as error:
+                raise ValueError(str(error)) from None
         if self.exact_engine not in EXACT_ENGINES:
             choices = ", ".join(repr(e) for e in EXACT_ENGINES)
             raise ValueError(
@@ -158,6 +175,9 @@ class DesignResult:
     #: Result of the defect-aware operational recheck (``None`` unless
     #: the flow ran with surface defects configured).
     defect_report: DefectAwareReport | None = None
+    #: Static timing analysis of the layout (``None`` unless the flow
+    #: ran with ``FlowConfiguration.timing=True``).
+    timing: TimingReport | None = None
     #: ``True`` when this result was served from a design-service
     #: artifact store (:mod:`repro.service`) instead of a fresh flow
     #: execution; ``runtime_seconds`` then reports the *original* run.
@@ -187,28 +207,61 @@ class DesignResult:
         """Step 8: the SiQAD design file of the layout."""
         return self.sqd or write_sqd(self.sidb_layout, self.name)
 
+    def report(self) -> dict:
+        """The structured, versioned result document.
+
+        This dict -- not the ``summary()`` text -- is the machine
+        interface to a flow result: a stable, ``schema_version``-stamped
+        record of area, SiDB count, equivalence verdict, DRC, defect
+        and timing outcomes.  It is what ``repro synth --json`` prints,
+        what the design service persists as ``result.json``, and what
+        :meth:`summary` renders.
+        """
+        equivalence = None
+        if self.equivalence is not None:
+            equivalence = {
+                "verdict": self.equivalence.verdict,
+                "equivalent": self.equivalence.equivalent,
+                "undecided": self.equivalence.undecided,
+                "conflicts": self.equivalence.conflicts,
+                "counterexample": self.equivalence.counterexample,
+            }
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "name": self.name,
+            "width": self.width,
+            "height": self.height,
+            "area_tiles": self.area_tiles,
+            "area_nm2": self.area_nm2,
+            "num_sidbs": self.num_sidbs,
+            "engine": self.engine_used,
+            "runtime_seconds": self.runtime_seconds,
+            "clocking": self.layout.clocking.name,
+            "equivalence": equivalence,
+            "drc_violations": len(self.drc_violations),
+            "supertiles": {
+                "rows_per_zone": self.supertiles.rows_per_zone,
+                "num_zones": self.supertiles.num_zones,
+                "fabricable": self.supertiles.is_fabricable,
+            },
+            "defects": None
+            if self.defect_report is None
+            else {
+                "operational": self.defect_report.operational,
+                "defects_total": self.defect_report.defects_total,
+                "tiles_checked": self.defect_report.tiles_checked,
+            },
+            "timing": None if self.timing is None else self.timing.to_dict(),
+            "from_cache": self.from_cache,
+        }
+
+    def to_dict(self) -> dict:
+        """Alias of :meth:`report` (the JSON-ready result document)."""
+        return self.report()
+
     def summary(self) -> str:
-        if self.equivalence is None:
-            verified = "UNVERIFIED"
-        elif self.equivalence.undecided:
-            verified = "UNDECIDED"
-        elif self.equivalence.equivalent:
-            verified = "verified"
-        else:
-            verified = "NOT EQUIVALENT"
-        text = (
-            f"{self.name}: {self.width}x{self.height} = {self.area_tiles} "
-            f"tiles, {self.num_sidbs} SiDBs, {self.area_nm2:.2f} nm^2, "
-            f"{verified} ({self.engine_used}, "
-            f"{self.runtime_seconds:.2f} s)"
-        )
-        if self.defect_report is not None:
-            state = "ok" if self.defect_report.operational else "FAILING"
-            text += (
-                f", defects: {state} "
-                f"({self.defect_report.defects_total} on surface)"
-            )
-        return text
+        """One-line human summary, rendered over :meth:`report`."""
+        return render_summary(self.report())
 
 
 def design_sidb_circuit(
@@ -277,6 +330,24 @@ def design_sidb_circuit(
         with obs.span("flow.supertiles"):
             supertiles = merge_into_supertiles(layout, config.design_rules)
 
+        # Static timing analysis (only when requested, so a flow without
+        # timing stays bit-identical, trace included).  The gate-level
+        # scheme report carries the merged super-tile latency alongside.
+        timing = None
+        if config.timing:
+            with obs.span("flow.timing") as span:
+                timing = analyze_timing(layout, config.clocking)
+                merged = analyze_timing(layout, supertiles=supertiles)
+                timing = dataclasses.replace(
+                    timing,
+                    supertile_latency_phases=merged.latency_phases,
+                    supertile_rows_per_zone=supertiles.rows_per_zone,
+                )
+                span.set("scheme", timing.scheme)
+                span.set("latency_phases", timing.latency_phases)
+                span.set("wns_phases", timing.wns_phases)
+                span.set("critical_path_tiles", len(timing.critical_path))
+
         # Step 7: library application.
         with obs.span("flow.library") as span:
             library = config.library or BestagonLibrary()
@@ -323,6 +394,7 @@ def design_sidb_circuit(
         sqd=sqd,
         trace=captured.span,
         defect_report=defect_report,
+        timing=timing,
     )
 
 

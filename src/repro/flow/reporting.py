@@ -1,5 +1,8 @@
 """Table-1 style reporting: paper reference values and row formatting,
-plus rendering of a run's observability trace."""
+rendering of a run's observability trace, and the renderers over the
+structured :meth:`~repro.flow.design_flow.DesignResult.report` document
+(the ``summary()`` text is *derived* from the report, never the other
+way around)."""
 
 from __future__ import annotations
 
@@ -11,6 +14,54 @@ from repro.tech.area import layout_area_nm2
 
 if TYPE_CHECKING:
     from repro.flow.design_flow import DesignResult
+
+#: Version stamp of the structured result document returned by
+#: :meth:`DesignResult.report` / ``to_dict``.  Bump on any breaking
+#: change to the document layout; additive fields do not bump it.
+REPORT_SCHEMA_VERSION = 1
+
+#: ``equivalence.verdict`` -> the historical ``summary()`` wording.
+_VERDICT_TEXT = {
+    None: "UNVERIFIED",
+    "undecided": "UNDECIDED",
+    "equivalent": "verified",
+    "not_equivalent": "NOT EQUIVALENT",
+}
+
+
+def render_summary(report: dict) -> str:
+    """The one-line human summary of a structured result document.
+
+    This is the single source of the ``DesignResult.summary()`` text;
+    the base line is byte-identical to the pre-report format, and the
+    defect / timing suffixes only appear when those sections exist.
+    """
+    equivalence = report.get("equivalence")
+    verdict = equivalence["verdict"] if equivalence else None
+    verified = _VERDICT_TEXT[verdict]
+    text = (
+        f"{report['name']}: {report['width']}x{report['height']} = "
+        f"{report['area_tiles']} tiles, {report['num_sidbs']} SiDBs, "
+        f"{report['area_nm2']:.2f} nm^2, "
+        f"{verified} ({report['engine']}, "
+        f"{report['runtime_seconds']:.2f} s)"
+    )
+    defects = report.get("defects")
+    if defects is not None:
+        state = "ok" if defects["operational"] else "FAILING"
+        text += (
+            f", defects: {state} "
+            f"({defects['defects_total']} on surface)"
+        )
+    timing = report.get("timing")
+    if timing is not None:
+        waves, cycles = timing["throughput"]
+        text += (
+            f", timing: {timing['latency_phases']} phases "
+            f"({timing['latency_ps'] / 1000.0:.2f} ns), "
+            f"throughput {waves}/{cycles}"
+        )
+    return text
 
 
 @dataclass(frozen=True)

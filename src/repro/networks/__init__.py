@@ -11,6 +11,7 @@ from repro.networks.logic_network import GateType, LogicNetwork
 from repro.networks.benchmarks import (
     BENCHMARK_NAMES,
     FONTES18_NAMES,
+    TABLE1_NAMES,
     TRINDADE16_NAMES,
     benchmark_network,
     benchmark_verilog,
@@ -25,6 +26,7 @@ __all__ = [
     "BENCHMARK_NAMES",
     "TRINDADE16_NAMES",
     "FONTES18_NAMES",
+    "TABLE1_NAMES",
     "benchmark_network",
     "benchmark_verilog",
 ]

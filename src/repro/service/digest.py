@@ -37,8 +37,10 @@ from repro.tech.design_rules import DesignRules
 #: Bump when the digest document layout itself changes (invalidates
 #: every previously persisted artifact).  Version 2 added
 #: ``exact_engine`` (the defect recheck's exact ground-state solver,
-#: which can change the produced defect report).
-DIGEST_VERSION = 2
+#: which can change the produced defect report).  Version 3 added
+#: ``timing`` (static timing analysis changes the persisted
+#: ``result.json`` document) and versioned the structured report.
+DIGEST_VERSION = 3
 
 
 class UncacheableConfigurationError(ValueError):
@@ -90,6 +92,7 @@ def normalize_configuration(configuration: FlowConfiguration) -> dict:
         "exact_extra_rows": configuration.exact_extra_rows,
         "exact_time_limit_seconds": configuration.exact_time_limit_seconds,
         "heuristic_max_width": configuration.heuristic_max_width,
+        "timing": configuration.timing,
         "design_rules": {
             "min_metal_pitch_nm": rules.min_metal_pitch_nm,
             "min_canvas_separation_nm": rules.min_canvas_separation_nm,
@@ -122,6 +125,7 @@ def configuration_from_normalized(normalized: dict) -> FlowConfiguration:
         exact_extra_rows=normalized["exact_extra_rows"],
         exact_time_limit_seconds=normalized["exact_time_limit_seconds"],
         heuristic_max_width=normalized["heuristic_max_width"],
+        timing=normalized.get("timing", False),
         design_rules=DesignRules(
             min_metal_pitch_nm=rules["min_metal_pitch_nm"],
             min_canvas_separation_nm=rules["min_canvas_separation_nm"],

@@ -1,20 +1,29 @@
 """HTTP front end of the design service (stdlib ``http.server``).
 
 A thin JSON API over :class:`~repro.service.scheduler.JobScheduler` and
-:class:`~repro.service.store.ArtifactStore`:
+:class:`~repro.service.store.ArtifactStore`.  The API is versioned
+under ``/v1``:
 
-========  ==============================  =================================
-method    path                            semantics
-========  ==============================  =================================
-GET       ``/healthz``                    liveness + package version
-GET       ``/metrics``                    Prometheus text exposition
-POST      ``/jobs``                       submit a design request
-GET       ``/jobs``                       list known jobs
-GET       ``/jobs/<id>``                  one job's status/result summary
-DELETE    ``/jobs/<id>``                  cancel a queued/running job
-GET       ``/artifacts/<digest>``         entry manifest
-GET       ``/artifacts/<digest>/<name>``  one artifact's bytes
-========  ==============================  =================================
+========  ==================================  =============================
+method    path                                semantics
+========  ==================================  =============================
+GET       ``/v1/healthz``                     liveness + package version
+GET       ``/v1/metrics``                     Prometheus text exposition
+POST      ``/v1/jobs``                        submit a design request
+GET       ``/v1/jobs``                        list known jobs
+GET       ``/v1/jobs/<id>``                   one job's status/summary
+DELETE    ``/v1/jobs/<id>``                   cancel a queued/running job
+GET       ``/v1/artifacts/<digest>``          entry manifest
+GET       ``/v1/artifacts/<digest>/<name>``   one artifact's bytes
+========  ==================================  =============================
+
+The historical unversioned paths (``/jobs``, ``/healthz``, ...) keep
+working as aliases but every response to one carries a ``Deprecation:
+true`` header and a ``Link`` to the ``/v1`` successor; new clients
+should use ``/v1`` exclusively.  Job documents are stamped with
+``schema_version`` (:data:`~repro.service.scheduler.JOB_SCHEMA_VERSION`)
+and the stored ``result.json`` carries the structured design report
+(:data:`~repro.flow.reporting.REPORT_SCHEMA_VERSION`).
 
 ``POST /jobs`` accepts ``{"specification": <benchmark name | Verilog
 source>, "name": ..., "options": {flow knobs}, "priority": int,
@@ -55,6 +64,9 @@ from repro.service.store import (
 
 #: Default TCP port of ``repro serve`` (pass 0 for an ephemeral port).
 DEFAULT_PORT = 8724
+
+#: Path prefix of the current (and only) stable API version.
+API_PREFIX = "/v1"
 
 _DIGEST_RE = re.compile(r"^[0-9a-f]{64}$")
 _JOB_PATH_RE = re.compile(r"^/jobs/([A-Za-z0-9-]+)$")
@@ -119,6 +131,31 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     # --- helpers -------------------------------------------------------
+    def _route(self) -> str:
+        """The request path, version-normalized.
+
+        Strips the ``/v1`` prefix when present and remembers whether
+        the client used the deprecated unversioned alias; every
+        response helper consults that flag to attach the
+        ``Deprecation`` headers.
+        """
+        path = self.path.split("?", 1)[0]
+        if path == API_PREFIX or path.startswith(API_PREFIX + "/"):
+            self._deprecated_alias = False
+            path = path[len(API_PREFIX):] or "/"
+        else:
+            self._deprecated_alias = True
+        return path.rstrip("/") or "/"
+
+    def _deprecation_headers(self) -> dict[str, str]:
+        if not getattr(self, "_deprecated_alias", False):
+            return {}
+        successor = API_PREFIX + self.path.split("?", 1)[0]
+        return {
+            "Deprecation": "true",
+            "Link": f'<{successor}>; rel="successor-version"',
+        }
+
     def _send_json(
         self,
         document: dict,
@@ -129,6 +166,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in self._deprecation_headers().items():
+            self.send_header(name, value)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -169,15 +208,19 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def _job_document(self, job) -> dict:
         document = job.to_dict()
         if job.status == DONE:
+            prefix = (
+                "" if getattr(self, "_deprecated_alias", False)
+                else API_PREFIX
+            )
             document["artifacts"] = {
-                "manifest": f"/artifacts/{job.digest}",
-                "sqd": f"/artifacts/{job.digest}/{ARTIFACT_SQD}",
+                "manifest": f"{prefix}/artifacts/{job.digest}",
+                "sqd": f"{prefix}/artifacts/{job.digest}/{ARTIFACT_SQD}",
             }
         return document
 
     # --- GET -----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        path = self._route()
         if path == "/healthz":
             self._send_json(
                 {
@@ -195,6 +238,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
             )
             self.send_header("Content-Length", str(len(body)))
+            for name, value in self._deprecation_headers().items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
         elif path == "/jobs":
@@ -245,12 +290,14 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.send_response(200)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        for header, value in self._deprecation_headers().items():
+            self.send_header(header, value)
         self.end_headers()
         self.wfile.write(data)
 
     # --- POST ----------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802
-        path = self.path.split("?", 1)[0].rstrip("/")
+        path = self._route()
         if path != "/jobs":
             self._send_error_json(404, f"unknown path {path!r}")
             return
@@ -303,7 +350,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # --- DELETE --------------------------------------------------------
     def do_DELETE(self) -> None:  # noqa: N802
-        path = self.path.split("?", 1)[0].rstrip("/")
+        path = self._route()
         match = _JOB_PATH_RE.match(path)
         if not match:
             self._send_error_json(404, f"unknown path {path!r}")
@@ -358,6 +405,7 @@ class DesignService:
         self._httpd = _Server((host, port), _ServiceHandler)
         self._httpd.service = self  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
+        self._serve_thread: threading.Thread | None = None
 
     @property
     def address(self) -> tuple[str, int]:
@@ -377,12 +425,17 @@ class DesignService:
             name="repro-service-http",
             daemon=True,
         )
+        self._serve_thread = self._thread
         self._thread.start()
         return self
 
     def serve_forever(self) -> None:
         """Serve on the calling thread (the ``repro serve`` loop)."""
-        self._httpd.serve_forever()
+        self._serve_thread = threading.current_thread()
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._serve_thread = None
 
     def close(
         self, *, drain: bool = False, drain_timeout: float | None = None
@@ -396,7 +449,18 @@ class DesignService:
         """
         if drain:
             self.scheduler.close(drain=True, drain_timeout=drain_timeout)
-        self._httpd.shutdown()
+        # ``socketserver.shutdown()`` blocks on an event that only the
+        # serve loop's exit sets, so it deadlocks unless some *other*
+        # thread is (or is about to be) inside ``serve_forever``.  When
+        # the loop never ran, or ran on this very thread and has
+        # already unwound (the ``repro serve`` SIGTERM path delivers a
+        # _DrainSignal that can abort it at any point, even before the
+        # socketserver loop arms), closing the socket is all there is
+        # to do.
+        serving = self._serve_thread
+        if serving is not None and serving is not threading.current_thread():
+            self._httpd.shutdown()
+        self._serve_thread = None
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)

@@ -74,6 +74,11 @@ from repro.service.digest import (
 from repro.service.store import ArtifactStore, build_payload
 from repro.sidb.parallel import _captured_call
 
+#: Version stamp of the job documents served by the ``/v1`` JSON API
+#: (:meth:`Job.to_dict`).  Bump on any breaking change to the document
+#: layout; additive fields do not bump it.
+JOB_SCHEMA_VERSION = 1
+
 #: Job lifecycle states.
 QUEUED = "queued"
 RUNNING = "running"
@@ -162,6 +167,7 @@ class Job:
     def to_dict(self) -> dict:
         """JSON-ready view for the HTTP API and the CLI."""
         return {
+            "schema_version": JOB_SCHEMA_VERSION,
             "id": self.id,
             "digest": self.digest,
             "name": self.name,

@@ -46,6 +46,7 @@ from repro.networks.xag import Xag
 from repro.obs.render import trace_from_json, trace_to_json
 from repro.sqd.sqd import read_sqd
 from repro.tech.design_rules import DesignRules, DesignRuleViolation
+from repro.timing.sta import TimingReport
 from repro.verification.equivalence import EquivalenceResult
 
 #: Bump when the on-disk entry layout changes; old entries are ignored.
@@ -97,6 +98,9 @@ def build_payload(
         "engine_used": result.engine_used,
         "runtime_seconds": result.runtime_seconds,
         "summary": result.summary(),
+        # The structured, schema_version-stamped result document
+        # (:meth:`DesignResult.report`); carries the timing report.
+        "report": result.report(),
         "equivalence": None
         if result.equivalence is None
         else {
@@ -187,6 +191,9 @@ def hydrate_payload(payload: dict) -> DesignResult:
         defect_report=None
         if record["defect_report"] is None
         else DefectAwareReport.from_dict(record["defect_report"]),
+        timing=None
+        if (record.get("report") or {}).get("timing") is None
+        else TimingReport.from_dict(record["report"]["timing"]),
         from_cache=True,
     )
 

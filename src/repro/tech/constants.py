@@ -50,3 +50,15 @@ DEFECT_INFLUENCE_RADIUS_NM = 25.0
 
 # Number of clock phases in the standard FCN clocking scheme.
 CLOCK_PHASES = 4
+
+# --- Timing ---------------------------------------------------------------
+# External clock frequency assumed by the static timing layer.  Field-
+# driven SiDB clocking is projected to operate in the GHz regime
+# [Ng et al., SiQAD]; 1 GHz is the conservative reference point used to
+# convert phase counts into wall-clock time.  One full clock *cycle*
+# comprises all CLOCK_PHASES phases.
+CLOCK_FREQUENCY_GHZ = 1.0
+
+# Duration of a single clock phase in picoseconds (a cycle of the
+# four-phase scheme takes 1 / CLOCK_FREQUENCY_GHZ nanoseconds).
+CLOCK_PHASE_DURATION_PS = 1e3 / (CLOCK_FREQUENCY_GHZ * CLOCK_PHASES)

@@ -1,0 +1,33 @@
+"""Static timing analysis for clocked SiDB layouts.
+
+The paper reports area only; this subsystem opens the time axis.  It
+models per-tile delay from the clock-phase discipline of a
+:class:`~repro.layout.clocking.ClockingScheme` (or the merged zones of
+a :class:`~repro.layout.supertile.SuperTilePlan`), propagates arrival
+times through the gate-level layout, extracts the critical path, and
+reports latency / throughput / worst-slack per design.  The
+:func:`explore_clocking` sweep turns that into an area-latency Pareto
+front across clocking floor plans.
+"""
+
+from repro.timing.explore import (
+    ClockingExploration,
+    ClockingPoint,
+    explore_clocking,
+    pareto_front,
+)
+from repro.timing.sta import (
+    PhaseDelayModel,
+    TimingReport,
+    analyze_timing,
+)
+
+__all__ = [
+    "PhaseDelayModel",
+    "TimingReport",
+    "analyze_timing",
+    "ClockingExploration",
+    "ClockingPoint",
+    "explore_clocking",
+    "pareto_front",
+]

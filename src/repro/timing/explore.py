@@ -1,0 +1,224 @@
+"""Clocking-scheme exploration: area-latency Pareto fronts.
+
+The paper evaluates a single floor plan (row-based Columnar); this
+module quantifies what the other schemes would cost.  Only row-based
+Columnar admits native placement under the Y-shaped port discipline
+(two-input gates need both a NW and a NE driver, which 2DDWave's
+single-diagonal flow and column-based Columnar cannot clock), so the
+sweep *re-zones* the placed layout under each candidate scheme and
+measures the stalls the misalignment induces -- exactly the cost
+function a clocking-aware P&R would minimize.  Width-bounded heuristic
+re-placements under the native scheme add genuine area/latency
+trade-off points (narrow-and-tall vs. wide-and-short floor plans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro import obs
+from repro.layout.clocking import scheme_by_name
+from repro.timing.sta import TimingReport, analyze_timing
+
+if TYPE_CHECKING:
+    from repro.flow.design_flow import DesignResult
+
+#: Schemes swept by default (every registered four-phase floor plan).
+DEFAULT_SWEEP_SCHEMES = (
+    "columnar-rows",
+    "columnar-columns",
+    "2ddwave-hex",
+    "use-hex",
+)
+
+
+@dataclass
+class ClockingPoint:
+    """One (scheme, floor plan) sample of the exploration."""
+
+    scheme: str
+    width: int
+    height: int
+    area_tiles: int
+    area_nm2: float
+    latency_phases: int
+    latency_ps: float
+    throughput: tuple[int, int]
+    wns_phases: int
+    #: ``native`` = placed under this scheme; ``rezoned`` = the baseline
+    #: layout re-analyzed under it.
+    placement: str = "rezoned"
+    timing: TimingReport | None = field(default=None, repr=False)
+    #: Set by the exploration: on the area-latency Pareto front.
+    pareto: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "width": self.width,
+            "height": self.height,
+            "area_tiles": self.area_tiles,
+            "area_nm2": self.area_nm2,
+            "latency_phases": self.latency_phases,
+            "latency_ps": self.latency_ps,
+            "throughput": list(self.throughput),
+            "wns_phases": self.wns_phases,
+            "placement": self.placement,
+            "pareto": self.pareto,
+        }
+
+
+@dataclass
+class ClockingExploration:
+    """The full sweep of one specification."""
+
+    name: str
+    points: list[ClockingPoint]
+
+    def front(self) -> list[ClockingPoint]:
+        """The area-latency Pareto-optimal points, area-ascending."""
+        return sorted(
+            (p for p in self.points if p.pareto),
+            key=lambda p: (p.area_tiles, p.latency_phases),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "points": [point.to_dict() for point in self.points],
+            "pareto_front": [point.to_dict() for point in self.front()],
+        }
+
+    def render_table(self) -> str:
+        """Human-readable sweep table (the ``repro timing sweep`` view)."""
+        lines = [
+            f"{self.name}: area-latency sweep over "
+            f"{len(self.points)} clocking floor plans",
+            f"  {'scheme':18s} {'floor plan':>10s} {'tiles':>6s} "
+            f"{'latency':>8s} {'tput':>5s} {'wns':>4s}  placement",
+        ]
+        for point in sorted(
+            self.points, key=lambda p: (p.area_tiles, p.latency_phases)
+        ):
+            marker = "*" if point.pareto else " "
+            lines.append(
+                f"{marker} {point.scheme:18s} "
+                f"{point.width:>4d}x{point.height:<5d} "
+                f"{point.area_tiles:>6d} "
+                f"{point.latency_phases:>8d} "
+                f"{point.throughput[0]}/{point.throughput[1]:<3d} "
+                f"{point.wns_phases:>+4d}  {point.placement}"
+            )
+        lines.append("  (* = on the area-latency Pareto front)")
+        return "\n".join(lines)
+
+
+def pareto_front(
+    points: Iterable[ClockingPoint],
+) -> list[ClockingPoint]:
+    """Mark and return the non-dominated points.
+
+    A point is dominated when another needs no more tiles *and* no more
+    latency phases, with at least one strict improvement.  Ties (equal
+    area and latency) all stay on the front.
+    """
+    points = list(points)
+    front = []
+    for point in points:
+        dominated = any(
+            other.area_tiles <= point.area_tiles
+            and other.latency_phases < point.latency_phases
+            or other.area_tiles < point.area_tiles
+            and other.latency_phases <= point.latency_phases
+            for other in points
+        )
+        point.pareto = not dominated
+        if not dominated:
+            front.append(point)
+    return front
+
+
+def _point_from_timing(
+    layout, timing: TimingReport, placement: str
+) -> ClockingPoint:
+    return ClockingPoint(
+        scheme=timing.scheme,
+        width=layout.width,
+        height=layout.height,
+        area_tiles=layout.num_tiles,
+        area_nm2=layout.area_nm2(),
+        latency_phases=timing.latency_phases,
+        latency_ps=timing.latency_ps,
+        throughput=timing.throughput,
+        wns_phases=timing.wns_phases,
+        placement=placement,
+        timing=timing,
+    )
+
+
+def explore_clocking(
+    specification,
+    *,
+    name: str | None = None,
+    schemes: Sequence[str] = DEFAULT_SWEEP_SCHEMES,
+    widths: Sequence[int] | None = None,
+    baseline: "DesignResult | None" = None,
+) -> ClockingExploration:
+    """Sweep clocking floor plans and build the area-latency front.
+
+    ``specification`` is anything :func:`repro.api.design` accepts
+    (benchmark name, Verilog, :class:`~repro.networks.xag.Xag`); pass
+    ``baseline`` to reuse an already designed result instead of
+    running the flow again.  ``widths`` adds heuristic re-placements
+    bounded to each maximum width under the native scheme, populating
+    the area axis of the front.
+    """
+    from repro import api
+
+    with obs.span("timing.explore") as span:
+        if baseline is None:
+            baseline = api.design(specification, name=name)
+        design_name = name or baseline.name
+        span.set("name", design_name)
+        span.set("schemes", len(schemes))
+
+        points: list[ClockingPoint] = []
+        native_scheme = baseline.layout.clocking.name
+        for scheme_name in schemes:
+            scheme = scheme_by_name(scheme_name)
+            with obs.span("timing.analyze") as inner:
+                timing = analyze_timing(
+                    baseline.layout, scheme, name=design_name
+                )
+                inner.set("scheme", scheme_name)
+                inner.set("latency_phases", timing.latency_phases)
+            placement = (
+                "native" if scheme_name == native_scheme else "rezoned"
+            )
+            points.append(
+                _point_from_timing(baseline.layout, timing, placement)
+            )
+
+        for width in widths or ():
+            with obs.span("timing.replace") as inner:
+                inner.set("max_width", width)
+                try:
+                    variant = api.design(
+                        specification,
+                        name=design_name,
+                        engine="heuristic",
+                        heuristic_max_width=width,
+                    )
+                except Exception:
+                    continue  # width bound infeasible for this design
+            timing = analyze_timing(variant.layout, name=design_name)
+            points.append(
+                _point_from_timing(
+                    variant.layout, timing, f"native(width<={width})"
+                )
+            )
+
+        pareto_front(points)
+        span.set("points", len(points))
+    return ClockingExploration(name=design_name, points=points)

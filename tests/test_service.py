@@ -1,6 +1,7 @@
 """Design service: digests, artifact store, job scheduler, HTTP API."""
 
 import json
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -18,6 +19,7 @@ from repro.service import (
     normalize_configuration,
 )
 from repro.service.digest import configuration_from_normalized
+from repro.service.scheduler import JOB_SCHEMA_VERSION
 from repro.service.store import ARTIFACT_SQD
 from repro.synthesis.database import NpnDatabase
 
@@ -309,6 +311,21 @@ def test_scheduler_span_merge_respects_parent_recorder(tmp_path):
 # --- HTTP API ----------------------------------------------------------
 
 
+def test_service_close_without_serving_returns(tmp_path):
+    # close() used to call socketserver.shutdown() unconditionally,
+    # which blocks on an event only the serve loop's exit sets -- a
+    # deadlock whenever the loop never ran (or was aborted by the
+    # SIGTERM drain signal before it armed).  Run it off-thread so a
+    # regression fails the test instead of hanging the suite.
+    worker = threading.Thread(
+        target=DesignService(store=tmp_path, port=0, workers=1).close,
+        daemon=True,
+    )
+    worker.start()
+    worker.join(timeout=30)
+    assert not worker.is_alive(), "close() deadlocked without a serve loop"
+
+
 @pytest.fixture(scope="module")
 def service(tmp_path_factory):
     root = tmp_path_factory.mktemp("service-store")
@@ -418,3 +435,88 @@ def test_http_cancel_unknown_job(service):
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         urllib.request.urlopen(request, timeout=30)
     assert excinfo.value.code == 404
+
+
+# --- /v1 API versioning ------------------------------------------------
+
+
+def _get_with_headers(url):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, response.read(), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read(), dict(error.headers)
+
+
+def test_http_v1_paths_serve_without_deprecation(service):
+    for path in ("/v1/healthz", "/v1/metrics", "/v1/jobs"):
+        status, _, headers = _get_with_headers(service.url + path)
+        assert status == 200, path
+        assert "Deprecation" not in headers, path
+
+
+def test_http_unversioned_aliases_answer_with_deprecation(service):
+    for path in ("/healthz", "/metrics", "/jobs"):
+        status, _, headers = _get_with_headers(service.url + path)
+        assert status == 200, path
+        assert headers.get("Deprecation") == "true", path
+        assert f"</v1{path}>" in headers.get("Link", ""), headers
+
+
+def test_http_v1_job_schema_version_and_artifact_urls(service):
+    status, document = _post(
+        service.url + "/v1/jobs", {"specification": "xor2"}
+    )
+    assert status == 202
+    job = document["job"]
+    assert job["schema_version"] == JOB_SCHEMA_VERSION
+    deadline = time.time() + 120
+    while job["status"] not in ("done", "failed", "cancelled"):
+        assert time.time() < deadline
+        time.sleep(0.05)
+        _, body, headers = _get_with_headers(
+            f"{service.url}/v1/jobs/{job['id']}"
+        )
+        assert "Deprecation" not in headers
+        job = json.loads(body)
+    assert job["status"] == "done", job
+    # Versioned requests get versioned artifact URLs ...
+    assert job["artifacts"]["sqd"].startswith("/v1/artifacts/")
+    status, sqd, headers = _get_with_headers(
+        service.url + job["artifacts"]["sqd"]
+    )
+    assert status == 200 and sqd.startswith(b"<?xml")
+    assert "Deprecation" not in headers
+    # ... while the alias view keeps the historical bare paths.
+    _, body, headers = _get_with_headers(
+        f"{service.url}/jobs/{job['id']}"
+    )
+    alias = json.loads(body)
+    assert headers.get("Deprecation") == "true"
+    assert alias["artifacts"]["sqd"].startswith("/artifacts/")
+    status, alias_sqd, headers = _get_with_headers(
+        service.url + alias["artifacts"]["sqd"]
+    )
+    assert status == 200 and alias_sqd == sqd
+    assert headers.get("Deprecation") == "true"
+
+
+def test_http_v1_unknown_path_404s(service):
+    status, _, _ = _get_with_headers(service.url + "/v1/nowhere")
+    assert status == 404
+    status, _, _ = _get_with_headers(service.url + "/v1")
+    assert status == 404
+
+
+def test_digest_covers_timing_flag():
+    base = design_digest(benchmark_verilog("xor2"), "xor2")
+    timed = design_digest(
+        benchmark_verilog("xor2"),
+        "xor2",
+        api.FlowConfiguration(timing=True),
+    )
+    assert base != timed
+    normalized = normalize_configuration(api.FlowConfiguration(timing=True))
+    assert normalized["timing"] is True
+    rebuilt = configuration_from_normalized(normalized)
+    assert rebuilt.timing is True
