@@ -1,10 +1,12 @@
 """Observability overhead: the full ``par_check`` flow, three ways.
 
-Times the identical flow with the :mod:`repro.obs` entry points stubbed
-out (baseline), with the real no-op fast path (recording disabled) and
-with full trace recording, then asserts the disabled-mode overhead
-stays below 2% -- the honesty gate for leaving instrumentation in the
-flow's hot paths.  Writes ``benchmarks/artifacts/BENCH_obs.json``.
+Times the identical flow with the :mod:`repro.obs` entry points *and*
+the :mod:`repro.obs.log` logger methods stubbed out (baseline), with
+the real no-op fast path (recording disabled, logging unconfigured)
+and with full trace recording, then asserts the disabled-mode overhead
+stays below 2% -- the honesty gate for leaving tracing *and*
+structured-logging instrumentation in the flow's hot paths.  Writes
+``benchmarks/artifacts/BENCH_obs.json``.
 """
 
 from pathlib import Path

@@ -11,6 +11,9 @@ python scripts/check_api_surface.py --strict
 echo "== benchmark trend =="
 PYTHONPATH=src python scripts/bench_trend.py --check
 
+echo "== structured log schema =="
+PYTHONPATH=src python scripts/check_log_schema.py
+
 echo "== design service smoke =="
 PYTHONPATH=src python scripts/service_smoke.py
 

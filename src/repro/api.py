@@ -70,6 +70,21 @@ from repro.obs import (
     to_prometheus,
     trace_from_json,
 )
+from repro.obs.log import LEVELS as LOG_LEVELS
+from repro.obs.log import (
+    LOG_SCHEMA_VERSION,
+    Logger,
+    get_logger,
+)
+from repro.obs.log import bind as log_bind
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import shutdown as shutdown_logging
+from repro.obs.tracing import (
+    TraceContext,
+    continue_trace,
+    new_trace_context,
+    parse_traceparent,
+)
 from repro.sidb.bdl import BdlPair, read_bdl_pair
 from repro.sidb.charge import SidbLayout
 from repro.sidb.clocked import ClockedWire
@@ -173,6 +188,19 @@ __all__ = [
     "to_chrome_trace",
     "to_prometheus",
     "trace_from_json",
+    # Distributed tracing (W3C trace context).
+    "TraceContext",
+    "new_trace_context",
+    "parse_traceparent",
+    "continue_trace",
+    # Structured JSON-lines logging.
+    "configure_logging",
+    "shutdown_logging",
+    "get_logger",
+    "Logger",
+    "log_bind",
+    "LOG_LEVELS",
+    "LOG_SCHEMA_VERSION",
     # Rendering + design files.
     "layout_to_ascii",
     "layout_to_svg",

@@ -8,7 +8,9 @@
     python -m repro.cli library
     python -m repro.cli defects sample [options]
     python -m repro.cli trace export <trace.json> [--format chrome|prom]
-    python -m repro.cli serve  [--port N --store DIR --workers N]
+    python -m repro.cli trace tail [--url URL --max N --timeout S]
+    python -m repro.cli serve  [--port N --store DIR --workers N
+                                --log-json --log-level LEVEL]
     python -m repro.cli submit <spec.v | benchmark-name> [--wait]
     python -m repro.cli jobs   [ID]
 
@@ -274,6 +276,58 @@ def cmd_trace_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_tail(args: argparse.Namespace) -> int:
+    """Stream a running service's flight recorder (SSE) to stdout."""
+    query = f"replay={args.replay}"
+    if args.max is not None:
+        query += f"&max_events={args.max}"
+    if args.timeout is not None:
+        query += f"&timeout_seconds={args.timeout}"
+    url = f"{args.url}/v1/events?{query}"
+    request = urllib.request.Request(
+        url, headers={"Accept": "text/event-stream"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            event_name = None
+            data_lines: list[str] = []
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if line.startswith(":"):  # keepalive comment
+                    continue
+                if line.startswith("event:"):
+                    event_name = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                elif not line and data_lines:
+                    payload = "\n".join(data_lines)
+                    try:
+                        record = json.loads(payload)
+                    except ValueError:
+                        record = {"name": event_name, "attributes": {}}
+                    attributes = record.get("attributes") or {}
+                    detail = "  ".join(
+                        f"{key}={value}"
+                        for key, value in sorted(attributes.items())
+                    )
+                    name = record.get("name") or event_name or "?"
+                    stamp = record.get("timestamp")
+                    prefix = f"{stamp:12.3f}  " if stamp is not None else ""
+                    print(f"{prefix}{name}  {detail}".rstrip(), flush=True)
+                    event_name = None
+                    data_lines = []
+    except urllib.error.HTTPError as error:
+        raise SystemExit(
+            f"service error ({error.code}) at {url}"
+        ) from None
+    except urllib.error.URLError as error:
+        raise SystemExit(
+            f"cannot reach design service at {args.url}: {error.reason} "
+            "(is 'repro serve' running?)"
+        ) from None
+    return 0
+
+
 def _http_json(
     url: str,
     payload: dict | None = None,
@@ -330,6 +384,10 @@ class _DrainSignal(BaseException):
 
 def cmd_serve(args: argparse.Namespace) -> int:
     max_queued = args.max_queued if args.max_queued >= 0 else None
+    if args.log_json:
+        # Configure before the service constructs: scheduler/pool
+        # startup already emits correlated lifecycle records.
+        api.configure_logging(level=args.log_level)
     service = api.DesignService(
         store=args.store,
         host=args.host,
@@ -589,6 +647,23 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("-o", "--output", metavar="PATH",
                         help="write here instead of stdout")
     export.set_defaults(handler=cmd_trace_export)
+    tail = trace_sub.add_parser(
+        "tail",
+        help="stream a running service's live events (SSE)",
+        description="Subscribe to GET /v1/events on a running service "
+                    "and print one line per flight-recorder event "
+                    "(job lifecycle, worker churn, drain) until "
+                    "interrupted or the limits below are hit.",
+    )
+    tail.add_argument("--url", default=_DEFAULT_URL,
+                      help="service base URL")
+    tail.add_argument("--replay", type=int, default=16,
+                      help="retained events to replay first (default 16)")
+    tail.add_argument("--max", type=int, default=None, metavar="N",
+                      help="stop after N events")
+    tail.add_argument("--timeout", type=float, default=None, metavar="S",
+                      help="stop after S seconds")
+    tail.set_defaults(handler=cmd_trace_tail)
 
     defects = sub.add_parser("defects", help="surface-defect utilities")
     defects_sub = defects.add_subparsers(dest="defects_command", required=True)
@@ -635,6 +710,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-seconds", type=float, default=30.0,
                        help="on SIGTERM, let admitted jobs finish for up "
                             "to this long before cancelling (default 30)")
+    serve.add_argument("--log-json", action="store_true",
+                       help="structured JSON-lines logs on stderr "
+                            "(request/job/worker lifecycle with trace "
+                            "correlation; workers log here too)")
+    serve.add_argument("--log-level", default="info",
+                       choices=sorted(api.LOG_LEVELS),
+                       help="minimum level for --log-json "
+                            "(default: info)")
     serve.set_defaults(handler=cmd_serve)
 
     submit = sub.add_parser(

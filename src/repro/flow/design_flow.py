@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.obs import log as obs_log
 from repro.defects.aware import (
     DefectAwareReport,
     recheck_layout_against_defects,
@@ -69,6 +70,8 @@ FLOW_STEP_SPANS = (
     "flow.library",
     "flow.sqd",
 )
+
+_LOG = obs_log.get_logger("flow")
 
 
 class Engine(str, enum.Enum):
@@ -285,6 +288,7 @@ def design_sidb_circuit(
             if name is None:
                 name = xag.name
             span.set("name", name)
+            _LOG.debug("flow.parse", name=name, gates=xag.num_gates)
 
         # Step 2: cut rewriting with the exact NPN database.
         with obs.span("flow.rewrite") as span:
@@ -294,11 +298,17 @@ def design_sidb_circuit(
             )
             span.set("enabled", config.rewrite)
             span.set("gates", optimized.num_gates)
+            _LOG.debug(
+                "flow.rewrite",
+                enabled=config.rewrite,
+                gates=optimized.num_gates,
+            )
 
         # Step 3: technology mapping.
         with obs.span("flow.map") as span:
             mapped = map_to_bestagon(optimized)
             span.set("nodes", mapped.num_nodes)
+            _LOG.debug("flow.map", nodes=mapped.num_nodes)
 
         # Step 4: physical design.
         with obs.span("flow.place_route") as span:
@@ -306,6 +316,12 @@ def design_sidb_circuit(
             span.set("engine", engine_used)
             span.set("width", layout.width)
             span.set("height", layout.height)
+            _LOG.debug(
+                "flow.place_route",
+                engine=engine_used,
+                width=layout.width,
+                height=layout.height,
+            )
 
         # Step 5: equivalence checking.
         with obs.span("flow.verify") as span:
@@ -320,6 +336,10 @@ def design_sidb_circuit(
                 "verdict",
                 equivalence.verdict if equivalence else "skipped",
             )
+            _LOG.debug(
+                "flow.verify",
+                verdict=equivalence.verdict if equivalence else "skipped",
+            )
 
         # DRC on the gate-level layout.
         with obs.span("flow.drc") as span:
@@ -329,6 +349,7 @@ def design_sidb_circuit(
         # Step 6: super-tile merging.
         with obs.span("flow.supertiles"):
             supertiles = merge_into_supertiles(layout, config.design_rules)
+            _LOG.debug("flow.supertiles", rows=supertiles.rows_per_zone)
 
         # Static timing analysis (only when requested, so a flow without
         # timing stays bit-identical, trace included).  The gate-level
@@ -353,6 +374,7 @@ def design_sidb_circuit(
             library = config.library or BestagonLibrary()
             sidb_layout = apply_library(layout, library)
             span.set("sidbs", len(sidb_layout))
+            _LOG.debug("flow.library", sidbs=len(sidb_layout))
 
         # Defect-aware operational recheck (only with defects present,
         # so the pristine flow stays bit-identical, trace included).
@@ -374,11 +396,20 @@ def design_sidb_circuit(
         with obs.span("flow.sqd") as span:
             sqd = write_sqd(sidb_layout, name, config.defects)
             span.set("bytes", len(sqd))
+            _LOG.debug("flow.sqd", bytes=len(sqd))
 
         if captured.span is not None:
             captured.span.set("name", name)
             captured.span.set("engine", engine_used)
 
+    _LOG.info(
+        "flow.done",
+        name=name,
+        engine=engine_used,
+        width=layout.width,
+        height=layout.height,
+        runtime_seconds=round(time.time() - start, 6),
+    )
     return DesignResult(
         name=name,
         specification=xag,

@@ -48,6 +48,7 @@ import time
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.obs import log
 from repro.obs.core import NULL_SPAN, NullSpan, Recorder, Span
 from repro.obs.events import (
     DEFAULT_EVENT_CAPACITY,
@@ -56,21 +57,33 @@ from repro.obs.events import (
     LineProgressReporter,
     ProgressReporter,
 )
-from repro.obs.export import to_chrome_trace, to_prometheus
+from repro.obs.export import SpanAggregate, to_chrome_trace, to_prometheus
+from repro.obs.log import LOG_SCHEMA_VERSION, Logger, get_logger
 from repro.obs.metrics import Histogram
 from repro.obs.render import render_tree, trace_from_json, trace_to_json
+from repro.obs.tracing import (
+    TraceContext,
+    continue_trace,
+    new_trace_context,
+    parse_traceparent,
+)
 
 __all__ = [
     "Event",
     "EventRing",
     "Histogram",
+    "LOG_SCHEMA_VERSION",
     "LineProgressReporter",
+    "Logger",
     "NullSpan",
     "ProgressReporter",
     "Recorder",
     "Span",
+    "SpanAggregate",
+    "TraceContext",
     "add",
     "capture",
+    "continue_trace",
     "current",
     "disable",
     "enable",
@@ -78,9 +91,14 @@ __all__ = [
     "event",
     "events",
     "gauge",
+    "get_logger",
+    "log",
+    "new_trace_context",
     "observe",
+    "parse_traceparent",
     "progress",
     "progress_scope",
+    "record_event",
     "render_tree",
     "reset",
     "set_event_capacity",
@@ -214,6 +232,18 @@ def event(name: str, **attributes: object) -> None:
     """Append a flight-recorder event (only while recording is enabled)."""
     if not _recorder.maybe_enabled or not _recorder.enabled:
         return
+    _events.append(Event(name, time.perf_counter(), attributes))
+
+
+def record_event(name: str, **attributes: object) -> None:
+    """Append a flight-recorder event regardless of the recording flag.
+
+    Service lifecycle events (job admitted, worker respawned, drain
+    started) must reach ``GET /v1/events`` subscribers on production
+    runs where span recording is off, so -- like :func:`progress` --
+    this bypasses the :func:`enabled` gate.  Use sparingly: hot-path
+    instrumentation belongs in :func:`event`.
+    """
     _events.append(Event(name, time.perf_counter(), attributes))
 
 

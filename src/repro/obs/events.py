@@ -21,6 +21,7 @@ when off, preserving the 2% disabled-overhead gate.
 from __future__ import annotations
 
 import sys
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Protocol, TextIO, runtime_checkable
@@ -40,9 +41,17 @@ class Event:
 
 
 class EventRing:
-    """Fixed-capacity append-only ring; the oldest events drop first."""
+    """Fixed-capacity append-only ring; the oldest events drop first.
 
-    __slots__ = ("capacity", "_entries", "_next", "dropped")
+    Appends and reads are thread-safe (the service's HTTP handler
+    threads write while ``/v1/events`` streams), and every append gets a
+    monotonically increasing :attr:`sequence` number so a streaming
+    reader can resume from a cursor with :meth:`since` and detect how
+    many events it missed.
+    """
+
+    __slots__ = ("capacity", "_entries", "_next", "dropped", "sequence",
+                 "_lock")
 
     def __init__(self, capacity: int = DEFAULT_EVENT_CAPACITY) -> None:
         if capacity < 1:
@@ -52,26 +61,58 @@ class EventRing:
         self._next = 0
         #: Events discarded so far to stay within capacity.
         self.dropped = 0
+        #: Total events ever appended (never decreases, survives drops).
+        self.sequence = 0
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def append(self, event: Event) -> None:
-        if len(self._entries) < self.capacity:
-            self._entries.append(event)
-            return
-        self._entries[self._next] = event
-        self._next = (self._next + 1) % self.capacity
-        self.dropped += 1
+        with self._lock:
+            self.sequence += 1
+            if len(self._entries) < self.capacity:
+                self._entries.append(event)
+                return
+            self._entries[self._next] = event
+            self._next = (self._next + 1) % self.capacity
+            self.dropped += 1
 
     def snapshot(self) -> list[Event]:
         """The retained events, oldest first."""
-        return self._entries[self._next:] + self._entries[: self._next]
+        with self._lock:
+            return (
+                self._entries[self._next:] + self._entries[: self._next]
+            )
+
+    def since(self, cursor: int) -> tuple[list[Event], int]:
+        """Events appended after sequence number ``cursor``.
+
+        Returns ``(events, new_cursor)`` where ``new_cursor`` is the
+        ring's current :attr:`sequence` -- pass it back on the next call
+        to stream without duplicates.  Events that fell off the ring
+        between calls are simply absent (drop-oldest); a cursor from a
+        different (e.g. since-replaced) ring that lies beyond the
+        current sequence is treated as 0 so readers recover instead of
+        stalling forever.
+        """
+        with self._lock:
+            if cursor > self.sequence or cursor < 0:
+                cursor = 0
+            missed = self.sequence - cursor
+            if missed <= 0:
+                return [], self.sequence
+            ordered = (
+                self._entries[self._next:] + self._entries[: self._next]
+            )
+            return ordered[-missed:] if missed < len(ordered) else ordered, \
+                self.sequence
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._next = 0
-        self.dropped = 0
+        with self._lock:
+            self._entries.clear()
+            self._next = 0
+            self.dropped = 0
 
 
 @runtime_checkable

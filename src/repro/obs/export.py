@@ -15,8 +15,17 @@ renders the fan-out as genuinely parallel lanes.
 exposition (version 0.0.4): counters summed over the tree become
 ``*_total`` counters, per-name span durations/call counts become
 labelled counters, and histograms become summaries with ``quantile``
-labels plus ``*_min``/``*_max`` gauges.  Output ordering is
-deterministic so snapshots diff cleanly.
+labels plus ``*_min``/``*_max`` gauges (each its own single-type
+family, so strict exposition parsers accept the payload).  Every
+family carries both ``# HELP`` and ``# TYPE`` lines and label values
+are fully escaped.  Output ordering is deterministic so snapshots
+diff cleanly.
+
+The building blocks are public: :class:`SpanAggregate` folds any
+number of span trees into name-keyed totals (the service uses it to
+keep metrics for evicted jobs without retaining their spans), and
+:class:`Exposition` assembles conformant text exposition from
+families and samples (the service's HTTP metrics render through it).
 """
 
 from __future__ import annotations
@@ -134,7 +143,167 @@ def _format_value(value: float) -> str:
 
 
 def _escape_label(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"')
+    # Exposition format 0.0.4: label values escape backslash, double
+    # quote and line feed (in that order, backslash first).
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(value: str) -> str:
+    # HELP text escapes only backslash and line feed.
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+class Exposition:
+    """Builder for Prometheus text exposition (format 0.0.4).
+
+    One :meth:`family` call per metric family emits the ``# HELP`` and
+    ``# TYPE`` header pair followed by that family's samples, keeping
+    each family single-typed and contiguous -- the two properties
+    strict exposition parsers enforce.  Values and label values are
+    formatted/escaped centrally.
+    """
+
+    __slots__ = ("_lines",)
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+
+    def family(self, name: str, kind: str, help_text: str) -> None:
+        """Start a metric family (``kind`` is counter/gauge/summary)."""
+        self._lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        self._lines.append(f"# TYPE {name} {kind}")
+
+    def sample(self, name: str, value: float, **labels: object) -> None:
+        """One sample line (``name`` may carry a ``_sum``-style suffix)."""
+        if labels:
+            rendered = ",".join(
+                f'{key}="{_escape_label(str(val))}"'
+                for key, val in labels.items()
+            )
+            self._lines.append(
+                f"{name}{{{rendered}}} {_format_value(value)}"
+            )
+        else:
+            self._lines.append(f"{name} {_format_value(value)}")
+
+    def summary(
+        self, name: str, histogram: Histogram, help_text: str,
+        **labels: object,
+    ) -> None:
+        """A full summary family from one histogram: ``quantile``
+        series plus ``_sum``/``_count``, and -- when non-empty --
+        companion ``_min``/``_max`` gauge families (separate families,
+        not extra samples of the summary, which would be invalid)."""
+        self.family(name, "summary", help_text)
+        for q, value in histogram.quantiles(DEFAULT_QUANTILES).items():
+            self.sample(name, value, **labels, quantile=f"{q:g}")
+        self.sample(f"{name}_sum", histogram.sum, **labels)
+        self.sample(f"{name}_count", histogram.count, **labels)
+        if histogram.count:
+            self.family(f"{name}_min", "gauge", f"Minimum of {name}.")
+            self.sample(f"{name}_min", histogram.min, **labels)
+            self.family(f"{name}_max", "gauge", f"Maximum of {name}.")
+            self.sample(f"{name}_max", histogram.max, **labels)
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+class SpanAggregate:
+    """Name-keyed totals folded from any number of span trees.
+
+    :meth:`update` walks one tree and accumulates counters, per-span-
+    name wall/CPU seconds and call counts, and merged histograms.  The
+    service scheduler folds evicted jobs' spans in here so ``/v1/
+    metrics`` stays lossless while span retention stays bounded.
+    """
+
+    __slots__ = ("counters", "span_wall", "span_cpu", "span_calls",
+                 "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.span_wall: dict[str, float] = {}
+        self.span_cpu: dict[str, float] = {}
+        self.span_calls: dict[str, int] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def update(self, span: Span) -> "SpanAggregate":
+        for node in span.walk():
+            for name, value in node.counters.items():
+                self.counters[name] = self.counters.get(name, 0.0) + value
+            self.span_wall[node.name] = (
+                self.span_wall.get(node.name, 0.0) + node.wall_seconds
+            )
+            self.span_cpu[node.name] = (
+                self.span_cpu.get(node.name, 0.0) + node.cpu_seconds
+            )
+            self.span_calls[node.name] = (
+                self.span_calls.get(node.name, 0) + 1
+            )
+            for name, histogram in node.histograms.items():
+                merged = self.histograms.get(name)
+                if merged is None:
+                    merged = self.histograms[name] = Histogram()
+                merged.merge(histogram)
+        return self
+
+    def merge(self, other: "SpanAggregate") -> "SpanAggregate":
+        """Fold another aggregate's totals into this one."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0.0) + value
+        for name, value in other.span_wall.items():
+            self.span_wall[name] = self.span_wall.get(name, 0.0) + value
+        for name, value in other.span_cpu.items():
+            self.span_cpu[name] = self.span_cpu.get(name, 0.0) + value
+        for name, value in other.span_calls.items():
+            self.span_calls[name] = self.span_calls.get(name, 0) + value
+        for name, histogram in other.histograms.items():
+            merged = self.histograms.get(name)
+            if merged is None:
+                merged = self.histograms[name] = Histogram()
+            merged.merge(histogram)
+        return self
+
+    def render_into(self, exposition: Exposition, prefix: str) -> None:
+        """Emit this aggregate's families into ``exposition``."""
+        for name in sorted(self.counters):
+            metric = _metric_name(name, prefix) + "_total"
+            exposition.family(
+                metric, "counter", f"Accumulated {name} over all spans."
+            )
+            exposition.sample(metric, self.counters[name])
+
+        wall_metric = f"{prefix}_span_wall_seconds_total"
+        exposition.family(
+            wall_metric, "counter", "Wall-clock seconds spent per span name."
+        )
+        for name in sorted(self.span_wall):
+            exposition.sample(wall_metric, self.span_wall[name], span=name)
+        cpu_metric = f"{prefix}_span_cpu_seconds_total"
+        exposition.family(
+            cpu_metric, "counter", "CPU seconds spent per span name."
+        )
+        for name in sorted(self.span_cpu):
+            exposition.sample(cpu_metric, self.span_cpu[name], span=name)
+        calls_metric = f"{prefix}_span_calls_total"
+        exposition.family(
+            calls_metric, "counter", "Times each span name was entered."
+        )
+        for name in sorted(self.span_calls):
+            exposition.sample(calls_metric, self.span_calls[name], span=name)
+
+        for name in sorted(self.histograms):
+            metric = _metric_name(name, prefix)
+            exposition.summary(
+                metric,
+                self.histograms[name],
+                f"Distribution of {name} observations.",
+            )
 
 
 def to_prometheus(span: Span, prefix: str = "repro") -> str:
@@ -144,63 +313,6 @@ def to_prometheus(span: Span, prefix: str = "repro") -> str:
     seconds and call counts aggregate by span name into labelled
     series; histograms aggregate by name into summaries.
     """
-    counters: dict[str, float] = {}
-    span_wall: dict[str, float] = {}
-    span_cpu: dict[str, float] = {}
-    span_calls: dict[str, int] = {}
-    histograms: dict[str, Histogram] = {}
-    for node in span.walk():
-        for name, value in node.counters.items():
-            counters[name] = counters.get(name, 0.0) + value
-        span_wall[node.name] = span_wall.get(node.name, 0.0) + node.wall_seconds
-        span_cpu[node.name] = span_cpu.get(node.name, 0.0) + node.cpu_seconds
-        span_calls[node.name] = span_calls.get(node.name, 0) + 1
-        for name, histogram in node.histograms.items():
-            merged = histograms.get(name)
-            if merged is None:
-                merged = histograms[name] = Histogram()
-            merged.merge(histogram)
-
-    lines: list[str] = []
-
-    def series(metric: str, value: float, **labels: object) -> str:
-        if labels:
-            rendered = ",".join(
-                f'{key}="{_escape_label(str(val))}"'
-                for key, val in labels.items()
-            )
-            return f"{metric}{{{rendered}}} {_format_value(value)}"
-        return f"{metric} {_format_value(value)}"
-
-    for name in sorted(counters):
-        metric = _metric_name(name, prefix) + "_total"
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(series(metric, counters[name]))
-
-    wall_metric = f"{prefix}_span_wall_seconds_total"
-    cpu_metric = f"{prefix}_span_cpu_seconds_total"
-    calls_metric = f"{prefix}_span_calls_total"
-    lines.append(f"# TYPE {wall_metric} counter")
-    for name in sorted(span_wall):
-        lines.append(series(wall_metric, span_wall[name], span=name))
-    lines.append(f"# TYPE {cpu_metric} counter")
-    for name in sorted(span_cpu):
-        lines.append(series(cpu_metric, span_cpu[name], span=name))
-    lines.append(f"# TYPE {calls_metric} counter")
-    for name in sorted(span_calls):
-        lines.append(series(calls_metric, span_calls[name], span=name))
-
-    for name in sorted(histograms):
-        histogram = histograms[name]
-        metric = _metric_name(name, prefix)
-        lines.append(f"# TYPE {metric} summary")
-        for q, value in histogram.quantiles(DEFAULT_QUANTILES).items():
-            lines.append(series(metric, value, quantile=f"{q:g}"))
-        lines.append(series(f"{metric}_sum", histogram.sum))
-        lines.append(series(f"{metric}_count", histogram.count))
-        if histogram.count:
-            lines.append(f"# TYPE {metric}_min gauge")
-            lines.append(series(f"{metric}_min", histogram.min))
-            lines.append(f"# TYPE {metric}_max gauge")
-            lines.append(series(f"{metric}_max", histogram.max))
-    return "\n".join(lines) + "\n"
+    exposition = Exposition()
+    SpanAggregate().update(span).render_into(exposition, prefix)
+    return exposition.render()

@@ -1,0 +1,222 @@
+"""``repro.obs.log`` -- structured JSON-lines logging.
+
+The service-side complement to spans and counters: one JSON object per
+line, machine-parseable, with automatic correlation fields.  Logging is
+**off by default** and each call site pays a single module-global check
+while off, so leaving log statements in the flow keeps the <2%
+disabled-path overhead gate honest.
+
+Usage::
+
+    from repro.obs import log
+
+    _LOG = log.get_logger("service.http")
+
+    log.configure(level="info")            # JSON lines on stderr
+    with log.bind(trace_id=ctx.trace_id, job_id=job.id):
+        _LOG.info("request", method="GET", path="/v1/jobs", status=200)
+
+Every record carries the fixed envelope keys ``ts`` (unix seconds),
+``level``, ``logger``, ``event`` and ``pid``, then the fields bound via
+:func:`bind` on the calling thread (``trace_id``, ``job_id``, ...) and
+the call's own keyword fields.  The key set and value encodings are
+versioned as :data:`LOG_SCHEMA_VERSION` and pinned by the golden
+snapshot in ``tests/golden/log_lines.jsonl`` plus the
+``scripts/check_log_schema.py`` CI gate.
+
+Bound context is *thread-local* (concurrent HTTP handler threads and
+flows keep their own correlation fields) and is inherited by everything
+the thread calls -- a worker process binds ``trace_id``/``job_id``
+around one job so every flow-step record inside carries them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, TextIO
+
+#: Version of the log-record envelope (the fixed keys and their
+#: meaning).  Bump on any breaking change; additive fields do not.
+LOG_SCHEMA_VERSION = 1
+
+#: Level names, most to least verbose, mapped to their numeric rank.
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+#: The envelope keys present on every record, in schema order.
+ENVELOPE_KEYS = ("ts", "level", "logger", "event", "pid")
+
+# Clock and pid seams -- patched by the golden-snapshot tests so
+# rendered lines are deterministic.
+_wall_time = time.time
+_getpid = os.getpid
+
+
+class _State:
+    """The process-wide logging configuration (one per :func:`configure`)."""
+
+    __slots__ = ("stream", "level", "lock")
+
+    def __init__(self, stream: TextIO, level: int) -> None:
+        self.stream = stream
+        self.level = level
+        self.lock = threading.Lock()
+
+
+#: ``None`` means logging is disabled -- the one check every call pays.
+_state: _State | None = None
+
+_context = threading.local()
+
+
+def configure(
+    stream: TextIO | None = None, level: str | int = "info"
+) -> None:
+    """Turn structured logging on (process-wide).
+
+    ``stream`` defaults to ``sys.stderr``; ``level`` is a name from
+    :data:`LEVELS` or its numeric rank.  Reconfiguring replaces the
+    previous destination and threshold atomically.
+    """
+    global _state
+    if isinstance(level, str):
+        try:
+            numeric = LEVELS[level]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r} "
+                f"(choose from {', '.join(LEVELS)})"
+            ) from None
+    else:
+        numeric = int(level)
+    _state = _State(stream if stream is not None else sys.stderr, numeric)
+
+
+def shutdown() -> None:
+    """Turn structured logging off (call sites return immediately)."""
+    global _state
+    _state = None
+
+
+def is_enabled() -> bool:
+    """Whether any records are currently being written."""
+    return _state is not None
+
+
+def worker_config() -> dict | None:
+    """Picklable snapshot of the current configuration for spawning
+    worker processes (``None`` when logging is off).  The stream is
+    deliberately not part of it -- workers inherit the parent's stderr
+    and log there."""
+    state = _state
+    if state is None:
+        return None
+    return {"level": state.level}
+
+
+def apply_worker_config(config: dict | None) -> None:
+    """Configure logging in a freshly spawned worker process."""
+    if config is not None:
+        configure(level=config["level"])
+
+
+@contextmanager
+def bind(**fields: object) -> Iterator[None]:
+    """Attach correlation fields to every record on this thread.
+
+    ``None``-valued fields are skipped, so ``bind(trace_id=maybe)`` is
+    safe.  Binds nest: inner binds shadow outer keys for their scope
+    and the previous mapping is restored on exit.
+    """
+    previous = getattr(_context, "fields", None)
+    merged = dict(previous) if previous else {}
+    merged.update(
+        (key, value) for key, value in fields.items() if value is not None
+    )
+    _context.fields = merged
+    try:
+        yield
+    finally:
+        _context.fields = previous
+
+
+def bound_fields() -> dict:
+    """The correlation fields currently bound on this thread."""
+    fields = getattr(_context, "fields", None)
+    return dict(fields) if fields else {}
+
+
+class Logger:
+    """A named source of structured records.
+
+    Cheap enough to create ad hoc, but modules conventionally keep one
+    at module level via :func:`get_logger`.  Each level method takes
+    the event name plus free-form keyword fields; field values must be
+    JSON-encodable (anything else is stringified, never raises).
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _emit(self, level_name: str, level: int, event: str, fields: dict
+              ) -> None:
+        state = _state
+        if state is None or level < state.level:
+            return
+        record = {
+            "ts": _wall_time(),
+            "level": level_name,
+            "logger": self.name,
+            "event": event,
+            "pid": _getpid(),
+        }
+        bound = getattr(_context, "fields", None)
+        if bound:
+            record.update(bound)
+        if fields:
+            record.update(fields)
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with state.lock:
+            state.stream.write(line)
+            # Service logs are consumed live (journald, kubectl logs);
+            # a crash must not swallow buffered lines.
+            flush = getattr(state.stream, "flush", None)
+            if flush is not None:
+                flush()
+
+    def debug(self, event: str, **fields: object) -> None:
+        if _state is None:
+            return
+        self._emit("debug", 10, event, fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        if _state is None:
+            return
+        self._emit("info", 20, event, fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        if _state is None:
+            return
+        self._emit("warning", 30, event, fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        if _state is None:
+            return
+        self._emit("error", 40, event, fields)
+
+
+_loggers: dict[str, Logger] = {}
+
+
+def get_logger(name: str) -> Logger:
+    """The shared :class:`Logger` named ``name``."""
+    logger = _loggers.get(name)
+    if logger is None:
+        logger = _loggers[name] = Logger(name)
+    return logger

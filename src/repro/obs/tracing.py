@@ -1,0 +1,109 @@
+"""W3C Trace Context: ``traceparent`` parsing and generation.
+
+The design service correlates everything belonging to one client
+request -- HTTP response, job document, worker span tree, log lines,
+flight-recorder events -- through a single *trace id*.  The wire
+format is the W3C ``traceparent`` header (https://www.w3.org/TR/
+trace-context/)::
+
+    traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+                 ^^ ^^^^^^^^^^^^^ trace-id ^^^^^^^^ ^^ span-id ^^^^^^ ^^
+                 version                            parent              flags
+
+A client that sends the header sees its own trace id stamped on every
+response, job document and span; a client that does not gets a freshly
+generated one.  Only the pieces the service needs are implemented:
+version-00 parse/format, random id generation, and child-span
+derivation.  Invalid headers are rejected by returning ``None`` (the
+caller starts a new trace) -- never by raising.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, replace
+
+#: The ``traceparent`` version this implementation emits.
+TRACEPARENT_VERSION = "00"
+
+_TRACEPARENT_RE = re.compile(
+    r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+#: All-zero ids are explicitly invalid per the specification.
+_ZERO_TRACE_ID = "0" * 32
+_ZERO_SPAN_ID = "0" * 16
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's position in a distributed trace.
+
+    ``trace_id`` identifies the whole end-to-end request (32 lowercase
+    hex characters); ``span_id`` identifies this service's own span
+    within it (16).  ``sampled`` mirrors the W3C ``sampled`` flag and
+    is carried through verbatim -- the service records either way.
+    """
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def to_traceparent(self) -> str:
+        """The context as a ``traceparent`` header value."""
+        flags = "01" if self.sampled else "00"
+        return (
+            f"{TRACEPARENT_VERSION}-{self.trace_id}-{self.span_id}-{flags}"
+        )
+
+    def child(self) -> "TraceContext":
+        """A new span in the same trace (fresh ``span_id``)."""
+        return replace(self, span_id=_random_hex(8))
+
+
+def _random_hex(num_bytes: int) -> str:
+    return os.urandom(num_bytes).hex()
+
+
+def new_trace_context() -> TraceContext:
+    """A fresh trace: random trace and span ids, sampled."""
+    return TraceContext(trace_id=_random_hex(16), span_id=_random_hex(8))
+
+
+def parse_traceparent(header: str | None) -> TraceContext | None:
+    """Parse a ``traceparent`` header value; ``None`` when invalid.
+
+    Unknown future versions are accepted as long as the version-00
+    fields parse (per the specification's forward-compatibility rule),
+    except the reserved value ``ff``.  All-zero trace or span ids are
+    invalid.
+    """
+    if not header:
+        return None
+    match = _TRACEPARENT_RE.match(header.strip().lower())
+    if match is None:
+        return None
+    version, trace_id, span_id, flags = match.groups()
+    if version == "ff":
+        return None
+    if trace_id == _ZERO_TRACE_ID or span_id == _ZERO_SPAN_ID:
+        return None
+    return TraceContext(
+        trace_id=trace_id,
+        span_id=span_id,
+        sampled=bool(int(flags, 16) & 0x01),
+    )
+
+
+def continue_trace(header: str | None) -> TraceContext:
+    """The server-side context for an incoming request.
+
+    A valid ``traceparent`` keeps the client's trace id but takes a
+    fresh span id (this service is a new span in the client's trace);
+    anything else starts a new trace.
+    """
+    parsed = parse_traceparent(header)
+    if parsed is None:
+        return new_trace_context()
+    return parsed.child()

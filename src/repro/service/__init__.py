@@ -31,6 +31,7 @@ from repro.service.http import DEFAULT_PORT, DesignService
 from repro.service.scheduler import (
     CANCELLED,
     DEFAULT_RETAIN_JOBS,
+    DEFAULT_RETAIN_SPANS,
     DONE,
     FAILED,
     QUEUED,
@@ -46,6 +47,11 @@ from repro.service.store import (
     ArtifactStore,
     default_store_root,
 )
+from repro.service.telemetry import (
+    HttpMetrics,
+    TelemetrySampler,
+    route_pattern,
+)
 
 __all__ = [
     "ARTIFACT_SQD",
@@ -53,10 +59,12 @@ __all__ = [
     "CANCELLED",
     "DEFAULT_PORT",
     "DEFAULT_RETAIN_JOBS",
+    "DEFAULT_RETAIN_SPANS",
     "DIGEST_VERSION",
     "DONE",
     "DesignService",
     "FAILED",
+    "HttpMetrics",
     "Job",
     "JobScheduler",
     "QUEUED",
@@ -64,8 +72,10 @@ __all__ = [
     "RUNNING",
     "SERVABLE_ARTIFACTS",
     "TERMINAL_STATES",
+    "TelemetrySampler",
     "UncacheableConfigurationError",
     "default_store_root",
     "design_digest",
     "normalize_configuration",
+    "route_pattern",
 ]

@@ -8,14 +8,27 @@ under ``/v1``:
 method    path                                semantics
 ========  ==================================  =============================
 GET       ``/v1/healthz``                     liveness + package version
+GET       ``/v1/readyz``                      readiness (pool warm, store
+                                              writable, not draining)
 GET       ``/v1/metrics``                     Prometheus text exposition
+GET       ``/v1/events``                      flight recorder as SSE
 POST      ``/v1/jobs``                        submit a design request
 GET       ``/v1/jobs``                        list known jobs
 GET       ``/v1/jobs/<id>``                   one job's status/summary
+GET       ``/v1/jobs/<id>/trace``             merged worker span tree
 DELETE    ``/v1/jobs/<id>``                   cancel a queued/running job
 GET       ``/v1/artifacts/<digest>``          entry manifest
 GET       ``/v1/artifacts/<digest>/<name>``   one artifact's bytes
 ========  ==================================  =============================
+
+Every request is a span in a distributed trace: an incoming W3C
+``traceparent`` header is continued (the client's trace id is kept), a
+missing or invalid one starts a fresh trace, and every response --
+success or error -- carries ``traceparent`` and ``X-Repro-Trace-Id``
+response headers.  ``POST /v1/jobs`` threads the trace id through the
+scheduler into the pool worker, so the job document, the worker's span
+tree (``GET /v1/jobs/<id>/trace``) and every structured log line share
+the request's trace id.
 
 The historical unversioned paths (``/jobs``, ``/healthz``, ...) keep
 working as aliases but every response to one carries a ``Deprecation:
@@ -43,12 +56,19 @@ concurrently while the scheduler's process pool does the heavy work.
 from __future__ import annotations
 
 import json
+import os
 import re
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
+from urllib.parse import parse_qs, urlsplit
 
 import repro
+from repro import obs
+from repro.obs import log as obs_log
+from repro.obs.export import Exposition
+from repro.obs.tracing import continue_trace
 from repro.service.digest import UncacheableConfigurationError
 from repro.service.scheduler import (
     DEFAULT_RETAIN_JOBS,
@@ -61,6 +81,11 @@ from repro.service.store import (
     SERVABLE_ARTIFACTS,
     ArtifactStore,
 )
+from repro.service.telemetry import (
+    HttpMetrics,
+    TelemetrySampler,
+    route_pattern,
+)
 
 #: Default TCP port of ``repro serve`` (pass 0 for an ephemeral port).
 DEFAULT_PORT = 8724
@@ -70,9 +95,22 @@ API_PREFIX = "/v1"
 
 _DIGEST_RE = re.compile(r"^[0-9a-f]{64}$")
 _JOB_PATH_RE = re.compile(r"^/jobs/([A-Za-z0-9-]+)$")
+_JOB_TRACE_PATH_RE = re.compile(r"^/jobs/([A-Za-z0-9-]+)/trace$")
 _ARTIFACT_PATH_RE = re.compile(
     r"^/artifacts/([0-9a-f]{64})(?:/([A-Za-z0-9._-]+))?$"
 )
+
+_LOG = obs_log.get_logger("service.http")
+
+#: Seconds between flight-recorder polls while streaming ``/v1/events``.
+_SSE_POLL_SECONDS = 0.2
+
+#: Idle seconds between SSE keepalive comments.
+_SSE_KEEPALIVE_SECONDS = 5.0
+
+#: Retained events replayed to a new ``/v1/events`` subscriber by
+#: default (override with ``?replay=N``).
+_SSE_DEFAULT_REPLAY = 16
 
 _CONTENT_TYPES = {
     ".sqd": "application/xml; charset=utf-8",
@@ -129,6 +167,42 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:
         if self.service.verbose:
             super().log_message(format, *args)
+
+    # --- per-request tracing / logging / metrics -----------------------
+    def send_response(self, code: int, message: str | None = None) -> None:
+        # Stamp the request's trace on *every* response -- success,
+        # error, and the stdlib's own send_error() path all funnel
+        # through here before end_headers().
+        super().send_response(code, message)
+        self._status = code
+        trace = getattr(self, "_trace", None)
+        if trace is not None:
+            self.send_header("traceparent", trace.to_traceparent())
+            self.send_header("X-Repro-Trace-Id", trace.trace_id)
+
+    def _handle(self, method: str, inner) -> None:
+        """Run one request with trace context, timing, logs, metrics."""
+        self._trace = continue_trace(self.headers.get("traceparent"))
+        self._status = 0
+        started = time.monotonic()
+        route = route_pattern(self.path)
+        with obs_log.bind(trace_id=self._trace.trace_id):
+            try:
+                inner()
+            finally:
+                elapsed = time.monotonic() - started
+                status = self._status or 500
+                self.service.http_metrics.record(
+                    method, route, status, elapsed
+                )
+                _LOG.info(
+                    "request",
+                    method=method,
+                    path=self.path.split("?", 1)[0],
+                    route=route,
+                    status=status,
+                    duration_seconds=round(elapsed, 6),
+                )
 
     # --- helpers -------------------------------------------------------
     def _route(self) -> str:
@@ -220,6 +294,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # --- GET -----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._handle("GET", self._do_get)
+
+    def _do_get(self) -> None:
         path = self._route()
         if path == "/healthz":
             self._send_json(
@@ -230,8 +307,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                     "store": self.service.store.stats(),
                 }
             )
+        elif path == "/readyz":
+            self._get_readyz()
         elif path == "/metrics":
-            text = self.service.scheduler.telemetry_prometheus()
+            text = self.service.metrics_prometheus()
             body = text.encode("utf-8")
             self.send_response(200)
             self.send_header(
@@ -242,6 +321,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
+        elif path == "/events":
+            self._get_events()
         elif path == "/jobs":
             self._send_json(
                 {
@@ -251,6 +332,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                     ]
                 }
             )
+        elif match := _JOB_TRACE_PATH_RE.match(path):
+            self._get_job_trace(match.group(1))
         elif match := _JOB_PATH_RE.match(path):
             job = self.service.scheduler.job(match.group(1))
             if job is None:
@@ -261,6 +344,177 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._get_artifact(match.group(1), match.group(2))
         else:
             self._send_error_json(404, f"unknown path {path!r}")
+
+    def _query(self) -> dict[str, list[str]]:
+        return parse_qs(urlsplit(self.path).query)
+
+    def _get_readyz(self) -> None:
+        """Readiness, as distinct from liveness: a live service that is
+        draining, shutting down, or cannot persist artifacts must be
+        taken out of load-balancer rotation while ``/healthz`` stays
+        green for the process supervisor."""
+        stats = self.service.scheduler.stats()
+        store_writable = os.access(self.service.store.root, os.W_OK)
+        reasons = []
+        if self.service.closing:
+            reasons.append("service is shutting down")
+        if stats["draining"]:
+            reasons.append("scheduler is draining")
+        if not store_writable:
+            reasons.append("artifact store is not writable")
+        document = {
+            "ready": not reasons,
+            "reasons": reasons,
+            "pool": {
+                "workers": stats["workers"],
+                "workers_alive": stats["workers_alive"],
+                # Workers spawn lazily on first dispatch, so an idle
+                # empty pool is still "warm enough" to be ready.
+                "warm": stats["workers_alive"] > 0
+                or stats["inflight"] == 0,
+            },
+            "store_writable": store_writable,
+        }
+        self._send_json(document, status=200 if not reasons else 503)
+
+    def _get_job_trace(self, job_id: str) -> None:
+        """The merged worker span tree captured for one job."""
+        scheduler = self.service.scheduler
+        job = scheduler.job(job_id)
+        if job is None:
+            self._send_job_404(job_id)
+            return
+        if not job.finished:
+            self._send_error_json(
+                409,
+                f"job {job_id!r} is {job.status}; its trace is available "
+                f"once it finishes",
+            )
+            return
+        span = scheduler.job_trace(job_id)
+        if span is None:
+            if job.cache_hit:
+                message = (
+                    f"job {job_id!r} was a cache hit; nothing executed, "
+                    f"no trace captured"
+                )
+            else:
+                message = (
+                    f"no trace captured for job {job_id!r} (the worker "
+                    f"did not ship a span)"
+                )
+            self._send_error_json(404, message)
+            return
+        fmt = self._query().get("format", ["json"])[0]
+        if fmt == "chrome":
+            body = obs.to_chrome_trace(span).encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "application/json; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in self._deprecation_headers().items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        elif fmt == "json":
+            self._send_json(
+                {
+                    "job_id": job.id,
+                    "trace_id": job.trace_id,
+                    "status": job.status,
+                    "span": span.to_dict(),
+                }
+            )
+        else:
+            self._send_error_json(
+                400, f"unknown trace format {fmt!r} (know: json, chrome)"
+            )
+
+    def _get_events(self) -> None:
+        """Stream the flight recorder as server-sent events.
+
+        ``?replay=N`` replays up to N retained events first (default
+        16), ``?max_events=N`` closes the stream after N events, and
+        ``?timeout_seconds=S`` closes it after S seconds.  The response
+        is ``Connection: close`` -- an event stream has no
+        Content-Length, so under HTTP/1.1 the connection cannot be
+        reused.
+        """
+        query = self._query()
+        try:
+            replay = int(query.get("replay", [str(_SSE_DEFAULT_REPLAY)])[0])
+            max_events = (
+                int(query["max_events"][0]) if "max_events" in query else None
+            )
+            timeout_seconds = (
+                float(query["timeout_seconds"][0])
+                if "timeout_seconds" in query
+                else None
+            )
+        except ValueError:
+            self._send_error_json(
+                400,
+                "replay/max_events must be integers, timeout_seconds "
+                "a number",
+            )
+            return
+        ring = obs.event_ring()
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        for name, value in self._deprecation_headers().items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.close_connection = True
+
+        cursor = max(0, ring.sequence - max(0, replay))
+        deadline = (
+            time.monotonic() + timeout_seconds
+            if timeout_seconds is not None
+            else None
+        )
+        sent = 0
+        last_write = time.monotonic()
+        try:
+            while True:
+                events, cursor = ring.since(cursor)
+                for event in events:
+                    payload = json.dumps(
+                        {
+                            "name": event.name,
+                            "timestamp": event.timestamp,
+                            "attributes": event.attributes,
+                        },
+                        sort_keys=True,
+                        default=str,
+                    )
+                    self.wfile.write(
+                        f"event: {event.name}\ndata: {payload}\n\n".encode(
+                            "utf-8"
+                        )
+                    )
+                    last_write = time.monotonic()
+                    sent += 1
+                    if max_events is not None and sent >= max_events:
+                        self.wfile.flush()
+                        return
+                self.wfile.flush()
+                now = time.monotonic()
+                if self.service.closing:
+                    return
+                if deadline is not None and now >= deadline:
+                    return
+                if now - last_write >= _SSE_KEEPALIVE_SECONDS:
+                    # Comment line: ignored by EventSource parsers but
+                    # keeps intermediaries from timing the stream out.
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    last_write = now
+                time.sleep(_SSE_POLL_SECONDS)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return  # subscriber went away
 
     def _get_artifact(self, digest: str, name: str | None) -> None:
         store = self.service.store
@@ -297,6 +551,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # --- POST ----------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST", self._do_post)
+
+    def _do_post(self) -> None:
         path = self._route()
         if path != "/jobs":
             self._send_error_json(404, f"unknown path {path!r}")
@@ -321,6 +578,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 configuration=configuration,
                 priority=int(body.get("priority", 0)),
                 timeout=body.get("timeout"),
+                trace_id=self._trace.trace_id,
             )
         except (
             ValueError,
@@ -350,6 +608,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # --- DELETE --------------------------------------------------------
     def do_DELETE(self) -> None:  # noqa: N802
+        self._handle("DELETE", self._do_delete)
+
+    def _do_delete(self) -> None:
         path = self._route()
         match = _JOB_PATH_RE.match(path)
         if not match:
@@ -402,10 +663,34 @@ class DesignService:
             retain_jobs=retain_jobs,
         )
         self.verbose = verbose
+        #: Per-endpoint request/error counters and latency summaries.
+        self.http_metrics = HttpMetrics()
+        #: Background gauge sampler over the scheduler.
+        self.sampler = TelemetrySampler(self.scheduler)
+        self.sampler.start()
+        self._closing = False
         self._httpd = _Server((host, port), _ServiceHandler)
         self._httpd.service = self  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
         self._serve_thread: threading.Thread | None = None
+        _LOG.info("service.started", url=self.url, workers=workers)
+        obs.record_event("service.started", url=self.url)
+
+    @property
+    def closing(self) -> bool:
+        """True once :meth:`close` is past its drain phase; streaming
+        handlers (``/v1/events``) exit promptly when they see it."""
+        return self._closing
+
+    def metrics_prometheus(self) -> str:
+        """The combined ``/v1/metrics`` payload: scheduler span
+        telemetry, HTTP request metrics, and sampled runtime gauges in
+        one strict-parser-clean exposition."""
+        exposition = Exposition()
+        self.scheduler.render_telemetry_into(exposition)
+        self.http_metrics.render_into(exposition)
+        self.sampler.render_into(exposition)
+        return exposition.render()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -449,6 +734,10 @@ class DesignService:
         """
         if drain:
             self.scheduler.close(drain=True, drain_timeout=drain_timeout)
+        self._closing = True
+        self.sampler.stop()
+        _LOG.info("service.stopping", url=self.url)
+        obs.record_event("service.stopping")
         # ``socketserver.shutdown()`` blocks on an event that only the
         # serve loop's exit sets, so it deadlocks unless some *other*
         # thread is (or is about to be) inside ``serve_forever``.  When

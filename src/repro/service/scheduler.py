@@ -66,6 +66,8 @@ from repro import obs
 from repro.flow.design_flow import FlowConfiguration, design_sidb_circuit
 from repro.networks.xag import Xag
 from repro.obs import Span
+from repro.obs import log as obs_log
+from repro.obs.export import Exposition, SpanAggregate
 from repro.service.digest import (
     configuration_from_normalized,
     design_digest,
@@ -95,6 +97,12 @@ _TERMINATE_GRACE_SECONDS = 5.0
 #: Terminal jobs kept in the in-memory table (oldest evicted first).
 DEFAULT_RETAIN_JOBS = 1024
 
+#: Worker span trees kept verbatim under the telemetry span; older
+#: ones fold into a :class:`~repro.obs.export.SpanAggregate` so
+#: ``/v1/metrics`` stays lossless while memory and render time stay
+#: bounded.
+DEFAULT_RETAIN_SPANS = 256
+
 #: Evicted job ids remembered for distinct 404s (bounded, drop-oldest).
 _EVICTED_MEMORY = 4096
 
@@ -110,6 +118,8 @@ _MP_CONTEXT = multiprocessing.get_context("spawn")
 # Module-level indirection keeps both patchable in regression tests.
 _wall_time = time.time
 _mono_time = time.monotonic
+
+_LOG = obs_log.get_logger("service.scheduler")
 
 
 class QueueFullError(RuntimeError):
@@ -149,7 +159,12 @@ class Job:
     summary: str | None = None
     engine: str | None = None
     worker_pid: int | None = None
+    #: W3C trace id of the request that created the job (stamped on
+    #: the HTTP response, the job document, logs and the worker span).
+    trace_id: str | None = None
     _cancel_requested: bool = field(default=False, repr=False)
+    #: The merged worker span tree, while the job is retained.
+    _span: Span | None = field(default=None, repr=False)
     _dispatched: bool = field(default=False, repr=False)
     _started_monotonic: float | None = field(default=None, repr=False)
     _done_event: threading.Event = field(
@@ -183,6 +198,7 @@ class Job:
             "error": self.error,
             "summary": self.summary,
             "engine": self.engine,
+            "trace_id": self.trace_id,
         }
 
 
@@ -215,7 +231,9 @@ def _warm_worker_state() -> None:
     NpnDatabase()
 
 
-def _pool_worker_main(task_queue, conn, recycle_after=None) -> None:
+def _pool_worker_main(
+    task_queue, conn, recycle_after=None, log_config=None
+) -> None:
     """Long-lived pool worker: crash-isolated, span-captured.
 
     Pulls task dictionaries off ``task_queue`` until it sees the
@@ -224,7 +242,13 @@ def _pool_worker_main(task_queue, conn, recycle_after=None) -> None:
     shipping the ``done`` event with payload/span/pid.  With
     ``recycle_after=N`` the worker exits after N jobs -- ``N=1`` is the
     process-per-job baseline the load benchmark compares against.
+    ``log_config`` re-creates the parent's structured-logging setup in
+    this process (workers write to the inherited stderr); each job runs
+    with its ``trace_id``/``job_id`` bound so every flow-step log line
+    is correlated across the process boundary.
     """
+    obs_log.apply_worker_config(log_config)
+    worker_log = obs_log.get_logger("service.worker")
     try:
         _warm_worker_state()
     except Exception:  # pragma: no cover - preload is best-effort
@@ -242,29 +266,41 @@ def _pool_worker_main(task_queue, conn, recycle_after=None) -> None:
                     "pid": os.getpid(),
                 }
             )
-            try:
-                payload, span_dict, pid = _captured_call(_execute_task, task)
-                message = {
-                    "event": "done",
-                    "job_id": task["job_id"],
-                    "status": "ok",
-                    "payload": payload,
-                    "span": span_dict,
-                    "pid": pid,
-                }
-            except BaseException as error:  # report, never crash
-                message = {
-                    "event": "done",
-                    "job_id": task["job_id"],
-                    "status": "error",
-                    "error": {
-                        "kind": "error",
-                        "type": type(error).__name__,
-                        "message": str(error),
-                    },
-                    "span": None,
-                    "pid": os.getpid(),
-                }
+            with obs_log.bind(
+                trace_id=task.get("trace_id"), job_id=task["job_id"]
+            ):
+                worker_log.debug("job.picked_up")
+                try:
+                    payload, span_dict, pid = _captured_call(
+                        _execute_task, task
+                    )
+                    message = {
+                        "event": "done",
+                        "job_id": task["job_id"],
+                        "status": "ok",
+                        "payload": payload,
+                        "span": span_dict,
+                        "pid": pid,
+                    }
+                    worker_log.debug("job.executed", status="ok")
+                except BaseException as error:  # report, never crash
+                    message = {
+                        "event": "done",
+                        "job_id": task["job_id"],
+                        "status": "error",
+                        "error": {
+                            "kind": "error",
+                            "type": type(error).__name__,
+                            "message": str(error),
+                        },
+                        "span": None,
+                        "pid": os.getpid(),
+                    }
+                    worker_log.warning(
+                        "job.executed",
+                        status="error",
+                        error_type=type(error).__name__,
+                    )
             conn.send(message)
             completed += 1
             if recycle_after is not None and completed >= recycle_after:
@@ -301,6 +337,7 @@ class JobScheduler:
         *,
         max_queued: int | None = None,
         retain_jobs: int = DEFAULT_RETAIN_JOBS,
+        retain_spans: int = DEFAULT_RETAIN_SPANS,
         recycle_after: int | None = None,
     ) -> None:
         if workers < 1:
@@ -309,6 +346,10 @@ class JobScheduler:
             raise ValueError(f"max_queued must be >= 0, got {max_queued}")
         if retain_jobs < 1:
             raise ValueError(f"retain_jobs must be >= 1, got {retain_jobs}")
+        if retain_spans < 1:
+            raise ValueError(
+                f"retain_spans must be >= 1, got {retain_spans}"
+            )
         if recycle_after is not None and recycle_after < 1:
             raise ValueError(
                 f"recycle_after must be >= 1, got {recycle_after}"
@@ -318,10 +359,14 @@ class JobScheduler:
         self.default_timeout = default_timeout
         self.max_queued = max_queued
         self.retain_jobs = retain_jobs
+        self.retain_spans = retain_spans
         self.recycle_after = recycle_after
         #: Service-level telemetry: per-job worker spans merge in here;
         #: ``GET /metrics`` renders it with :func:`obs.to_prometheus`.
         self.telemetry = Span("service")
+        #: Metrics of worker spans evicted from ``telemetry.children``
+        #: by the ``retain_spans`` bound (lossless aggregation).
+        self._span_overflow = SpanAggregate()
         self._lock = threading.RLock()
         self._condition = threading.Condition(self._lock)
         self._jobs: dict[str, Job] = {}
@@ -338,8 +383,10 @@ class JobScheduler:
         self._evicted_ids: set[str] = set()
         self._jobs_evicted = 0
         self._jobs_rejected = 0
+        self._workers_respawned = 0
         self._duration_sum = 0.0
         self._duration_count = 0
+        self._started_monotonic = _mono_time()
         self._draining = False
         self._stopping = False
         self._closed = False
@@ -358,12 +405,16 @@ class JobScheduler:
         configuration: FlowConfiguration | None = None,
         priority: int = 0,
         timeout: float | None = None,
+        trace_id: str | None = None,
     ) -> Job:
         """Enqueue one design request; returns its (possibly shared) job.
 
         ``specification`` is Verilog source text or an :class:`Xag`
         (resolve benchmark names / file paths before calling, e.g. via
-        :func:`repro.api.load_specification`).  May raise
+        :func:`repro.api.load_specification`).  ``trace_id`` is the
+        W3C trace id of the originating request; it is stamped on the
+        job document, the worker's span tree and every correlated log
+        line.  May raise
         :class:`~repro.service.digest.UncacheableConfigurationError`
         for configurations that cannot be digested,
         :class:`QueueFullError` when the admission queue is at
@@ -405,6 +456,13 @@ class JobScheduler:
                         )
                         self._condition.notify_all()
                 self.telemetry.add("service.jobs_deduplicated")
+                _LOG.debug(
+                    "job.attached",
+                    job_id=active.id,
+                    digest=digest[:12],
+                    attached=active.attached,
+                    trace_id=trace_id,
+                )
                 return active
 
             manifest = self.store.manifest(digest)
@@ -416,6 +474,17 @@ class JobScheduler:
                 retry_after = self._retry_after_locked()
                 self._jobs_rejected += 1
                 self.telemetry.add("service.jobs_rejected")
+                _LOG.warning(
+                    "job.rejected",
+                    digest=digest[:12],
+                    queued=self._queued,
+                    max_queued=self.max_queued,
+                    retry_after_seconds=retry_after,
+                    trace_id=trace_id,
+                )
+                obs.record_event(
+                    "job.rejected", digest=digest[:12], queued=self._queued
+                )
                 raise QueueFullError(
                     f"admission queue is full "
                     f"({self._queued}/{self.max_queued} queued); "
@@ -430,9 +499,21 @@ class JobScheduler:
                 priority=priority,
                 timeout=timeout,
                 submitted_at=_wall_time(),
+                trace_id=trace_id,
             )
             self._jobs[job.id] = job
             self.telemetry.add("service.jobs_submitted")
+            _LOG.info(
+                "job.submitted",
+                job_id=job.id,
+                digest=digest[:12],
+                name=display_name,
+                priority=priority,
+                trace_id=trace_id,
+            )
+            obs.record_event(
+                "job.submitted", job_id=job.id, trace_id=trace_id
+            )
 
             if manifest is not None:
                 job.status = DONE
@@ -445,6 +526,17 @@ class JobScheduler:
                     job.name = manifest.get("name")
                 job._done_event.set()
                 self.telemetry.add("service.cache_hits")
+                _LOG.info(
+                    "job.finished",
+                    job_id=job.id,
+                    status=DONE,
+                    cache_hit=True,
+                    trace_id=trace_id,
+                )
+                obs.record_event(
+                    "job.finished", job_id=job.id, status=DONE,
+                    cache_hit=True,
+                )
                 self._remember_terminal_locked(job)
                 return job
 
@@ -453,6 +545,7 @@ class JobScheduler:
                 "specification": task_spec,
                 "name": name,
                 "configuration": normalized,
+                "trace_id": trace_id,
             }
             self._by_digest[digest] = job
             self._queued += 1
@@ -470,6 +563,17 @@ class JobScheduler:
         """Whether a job id was dropped by bounded retention."""
         with self._lock:
             return job_id in self._evicted_ids
+
+    def job_trace(self, job_id: str) -> Span | None:
+        """The merged worker span tree captured for a retained job.
+
+        ``None`` for unknown/evicted jobs, jobs that have not finished,
+        cache hits (nothing executed), and failure modes where the
+        worker could not ship a span (crash, timeout, cancellation).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            return job._span if job is not None else None
 
     def jobs(self) -> list[Job]:
         """All retained jobs, most recently submitted first."""
@@ -525,22 +629,44 @@ class JobScheduler:
             return {
                 "workers": self.workers,
                 "workers_alive": len(self._workers),
+                "workers_busy": sum(
+                    1 for worker in self._workers if worker.job is not None
+                ),
+                "workers_respawned": self._workers_respawned,
                 "max_queued": self.max_queued,
                 "queued": by_status.get(QUEUED, 0),
                 "running": by_status.get(RUNNING, 0),
+                "inflight": len(self._inflight),
                 "done": by_status.get(DONE, 0),
                 "failed": by_status.get(FAILED, 0),
                 "cancelled": by_status.get(CANCELLED, 0),
                 "jobs_total": len(self._jobs),
                 "jobs_evicted": self._jobs_evicted,
                 "jobs_rejected": self._jobs_rejected,
+                "uptime_seconds": max(
+                    0.0, _mono_time() - self._started_monotonic
+                ),
                 "draining": self._draining,
             }
 
     def telemetry_prometheus(self) -> str:
-        """The service telemetry span as Prometheus text exposition."""
+        """The service telemetry span as Prometheus text exposition.
+
+        Worker spans evicted from the retained window (``retain_spans``)
+        were folded into an aggregate at eviction time, so the rendered
+        totals cover every job the service ever executed.
+        """
+        exposition = Exposition()
+        self.render_telemetry_into(exposition)
+        return exposition.render()
+
+    def render_telemetry_into(self, exposition: Exposition) -> None:
+        """Emit the scheduler's metric families into ``exposition``."""
         with self._lock:
-            return obs.to_prometheus(self.telemetry, prefix="repro_service")
+            aggregate = SpanAggregate()
+            aggregate.merge(self._span_overflow)
+            aggregate.update(self.telemetry)
+        aggregate.render_into(exposition, "repro_service")
 
     def close(
         self,
@@ -564,6 +690,17 @@ class JobScheduler:
                 return
             if drain and not self._stopping:
                 self._draining = True
+                _LOG.info(
+                    "scheduler.draining",
+                    queued=self._queued,
+                    inflight=len(self._inflight),
+                    drain_timeout=drain_timeout,
+                )
+                obs.record_event(
+                    "scheduler.draining",
+                    queued=self._queued,
+                    inflight=len(self._inflight),
+                )
                 self._condition.notify_all()
         if drain:
             deadline = (
@@ -584,6 +721,12 @@ class JobScheduler:
             self._closed = True
             self._stopping = True
             self._draining = False
+            _LOG.info(
+                "scheduler.stopping",
+                queued=self._queued,
+                inflight=len(self._inflight),
+            )
+            obs.record_event("scheduler.stopping")
             while self._heap:
                 job = heapq.heappop(self._heap)[2]
                 if not job.finished and not job._dispatched:
@@ -659,6 +802,12 @@ class JobScheduler:
                 self._inflight[job.id] = job
                 task = job._task  # type: ignore[attr-defined]
                 self._ensure_workers_locked(len(self._inflight))
+                _LOG.debug(
+                    "job.dispatched",
+                    job_id=job.id,
+                    priority=job.priority,
+                    trace_id=job.trace_id,
+                )
             self._task_queue.put(task)
 
     def _ensure_workers_locked(self, needed: int) -> None:
@@ -667,12 +816,17 @@ class JobScheduler:
         while len(self._workers) < target:
             self._spawn_worker_locked()
 
-    def _spawn_worker_locked(self) -> None:
+    def _spawn_worker_locked(self, respawn: bool = False) -> None:
         receiver, sender = _MP_CONTEXT.Pipe(duplex=False)
         worker = _PoolWorker(None, receiver)
         process = _MP_CONTEXT.Process(
             target=_pool_worker_main,
-            args=(self._task_queue, sender, self.recycle_after),
+            args=(
+                self._task_queue,
+                sender,
+                self.recycle_after,
+                obs_log.worker_config(),
+            ),
             name=f"repro-pool-{worker.index}",
             daemon=True,
         )
@@ -687,6 +841,17 @@ class JobScheduler:
         )
         self._workers.append(worker)
         self.telemetry.add("service.workers_spawned")
+        if respawn:
+            self._workers_respawned += 1
+        _LOG.info(
+            "worker.spawned",
+            worker=worker.index,
+            worker_pid=process.pid,
+            respawn=respawn,
+        )
+        obs.record_event(
+            "worker.spawned", worker=worker.index, pid=process.pid
+        )
         worker.thread.start()
 
     # --- worker watchers ----------------------------------------------
@@ -750,6 +915,19 @@ class JobScheduler:
                 )
                 if job._cancel_requested or self._stopping:
                     terminate = True
+                else:
+                    _LOG.info(
+                        "job.started",
+                        job_id=job.id,
+                        worker_pid=job.worker_pid,
+                        trace_id=job.trace_id,
+                    )
+                    obs.record_event(
+                        "job.started",
+                        job_id=job.id,
+                        pid=job.worker_pid,
+                        trace_id=job.trace_id,
+                    )
         if terminate:
             worker.process.terminate()
 
@@ -765,6 +943,8 @@ class JobScheduler:
                     span = Span.from_dict(message["span"])
                     span.set("job", job.id)
                     span.set("digest", job.digest[:12])
+                    if job.trace_id is not None:
+                        span.set("trace_id", job.trace_id)
                 if message.get("status") == "ok":
                     job.worker_pid = message.get("pid", job.worker_pid)
                     payload = message["payload"]
@@ -798,6 +978,20 @@ class JobScheduler:
                 self._workers.remove(worker)
             job = worker.job
             worker.job = None
+            _LOG.info(
+                "worker.exited",
+                worker=worker.index,
+                worker_pid=process.pid,
+                exitcode=process.exitcode,
+                timed_out=worker.timed_out,
+                job_id=job.id if job is not None else None,
+            )
+            obs.record_event(
+                "worker.exited",
+                worker=worker.index,
+                pid=process.pid,
+                exitcode=process.exitcode,
+            )
             if job is not None and not job.finished:
                 if job._cancel_requested or self._stopping:
                     self._finalize_locked(job, CANCELLED)
@@ -830,7 +1024,7 @@ class JobScheduler:
                 and pending
                 and len(self._workers) < self.workers
             ):
-                self._spawn_worker_locked()
+                self._spawn_worker_locked(respawn=True)
             self._condition.notify_all()
 
     # --- finalization --------------------------------------------------
@@ -889,9 +1083,30 @@ class JobScheduler:
             self._duration_count += 1
         if span is not None:
             span.set("status", status)
+            job._span = span
             self.telemetry.children.append(span)
+            # Bound the retained window: old spans fold into the
+            # overflow aggregate, so /v1/metrics keeps their totals
+            # while render time and memory stay O(retain_spans).
+            while len(self.telemetry.children) > self.retain_spans:
+                self._span_overflow.update(self.telemetry.children.pop(0))
             if obs.enabled():
                 obs.recorder().roots.append(span)
+        _LOG.info(
+            "job.finished",
+            job_id=job.id,
+            status=status,
+            duration_seconds=job.duration_seconds,
+            worker_pid=job.worker_pid,
+            error_kind=(job.error or {}).get("kind"),
+            trace_id=job.trace_id,
+        )
+        obs.record_event(
+            "job.finished",
+            job_id=job.id,
+            status=status,
+            trace_id=job.trace_id,
+        )
         if payload is not None:
             # Persisting can do real I/O but finalize order must hold
             # the lock anyway (dedup map + telemetry); entries are a

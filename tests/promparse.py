@@ -1,0 +1,224 @@
+"""A strict parser for the Prometheus text exposition format (0.0.4).
+
+Test-support module: :func:`parse_exposition` validates the structural
+rules a strict scraper enforces and that ad-hoc string generation tends
+to violate --
+
+* every sample belongs to a family declared by a ``# HELP``/``# TYPE``
+  header pair (in that order), counting ``_sum``/``_count``/``_bucket``
+  suffix samples toward their base summary/histogram family;
+* a family is declared once and its samples are contiguous;
+* metric and label names are legal, label values are properly quoted
+  with only the three legal escapes (``\\\\``, ``\\"``, ``\\n``);
+* sample values parse as floats (``NaN``/``+Inf``/``-Inf`` included);
+* summaries carry ``quantile`` labels only on the base series.
+
+It raises :class:`ExpositionError` on the first violation, so tests
+can assert both that good output parses and that the parser itself has
+teeth.
+"""
+
+import re
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>-?\d+))?$"
+)
+KINDS = ("counter", "gauge", "summary", "histogram", "untyped")
+
+#: Suffixes that report into the base family of a composite kind.
+_COMPOSITE_SUFFIXES = {
+    "summary": ("_sum", "_count"),
+    "histogram": ("_sum", "_count", "_bucket"),
+}
+
+
+class ExpositionError(ValueError):
+    """A violation of the strict exposition-format rules."""
+
+
+class Family:
+    """One parsed metric family: header pair plus its samples."""
+
+    def __init__(self, name, kind, help_text):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        #: ``(name, labels dict, float value)`` per sample line.
+        self.samples = []
+
+
+def _parse_labels(text, line_number):
+    """The ``name="value"`` pairs inside one ``{...}`` block."""
+    labels = {}
+    position = 0
+    while position < len(text):
+        match = re.match(r"([a-zA-Z_][a-zA-Z0-9_]*)=\"", text[position:])
+        if match is None:
+            raise ExpositionError(
+                f"line {line_number}: malformed label block at "
+                f"{text[position:]!r}"
+            )
+        name = match.group(1)
+        position += match.end()
+        value = []
+        while True:
+            if position >= len(text):
+                raise ExpositionError(
+                    f"line {line_number}: unterminated label value"
+                )
+            char = text[position]
+            if char == "\\":
+                if position + 1 >= len(text):
+                    raise ExpositionError(
+                        f"line {line_number}: dangling escape"
+                    )
+                escape = text[position + 1]
+                if escape not in ("\\", '"', "n"):
+                    raise ExpositionError(
+                        f"line {line_number}: illegal escape "
+                        f"\\{escape} in label value"
+                    )
+                value.append("\n" if escape == "n" else escape)
+                position += 2
+            elif char == '"':
+                position += 1
+                break
+            elif char == "\n":
+                raise ExpositionError(
+                    f"line {line_number}: raw newline in label value"
+                )
+            else:
+                value.append(char)
+                position += 1
+        if name in labels:
+            raise ExpositionError(
+                f"line {line_number}: duplicate label {name!r}"
+            )
+        labels[name] = "".join(value)
+        if position < len(text):
+            if text[position] != ",":
+                raise ExpositionError(
+                    f"line {line_number}: expected ',' between labels, "
+                    f"got {text[position]!r}"
+                )
+            position += 1
+    return labels
+
+
+def _parse_value(text, line_number):
+    if text in ("NaN", "+Inf", "-Inf", "Inf"):
+        return float(text.replace("Inf", "inf"))
+    try:
+        return float(text)
+    except ValueError:
+        raise ExpositionError(
+            f"line {line_number}: unparseable value {text!r}"
+        ) from None
+
+
+def _base_family(name, families):
+    """The family a sample line reports into, honoring composite
+    suffixes (``x_sum`` belongs to summary/histogram family ``x``)."""
+    family = families.get(name)
+    if family is not None:
+        return family
+    for kind, suffixes in _COMPOSITE_SUFFIXES.items():
+        for suffix in suffixes:
+            if name.endswith(suffix):
+                base = families.get(name[: -len(suffix)])
+                if base is not None and base.kind == kind:
+                    return base
+    return None
+
+
+def parse_exposition(text):
+    """Parse ``text`` strictly; returns ``{family name: Family}``."""
+    if not text.endswith("\n"):
+        raise ExpositionError("exposition must end with a newline")
+    families = {}
+    pending_help = None  # (name, help) awaiting its TYPE line
+    current = None  # family whose sample block is open
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            name = parts[0]
+            if not NAME_RE.match(name):
+                raise ExpositionError(
+                    f"line {line_number}: bad metric name {name!r}"
+                )
+            if pending_help is not None:
+                raise ExpositionError(
+                    f"line {line_number}: HELP for {name!r} while HELP "
+                    f"for {pending_help[0]!r} awaits its TYPE"
+                )
+            if name in families:
+                raise ExpositionError(
+                    f"line {line_number}: family {name!r} declared twice"
+                )
+            pending_help = (name, parts[1] if len(parts) > 1 else "")
+        elif line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ")
+            if len(parts) != 2 or parts[1] not in KINDS:
+                raise ExpositionError(
+                    f"line {line_number}: malformed TYPE line {line!r}"
+                )
+            name, kind = parts
+            if pending_help is None or pending_help[0] != name:
+                raise ExpositionError(
+                    f"line {line_number}: TYPE for {name!r} without an "
+                    f"immediately preceding HELP"
+                )
+            current = families[name] = Family(name, kind, pending_help[1])
+            pending_help = None
+        elif line.startswith("#"):
+            continue  # plain comment
+        else:
+            if pending_help is not None:
+                raise ExpositionError(
+                    f"line {line_number}: sample before TYPE of "
+                    f"{pending_help[0]!r}"
+                )
+            match = SAMPLE_RE.match(line)
+            if match is None:
+                raise ExpositionError(
+                    f"line {line_number}: unparseable sample {line!r}"
+                )
+            name = match.group("name")
+            family = _base_family(name, families)
+            if family is None:
+                raise ExpositionError(
+                    f"line {line_number}: sample {name!r} has no "
+                    f"declared family"
+                )
+            if family is not current:
+                raise ExpositionError(
+                    f"line {line_number}: sample {name!r} outside its "
+                    f"family's contiguous block"
+                )
+            labels = (
+                _parse_labels(match.group("labels"), line_number)
+                if match.group("labels") is not None
+                else {}
+            )
+            if "quantile" in labels and (
+                family.kind != "summary" or name != family.name
+            ):
+                raise ExpositionError(
+                    f"line {line_number}: quantile label on "
+                    f"non-summary series {name!r}"
+                )
+            value = _parse_value(match.group("value"), line_number)
+            family.samples.append((name, labels, value))
+    if pending_help is not None:
+        raise ExpositionError(
+            f"HELP for {pending_help[0]!r} never got its TYPE"
+        )
+    # A declared family with zero samples is legal (0.0.4 allows it);
+    # only undeclared or non-contiguous samples are errors.
+    return families

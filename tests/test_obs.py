@@ -414,6 +414,107 @@ class TestEventRing:
         finally:
             obs.set_event_capacity(1024)
 
+    def test_record_event_bypasses_the_enabled_gate(self):
+        # Service lifecycle events must reach /v1/events on production
+        # runs where trace recording is off.
+        assert not obs.enabled()
+        obs.record_event("service.started", url="http://x")
+        events = obs.events()
+        assert [event.name for event in events] == ["service.started"]
+        assert events[0].attributes == {"url": "http://x"}
+
+    def test_since_returns_only_new_events_and_cursor(self):
+        ring = EventRing(capacity=4)
+        events, cursor = ring.since(0)
+        assert events == [] and cursor == 0
+        for index in range(3):
+            ring.append(Event(f"e{index}", float(index)))
+        events, cursor = ring.since(0)
+        assert [event.name for event in events] == ["e0", "e1", "e2"]
+        assert cursor == 3
+        events, cursor = ring.since(cursor)
+        assert events == [] and cursor == 3
+        ring.append(Event("e3", 3.0))
+        events, cursor = ring.since(cursor)
+        assert [event.name for event in events] == ["e3"]
+
+    def test_since_clamps_a_lagging_cursor_to_whats_retained(self):
+        # A subscriber that slept through overwrites gets everything
+        # still in the ring, not a gap-induced error.
+        ring = EventRing(capacity=3)
+        for index in range(8):
+            ring.append(Event(f"e{index}", float(index)))
+        events, cursor = ring.since(1)
+        assert [event.name for event in events] == ["e5", "e6", "e7"]
+        assert cursor == 8
+
+    def test_since_resets_a_cursor_from_a_replaced_ring(self):
+        # set_event_capacity swaps the ring and its sequence restarts;
+        # a stale (now-future) cursor must reset, not wedge.
+        ring = EventRing(capacity=4)
+        ring.append(Event("a", 0.0))
+        events, cursor = ring.since(99)
+        assert [event.name for event in events] == ["a"]
+        assert cursor == 1
+        assert ring.since(-5)[0] == events
+
+    def test_concurrent_writers_keep_ordering_and_counts(self):
+        import threading
+
+        ring = EventRing(capacity=64)
+        writers, per_writer = 8, 100
+
+        def write(writer):
+            for index in range(per_writer):
+                ring.append(Event(f"w{writer}", float(index)))
+
+        threads = [
+            threading.Thread(target=write, args=(writer,))
+            for writer in range(writers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = writers * per_writer
+        assert ring.sequence == total
+        assert ring.dropped == total - 64
+        snapshot = ring.snapshot()
+        assert len(snapshot) == 64
+        # Drop-oldest: each writer's surviving events are its *latest*
+        # ones, still in its own append order.
+        for writer in range(writers):
+            timestamps = [
+                event.timestamp
+                for event in snapshot
+                if event.name == f"w{writer}"
+            ]
+            assert timestamps == sorted(timestamps)
+            if timestamps:
+                assert timestamps[-1] == per_writer - 1
+
+    def test_capacity_change_mid_stream_resets_cleanly(self):
+        obs.enable()
+        try:
+            for index in range(6):
+                obs.event(f"before{index}")
+            ring = obs.event_ring()
+            _, cursor = ring.since(0)
+            assert cursor >= 6  # sequence survives clear(); >= is exact
+            obs.set_event_capacity(2)  # new ring, sequence restarts
+            ring = obs.event_ring()
+            assert ring.sequence == 0
+            obs.event("after0")
+            obs.event("after1")
+            obs.event("after2")
+            events, new_cursor = ring.since(cursor)  # stale cursor
+            assert [event.name for event in events] == [
+                "after1", "after2"
+            ]
+            assert new_cursor == 3
+        finally:
+            obs.set_event_capacity(1024)
+
 
 class TestProgress:
     def test_ticks_reach_installed_reporter(self):

@@ -1,0 +1,275 @@
+"""Tests for structured JSON-lines logging and W3C trace context.
+
+The JSON record shape is pinned by a golden snapshot
+(``tests/golden/log_lines.jsonl``); regenerate after an intentional
+schema change with::
+
+    PYTHONPATH=src python tests/test_obs_log.py --regenerate
+"""
+
+import io
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.obs import log as obs_log
+from repro.obs.tracing import (
+    TraceContext,
+    continue_trace,
+    new_trace_context,
+    parse_traceparent,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "log_lines.jsonl"
+
+
+@pytest.fixture(autouse=True)
+def logging_off_afterwards():
+    yield
+    obs_log.shutdown()
+
+
+def _capture(level="debug"):
+    stream = io.StringIO()
+    obs_log.configure(stream=stream, level=level)
+    return stream
+
+
+def _records(stream):
+    return [
+        json.loads(line)
+        for line in stream.getvalue().splitlines()
+        if line
+    ]
+
+
+class TestTraceContext:
+    def test_new_context_is_well_formed(self):
+        context = new_trace_context()
+        assert len(context.trace_id) == 32
+        assert len(context.span_id) == 16
+        int(context.trace_id, 16)
+        int(context.span_id, 16)
+        assert context.sampled
+
+    def test_new_contexts_are_unique(self):
+        seen = {new_trace_context().trace_id for _ in range(64)}
+        assert len(seen) == 64
+
+    def test_traceparent_round_trip(self):
+        context = new_trace_context()
+        parsed = parse_traceparent(context.to_traceparent())
+        assert parsed == context
+
+    def test_parse_accepts_canonical_header(self):
+        header = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+        parsed = parse_traceparent(header)
+        assert parsed is not None
+        assert parsed.trace_id == "0af7651916cd43dd8448eb211c80319c"
+        assert parsed.span_id == "b7ad6b7169203331"
+        assert parsed.sampled
+
+    def test_parse_rejects_garbage(self):
+        trace = "0af7651916cd43dd8448eb211c80319c"
+        span = "b7ad6b7169203331"
+        for header in (
+            None,
+            "",
+            "nonsense",
+            f"00-{trace}-{span}",  # missing flags
+            f"ff-{trace}-{span}-01",  # forbidden version
+            f"00-{'0' * 32}-{span}-01",  # all-zero trace id
+            f"00-{trace}-{'0' * 16}-01",  # all-zero span id
+            f"00-{trace[:-1]}Z-{span}-01",  # non-hex
+            f"00-{trace[:-2]}-{span}-01",  # short trace id
+        ):
+            assert parse_traceparent(header) is None, header
+
+    def test_child_keeps_trace_id_with_fresh_span_id(self):
+        parent = new_trace_context()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+
+    def test_continue_trace_keeps_the_callers_trace(self):
+        incoming = new_trace_context()
+        context = continue_trace(incoming.to_traceparent())
+        assert context.trace_id == incoming.trace_id
+        assert context.span_id != incoming.span_id
+
+    def test_continue_trace_starts_fresh_on_bad_header(self):
+        assert continue_trace(None).trace_id != continue_trace(
+            "junk"
+        ).trace_id
+
+    def test_context_is_immutable(self):
+        context = TraceContext("a" * 32, "b" * 16)
+        with pytest.raises(AttributeError):
+            context.trace_id = "c" * 32
+
+
+class TestLogging:
+    def test_disabled_by_default_writes_nothing(self):
+        logger = obs_log.get_logger("test")
+        logger.error("boom")  # no stream configured: must not raise
+        assert not obs_log.is_enabled()
+
+    def test_envelope_keys_on_every_record(self):
+        stream = _capture()
+        obs_log.get_logger("test").info("hello", extra=1)
+        (record,) = _records(stream)
+        for key in obs_log.ENVELOPE_KEYS:
+            assert key in record, key
+        assert record["event"] == "hello" and record["extra"] == 1
+
+    def test_level_threshold_filters(self):
+        stream = _capture(level="warning")
+        logger = obs_log.get_logger("test")
+        logger.debug("d")
+        logger.info("i")
+        logger.warning("w")
+        logger.error("e")
+        assert [r["level"] for r in _records(stream)] == [
+            "warning", "error"
+        ]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            obs_log.configure(level="chatty")
+
+    def test_bind_nests_shadows_and_restores(self):
+        stream = _capture()
+        logger = obs_log.get_logger("test")
+        with obs_log.bind(trace_id="t1", job_id=None):
+            logger.info("outer")
+            with obs_log.bind(trace_id="t2", job_id="j1"):
+                logger.info("inner")
+            logger.info("outer_again")
+        logger.info("unbound")
+        records = _records(stream)
+        assert records[0]["trace_id"] == "t1"
+        assert "job_id" not in records[0]  # None-valued fields dropped
+        assert records[1]["trace_id"] == "t2"
+        assert records[1]["job_id"] == "j1"
+        assert records[2]["trace_id"] == "t1"
+        assert "trace_id" not in records[3]
+
+    def test_bound_fields_are_thread_local(self):
+        seen = {}
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            with obs_log.bind(trace_id=name):
+                barrier.wait(timeout=5)
+                seen[name] = obs_log.bound_fields()["trace_id"]
+
+        threads = [
+            threading.Thread(target=worker, args=(name,))
+            for name in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert seen == {"a": "a", "b": "b"}
+
+    def test_call_fields_shadow_bound_fields(self):
+        stream = _capture()
+        with obs_log.bind(job_id="bound"):
+            obs_log.get_logger("test").info("x", job_id="call")
+        assert _records(stream)[0]["job_id"] == "call"
+
+    def test_unserializable_values_are_stringified(self):
+        stream = _capture()
+        obs_log.get_logger("test").info("x", thing=object())
+        (record,) = _records(stream)
+        assert "object object" in record["thing"]
+
+    def test_worker_config_round_trip(self):
+        assert obs_log.worker_config() is None
+        _capture(level="warning")
+        config = obs_log.worker_config()
+        assert config == {"level": obs_log.LEVELS["warning"]}
+        obs_log.shutdown()
+        obs_log.apply_worker_config(config)
+        assert obs_log.is_enabled()
+        assert obs_log.worker_config() == config
+        obs_log.apply_worker_config(None)  # no-op, stays enabled
+        assert obs_log.is_enabled()
+
+    def test_get_logger_caches_by_name(self):
+        assert obs_log.get_logger("same") is obs_log.get_logger("same")
+        assert obs_log.get_logger("same") is not obs_log.get_logger("other")
+
+    def test_shutdown_disables(self):
+        stream = _capture()
+        obs_log.shutdown()
+        obs_log.get_logger("test").error("after")
+        assert stream.getvalue() == ""
+
+    def test_keys_serialized_sorted(self):
+        stream = _capture()
+        obs_log.get_logger("test").info("x", zebra=1, alpha=2)
+        line = stream.getvalue().splitlines()[0]
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)
+
+
+def _golden_lines() -> str:
+    """Deterministic corpus: fixed clock, pid, and record set."""
+    ticks = iter(
+        1700000000.0 + 0.125 * step for step in range(16)
+    )
+    saved = obs_log._wall_time, obs_log._getpid
+    obs_log._wall_time = lambda: next(ticks)
+    obs_log._getpid = lambda: 4242
+    stream = io.StringIO()
+    try:
+        obs_log.configure(stream=stream, level="debug")
+        logger = obs_log.get_logger("golden")
+        logger.debug("flow.parse", name="xor2", gates=4)
+        logger.info("job.submitted", queue_depth=1)
+        with obs_log.bind(trace_id="0af7651916cd43dd8448eb211c80319c",
+                          job_id="j-00deadbeef00"):
+            logger.info("job.started", worker_pid=777)
+            logger.warning("job.slow", duration_seconds=1.5)
+            logger.error("job.failed", error_kind="timeout",
+                         detail="exceeded 1.0 s")
+        logger.info("service.stopping")
+    finally:
+        obs_log.shutdown()
+        obs_log._wall_time, obs_log._getpid = saved
+    return stream.getvalue()
+
+
+class TestGoldenSnapshot:
+    def test_matches_golden(self):
+        assert _golden_lines() == GOLDEN.read_text()
+
+    def test_golden_passes_the_schema_checker(self):
+        import sys
+
+        sys.path.insert(0, str(Path(__file__).parent.parent / "scripts"))
+        try:
+            from check_log_schema import validate_lines
+        finally:
+            sys.path.pop(0)
+        count, problems = validate_lines(GOLDEN.read_text(), "golden")
+        assert problems == [] and count == 6
+
+
+def _regenerate() -> None:
+    GOLDEN.parent.mkdir(exist_ok=True)
+    GOLDEN.write_text(_golden_lines())
+    print(f"regenerated {GOLDEN}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

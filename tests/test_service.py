@@ -508,6 +508,221 @@ def test_http_v1_unknown_path_404s(service):
     assert status == 404
 
 
+# --- observability: tracing, readiness, SSE, telemetry -----------------
+
+
+def test_http_every_response_carries_trace_headers(service):
+    for path, expected in (("/v1/healthz", 200), ("/v1/nowhere", 404)):
+        status, _, headers = _get_with_headers(service.url + path)
+        assert status == expected
+        context = api.parse_traceparent(headers.get("traceparent", ""))
+        assert context is not None, (path, headers)
+        assert headers.get("X-Repro-Trace-Id") == context.trace_id
+
+
+def test_http_traceparent_continued_through_job_and_trace_endpoint(
+    service,
+):
+    client = api.new_trace_context()
+    request = urllib.request.Request(
+        service.url + "/v1/jobs",
+        data=json.dumps({"specification": "mux21"}).encode(),
+        headers={
+            "Content-Type": "application/json",
+            "traceparent": client.to_traceparent(),
+        },
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        assert response.status == 202
+        echoed = api.parse_traceparent(response.headers["traceparent"])
+        job = json.loads(response.read())["job"]
+    # The client's trace id is continued (fresh span id) and stamped
+    # on the job document.
+    assert echoed.trace_id == client.trace_id
+    assert echoed.span_id != client.span_id
+    assert job["trace_id"] == client.trace_id
+
+    deadline = time.time() + 120
+    while job["status"] not in ("done", "failed", "cancelled"):
+        assert time.time() < deadline
+        time.sleep(0.05)
+        _, body = _get(f"{service.url}/v1/jobs/{job['id']}")
+        job = json.loads(body)
+    assert job["status"] == "done", job
+
+    status, body = _get(f"{service.url}/v1/jobs/{job['id']}/trace")
+    document = json.loads(body)
+    assert status == 200
+    assert document["trace_id"] == client.trace_id
+    assert document["job_id"] == job["id"]
+    assert document["span"]["attributes"]["trace_id"] == client.trace_id
+
+    status, body = _get(
+        f"{service.url}/v1/jobs/{job['id']}/trace?format=chrome"
+    )
+    assert status == 200 and json.loads(body)["traceEvents"]
+    status, body = _get(
+        f"{service.url}/v1/jobs/{job['id']}/trace?format=jaeger"
+    )
+    assert status == 400 and b"unknown trace format" in body
+
+
+def test_http_trace_endpoint_distinguishes_missing_traces(service):
+    status, body = _get(service.url + "/v1/jobs/j-nonexistent/trace")
+    assert status == 404
+
+    # A cache hit executes nothing, so there is no span to serve.
+    status, document = _post(
+        service.url + "/v1/jobs", {"specification": "mux21"}
+    )
+    assert status == 202 and document["job"]["cache_hit"]
+    status, body = _get(
+        f"{service.url}/v1/jobs/{document['job']['id']}/trace"
+    )
+    assert status == 404 and b"cache hit" in body
+
+
+def test_http_readyz_reflects_draining(service):
+    status, body = _get(service.url + "/v1/readyz")
+    document = json.loads(body)
+    assert status == 200
+    assert document["ready"] is True and document["reasons"] == []
+    assert document["store_writable"] is True
+    scheduler = service.scheduler
+    with scheduler._lock:
+        scheduler._draining = True
+    try:
+        status, body = _get(service.url + "/v1/readyz")
+        document = json.loads(body)
+        assert status == 503 and document["ready"] is False
+        assert any("draining" in reason for reason in document["reasons"])
+    finally:
+        with scheduler._lock:
+            scheduler._draining = False
+
+
+def test_http_events_streams_recorded_events(service):
+    obs.record_event("test.ping", detail=7)
+    status, body, headers = _get_with_headers(
+        service.url + "/v1/events?replay=64&max_events=1"
+    )
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/event-stream")
+    frames = body.decode("utf-8").strip().split("\n\n")
+    assert frames and frames[0].startswith("event: ")
+    _, data_line = frames[0].split("\n", 1)
+    payload = json.loads(data_line[len("data: "):])
+    assert set(payload) == {"name", "timestamp", "attributes"}
+
+    status, body, _ = _get_with_headers(
+        service.url + "/v1/events?replay=banana"
+    )
+    assert status == 400
+
+
+def test_http_metrics_parse_strictly(service):
+    from tests.promparse import parse_exposition
+
+    status, body = _get(service.url + "/v1/metrics")
+    assert status == 200
+    families = parse_exposition(body.decode("utf-8"))
+    requests_family = families["repro_service_http_requests_total"]
+    assert requests_family.kind == "counter"
+    routes = {labels["route"] for _, labels, _ in requests_family.samples}
+    assert "/v1/healthz" in routes
+    assert families["repro_service_queue_depth"].kind == "gauge"
+    assert families["repro_service_uptime_seconds"].samples[0][2] >= 0
+    latency = families["repro_service_http_request_seconds"]
+    assert latency.kind == "summary"
+    assert all(family.help for family in families.values())
+
+
+def test_route_pattern_bounds_cardinality():
+    from repro.service import route_pattern
+
+    assert route_pattern("/v1/jobs") == "/v1/jobs"
+    assert route_pattern("/v1/jobs/j-0abc12de/trace?format=chrome") == (
+        "/v1/jobs/:id/trace"
+    )
+    assert route_pattern(f"/v1/artifacts/{'0' * 64}/design.sqd") == (
+        "/v1/artifacts/:id/design.sqd"
+    )
+    assert route_pattern("/") == "/"
+    assert route_pattern("/healthz/") == "/healthz"
+
+
+def test_http_metrics_counters_and_errors():
+    from tests.promparse import parse_exposition
+
+    from repro.obs.export import Exposition
+    from repro.service import HttpMetrics
+
+    metrics = HttpMetrics()
+    metrics.record("GET", "/v1/jobs", 200, 0.01)
+    metrics.record("GET", "/v1/jobs", 200, 0.03)
+    metrics.record("POST", "/v1/jobs", 500, 0.02)
+    snapshot = metrics.snapshot()
+    assert snapshot["requests"]["GET /v1/jobs 200"] == 2
+    assert snapshot["errors"]["POST /v1/jobs"] == 1
+    exposition = Exposition()
+    metrics.render_into(exposition)
+    families = parse_exposition(exposition.render())
+    samples = families["repro_service_http_requests_total"].samples
+    assert (
+        "repro_service_http_requests_total",
+        {"method": "GET", "route": "/v1/jobs", "status": "200"},
+        2.0,
+    ) in samples
+    errors = families["repro_service_http_errors_total"].samples
+    assert errors == [
+        (
+            "repro_service_http_errors_total",
+            {"method": "POST", "route": "/v1/jobs"},
+            1.0,
+        )
+    ]
+    count_samples = [
+        (labels["route"], value)
+        for name, labels, value in families[
+            "repro_service_http_request_seconds"
+        ].samples
+        if name == "repro_service_http_request_seconds_count"
+    ]
+    assert ("/v1/jobs", 3.0) in count_samples
+
+
+def test_telemetry_sampler_publishes_scheduler_gauges():
+    from tests.promparse import parse_exposition
+
+    from repro.obs.export import Exposition
+    from repro.service import TelemetrySampler
+
+    class FakeScheduler:
+        def stats(self):
+            return {
+                "workers": 4,
+                "workers_alive": 4,
+                "workers_busy": 3,
+                "workers_respawned": 1,
+                "queued": 7,
+                "inflight": 9,
+                "uptime_seconds": 12.5,
+                "draining": True,
+            }
+
+    sampler = TelemetrySampler(FakeScheduler(), interval=3600.0)
+    sampler.sample()
+    gauges = sampler.gauges()
+    assert gauges["queue_depth"] == 7.0
+    assert gauges["worker_utilization"] == 0.75
+    assert gauges["draining"] == 1.0
+    exposition = Exposition()
+    sampler.render_into(exposition)
+    families = parse_exposition(exposition.render())
+    assert families["repro_service_inflight_jobs"].samples[0][2] == 9.0
+    assert families["repro_service_workers_respawned"].samples[0][2] == 1.0
+
+
 def test_digest_covers_timing_flag():
     base = design_digest(benchmark_verilog("xor2"), "xor2")
     timed = design_digest(

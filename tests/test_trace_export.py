@@ -11,6 +11,8 @@ intentional format change) with::
 import json
 from pathlib import Path
 
+import pytest
+
 from repro.obs import Span, to_chrome_trace, to_prometheus
 from repro.obs.render import trace_to_json
 
@@ -127,6 +129,10 @@ class TestPrometheusExport:
     def test_exposition_shape(self):
         text = to_prometheus(golden_trace())
         assert "# TYPE repro_sat_conflicts_total counter" in text
+        assert (
+            "# HELP repro_sat_conflicts_total "
+            "Accumulated sat.conflicts over all spans." in text
+        )
         assert "repro_sat_conflicts_total 12" in text
         # Counters aggregate across the whole tree (both workers).
         assert "repro_sweeps_total 200" in text
@@ -143,6 +149,80 @@ class TestPrometheusExport:
     def test_metric_names_sanitized(self):
         span = Span("weird", counters={"a.b-c d": 1.0})
         assert "repro_a_b_c_d_total 1" in to_prometheus(span)
+
+    def test_min_max_are_separate_gauge_families(self):
+        # A summary family may only contain quantile/_sum/_count
+        # series; _min/_max must be their own gauge families or strict
+        # parsers reject the whole exposition.
+        text = to_prometheus(golden_trace())
+        assert "# TYPE repro_exact_cnf_clauses_min gauge" in text
+        assert "# TYPE repro_exact_cnf_clauses_max gauge" in text
+
+
+class TestStrictExpositionParse:
+    def parse(self, text):
+        from tests.promparse import parse_exposition
+
+        return parse_exposition(text)
+
+    def test_golden_parses_strictly(self):
+        families = self.parse(to_prometheus(golden_trace()))
+        clauses = families["repro_exact_cnf_clauses"]
+        assert clauses.kind == "summary"
+        quantiles = [
+            labels["quantile"]
+            for name, labels, _ in clauses.samples
+            if name == "repro_exact_cnf_clauses"
+        ]
+        assert "0.5" in quantiles and "0.99" in quantiles
+        assert families["repro_exact_cnf_clauses_min"].kind == "gauge"
+        assert families["repro_span_calls_total"].kind == "counter"
+        assert all(family.help for family in families.values())
+
+    def test_label_escaping_round_trips(self):
+        from repro.obs.export import Exposition
+
+        hostile = 'a"b\\c\nd'
+        exposition = Exposition()
+        exposition.family("m", "gauge", "Help with \\ and\nnewline.")
+        exposition.sample("m", 1.0, route=hostile)
+        families = self.parse(exposition.render())
+        ((_, labels, value),) = families["m"].samples
+        assert labels["route"] == hostile
+        assert value == 1.0
+
+    def test_parser_rejects_structural_violations(self):
+        from tests.promparse import ExpositionError
+
+        # Sample without a declared family.
+        with pytest.raises(ExpositionError, match="no declared family"):
+            self.parse("orphan 1\n")
+        # TYPE without its HELP.
+        with pytest.raises(ExpositionError, match="preceding HELP"):
+            self.parse("# TYPE m gauge\nm 1\n")
+        # Family declared twice (non-contiguous).
+        with pytest.raises(ExpositionError, match="declared twice"):
+            self.parse(
+                "# HELP m a\n# TYPE m gauge\nm 1\n"
+                "# HELP n b\n# TYPE n gauge\nn 1\n"
+                "# HELP m a\n# TYPE m gauge\nm 2\n"
+            )
+        # Interleaved sample from an earlier family.
+        with pytest.raises(ExpositionError, match="contiguous"):
+            self.parse(
+                "# HELP m a\n# TYPE m gauge\nm 1\n"
+                "# HELP n b\n# TYPE n gauge\nm 2\n"
+            )
+        # Illegal escape in a label value.
+        with pytest.raises(ExpositionError, match="illegal escape"):
+            self.parse(
+                '# HELP m a\n# TYPE m gauge\nm{l="a\\t"} 1\n'
+            )
+        # quantile label outside a summary.
+        with pytest.raises(ExpositionError, match="quantile"):
+            self.parse(
+                '# HELP m a\n# TYPE m gauge\nm{quantile="0.5"} 1\n'
+            )
 
 
 class TestCliExport:

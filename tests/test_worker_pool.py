@@ -110,6 +110,37 @@ def test_worker_crash_fails_job_and_respawns(tmp_path):
         assert survivor.worker_pid != crashed_pid
 
 
+def test_span_capture_survives_worker_respawn(tmp_path):
+    # A worker killed mid-job ships no span for the victim, but the
+    # respawned replacement's capture pipe must be fully wired: the
+    # next job gets a merged span tree, stamped with its trace id.
+    trace_id = "f" * 32
+    with JobScheduler(ArtifactStore(tmp_path), workers=1) as scheduler:
+        victim = scheduler.submit(benchmark_verilog("c17"), name="victim")
+        _wait_running(scheduler, victim)
+        # Queue the next job *before* the kill, so the crash happens
+        # with work pending and the pool respawns immediately.
+        survivor = scheduler.submit(
+            benchmark_verilog("xor2"), name="survivor", trace_id=trace_id
+        )
+        os.kill(victim.worker_pid, signal.SIGKILL)
+        assert victim.wait(120) and victim.status == "failed"
+        assert scheduler.job_trace(victim.id) is None
+
+        assert survivor.wait(120) and survivor.status == "done", (
+            survivor.error
+        )
+        assert scheduler.stats()["workers_respawned"] == 1
+        span = scheduler.job_trace(survivor.id)
+        assert span is not None
+        assert span.attributes["trace_id"] == trace_id
+        assert span.attributes["job"] == survivor.id
+        assert span.find("design_flow") is not None
+        # The victim still has no trace, and unknown ids return None.
+        assert scheduler.job_trace(victim.id) is None
+        assert scheduler.job_trace("j-never-existed") is None
+
+
 def test_lazy_spawn_skips_workers_on_cache_hits(tmp_path):
     store = ArtifactStore(tmp_path)
     verilog = benchmark_verilog("xor2")
