@@ -1,0 +1,57 @@
+"""Learned-guidance flywheel: collect, train, screen, verify.
+
+Runs :func:`repro.learn.perfbench.run_learn_benchmark` -- bootstrap
+collection through the ground-state oracle, surrogate training, a
+ranked-screening race on the or-core candidate pool, and a Bestagon
+library sweep with collection on vs. off -- prints the table and
+writes ``benchmarks/artifacts/BENCH_learn.json``.
+
+Gates: held-out AUC >= 0.85, unguided/guided screening wall-clock
+ratio >= 1.5x, and bit-identical library-sweep verdicts (the surrogate
+re-orders physics, it never replaces it).
+"""
+
+from pathlib import Path
+
+from conftest import print_header
+from repro.learn.perfbench import (
+    AUC_FLOOR,
+    SPEEDUP_FLOOR,
+    run_learn_benchmark,
+)
+from repro.obs.perfbench import write_benchmark_json
+
+ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_learn.json"
+
+
+def test_learn_guidance(benchmark):
+    record = benchmark.pedantic(
+        run_learn_benchmark, rounds=1, iterations=1
+    )
+    write_benchmark_json(record, ARTIFACT)
+
+    print_header("Learned guidance: surrogate-ranked gate screening")
+    print(f"  bootstrap examples   {record['examples']:>8} "
+          f"({record['collect_seconds']:.1f}s to collect)")
+    print(f"  held-out AUC         {record['auc']:>8.4f} "
+          f"(floor {record['auc_floor']})")
+    print(f"  unguided screening   {record['unguided_seconds']:>7.2f}s "
+          f"(median of {len(record['unguided_all_seconds'])} orders)")
+    print(f"  guided screening     {record['guided_seconds']:>7.2f}s "
+          f"({record['guided_evaluations']} physics evaluations)")
+    print(f"  speedup              {record['speedup']:>7.2f}x "
+          f"(floor {record['speedup_floor']}x)")
+    print(f"  verdict equality     {record['verdict_equality']} "
+          f"over {len(record['sweep_tiles'])} tiles")
+    print(f"  artifact: {ARTIFACT}")
+
+    assert record["auc"] >= AUC_FLOOR, (
+        f"held-out AUC {record['auc']:.4f} below {AUC_FLOOR}"
+    )
+    assert record["speedup"] >= SPEEDUP_FLOOR, (
+        f"screening speedup {record['speedup']:.2f}x below "
+        f"{SPEEDUP_FLOOR}x"
+    )
+    assert record["verdict_equality"], (
+        "library sweep verdicts changed with learn collection enabled"
+    )

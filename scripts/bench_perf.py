@@ -10,7 +10,11 @@ flow (``benchmarks/artifacts/BENCH_obs.json``) and fails when the
 disabled-mode no-op path costs more than 2% of the flow, and the
 design service's cache + warm-worker-pool load benchmarks
 (``benchmarks/artifacts/BENCH_service.json``), failing when the warm
-pool beats process-per-job by less than 3x on a 50-job burst.
+pool beats process-per-job by less than 3x on a 50-job burst, and the
+learned-guidance flywheel (``benchmarks/artifacts/BENCH_learn.json``),
+failing when the surrogate's held-out AUC drops below 0.85, ranked
+screening beats the unguided scan by less than 1.5x, or a library
+sweep with collection enabled changes any verdict.
 
 Usage::
 
@@ -29,8 +33,14 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.learn.perfbench import (  # noqa: E402
+    AUC_FLOOR,
+    SPEEDUP_FLOOR,
+    run_learn_benchmark,
+)
 from repro.obs.perfbench import (  # noqa: E402
     DISABLED_OVERHEAD_LIMIT,
+    run_learn_hook_overhead_benchmark,
     run_overhead_benchmark,
     run_worker_overhead_benchmark,
     write_benchmark_json as write_obs_json,
@@ -64,6 +74,7 @@ QUICKEXACT_ARTIFACT = (
     REPO / "benchmarks" / "artifacts" / "BENCH_quickexact.json"
 )
 TIMING_ARTIFACT = REPO / "benchmarks" / "artifacts" / "BENCH_timing.json"
+LEARN_ARTIFACT = REPO / "benchmarks" / "artifacts" / "BENCH_learn.json"
 
 #: Minimum QuickExact-over-ExGS speedup at the gate size.
 QUICKEXACT_SPEEDUP_LIMIT = 10.0
@@ -113,7 +124,9 @@ def main() -> int:
 
     obs_record = run_overhead_benchmark()
     worker_record = run_worker_overhead_benchmark()
+    learn_hook_record = run_learn_hook_overhead_benchmark()
     obs_record["workers2"] = worker_record
+    obs_record["learn_hooks"] = learn_hook_record
     obs_path = write_obs_json(obs_record, OBS_ARTIFACT)
     print(
         f"  obs overhead on {obs_record['benchmark']}: "
@@ -129,6 +142,12 @@ def main() -> int:
         f"disabled {worker_record['disabled_seconds']:.3f}s "
         f"({worker_record['disabled_overhead'] * 100:+.2f}%)"
     )
+    print(
+        f"  obs overhead on {learn_hook_record['benchmark']}: "
+        f"stub {learn_hook_record['stub_seconds']:.3f}s  "
+        f"disabled {learn_hook_record['disabled_seconds']:.3f}s "
+        f"({learn_hook_record['disabled_overhead'] * 100:+.2f}%)"
+    )
     print(f"  artifact: {obs_path}")
     if obs_record["disabled_overhead"] >= DISABLED_OVERHEAD_LIMIT:
         failures.append(
@@ -141,6 +160,12 @@ def main() -> int:
             f"disabled-mode observability overhead with workers=2 is "
             f"{worker_record['disabled_overhead'] * 100:.2f}% (limit "
             f"{DISABLED_OVERHEAD_LIMIT * 100:.0f}%)"
+        )
+    if learn_hook_record["disabled_overhead"] >= DISABLED_OVERHEAD_LIMIT:
+        failures.append(
+            f"disabled-mode learn-hook overhead "
+            f"{learn_hook_record['disabled_overhead'] * 100:.2f}% exceeds "
+            f"{DISABLED_OVERHEAD_LIMIT * 100:.0f}%"
         )
 
     if arguments.full:
@@ -253,6 +278,33 @@ def main() -> int:
                 f"{native.get('wns_phases')} (expected fully pipelined, 0)"
             )
 
+    learn_record = run_learn_benchmark()
+    learn_path = write_obs_json(learn_record, LEARN_ARTIFACT)
+    print(
+        f"  learn on {learn_record['benchmark']}: "
+        f"AUC {learn_record['auc']:.4f}  "
+        f"unguided {learn_record['unguided_seconds']:.2f}s  "
+        f"guided {learn_record['guided_seconds']:.2f}s "
+        f"({learn_record['guided_evaluations']} evals)  "
+        f"speedup {learn_record['speedup']:.1f}x  "
+        f"verdicts equal {learn_record['verdict_equality']}"
+    )
+    print(f"  artifact: {learn_path}")
+    if learn_record["auc"] < AUC_FLOOR:
+        failures.append(
+            f"surrogate held-out AUC {learn_record['auc']:.4f} below "
+            f"{AUC_FLOOR}"
+        )
+    if learn_record["speedup"] < SPEEDUP_FLOOR:
+        failures.append(
+            f"guided screening only {learn_record['speedup']:.2f}x over "
+            f"the unguided scan (limit {SPEEDUP_FLOOR}x)"
+        )
+    if not learn_record["verdict_equality"]:
+        failures.append(
+            "library sweep verdicts changed with learn collection enabled"
+        )
+
     # Trend tracking: log this run and gate against the rolling best.
     sys.path.insert(0, str(REPO / "scripts"))
     import bench_trend  # noqa: E402
@@ -262,7 +314,10 @@ def main() -> int:
         f"  trend: appended {sorted(trend_record['metrics'])} to "
         f"{bench_trend.HISTORY.relative_to(REPO)}"
     )
-    failures.extend(bench_trend.check_history())
+    trend_warnings: list[str] = []
+    failures.extend(bench_trend.check_history(warnings=trend_warnings))
+    for warning in trend_warnings:
+        print(f"WARN (unconfirmed, not gating): {warning}")
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

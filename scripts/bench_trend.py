@@ -4,10 +4,18 @@
 Every ``scripts/bench_perf.py`` run appends one timestamped record to
 ``benchmarks/artifacts/BENCH_history.jsonl`` with the tracked metrics
 of that run (all lower-is-better seconds).  ``--check`` re-reads the
-log and fails (exit 1) when the most recent record regresses more than
+log and fails (exit 1) when a metric regresses more than
 :data:`REGRESSION_THRESHOLD` (20%) against the rolling best of the
-preceding :data:`ROLLING_WINDOW` records -- the cross-PR complement to
-the in-run gates of ``bench_perf.py``.
+preceding :data:`ROLLING_WINDOW` records in **each of the latest
+:data:`CONFIRM_RECORDS` records** -- the cross-PR complement to the
+in-run gates of ``bench_perf.py``.  A regression seen in the latest
+record only is printed as a warning, not a failure: even
+calibration-normalized values of the multi-process benchmarks swing
+50%+ between runs on a noisy shared box (the single-threaded
+calibration workload under-corrects for co-tenancy), so a one-record
+spike is overwhelmingly noise, while a real regression -- introduced
+by a PR and therefore present in every subsequent run -- confirms on
+the next ``bench_perf`` run and fails then.
 
 Raw wall-clock seconds are not comparable across runs on shared
 hardware: the same code measures 1.5x slower when a noisy neighbour
@@ -49,6 +57,13 @@ REGRESSION_THRESHOLD = 0.20
 
 #: How many preceding records the rolling best is taken over.
 ROLLING_WINDOW = 10
+
+#: A regression only fails when it exceeds the threshold in each of
+#: this many trailing records (vs. each record's own rolling best).
+#: One-record spikes are warnings: shared-box co-tenancy moves even
+#: normalized multi-process timings far past the threshold in a single
+#: run, while a genuine code regression persists into every later run.
+CONFIRM_RECORDS = 2
 
 #: Annealer gate size whose batch time is tracked (matches
 #: ``repro.sidb.perfbench.GATE_SIZE``).
@@ -133,6 +148,13 @@ def collect_metrics() -> dict[str, float]:
                     found = True
         if found:
             metrics["timing_sta_trindade_seconds"] = seconds
+    learn = ARTIFACTS / "BENCH_learn.json"
+    if learn.exists():
+        record = json.loads(learn.read_text())
+        if "guided_seconds" in record:
+            metrics["learn_guided_design_seconds"] = record[
+                "guided_seconds"
+            ]
     service = ARTIFACTS / "BENCH_service.json"
     if service.exists():
         record = json.loads(service.read_text())
@@ -174,53 +196,102 @@ def append_history(path: Path = HISTORY) -> dict:
     return record
 
 
+def _slowdown_at(
+    records: list[dict],
+    index: int,
+    name: str,
+    threshold: float,
+    window: int,
+) -> tuple[float, str] | None:
+    """Slowdown of metric *name* at record *index* vs. its rolling best.
+
+    Returns ``(slowdown, message)``, or ``None`` when no verdict is
+    possible: the metric is absent from the record, no comparable
+    baseline exists in the *window* records preceding it, or the
+    record's calibration is unusable.  Calibrated records (those
+    carrying ``calibration_seconds``) are compared on
+    machine-speed-normalized values; records without the field are
+    only comparable to each other, so the two populations never gate
+    across the calibration boundary.
+    """
+    record = records[index]
+    if name not in record.get("metrics", {}):
+        return None
+    calibration = record.get("calibration_seconds")
+    comparable = []
+    for prior in records[max(0, index - window) : index]:
+        if name not in prior.get("metrics", {}):
+            continue
+        prior_calibration = prior.get("calibration_seconds")
+        if (prior_calibration is None) != (calibration is None):
+            continue
+        if prior_calibration is None:
+            comparable.append(prior["metrics"][name])
+        elif prior_calibration > 0:
+            comparable.append(
+                prior["metrics"][name] / prior_calibration
+            )
+    baseline = min(comparable, default=None)
+    if baseline is None or baseline <= 0:
+        return None
+    if calibration is None:
+        current, unit = record["metrics"][name], "s"
+    elif calibration > 0:
+        current = record["metrics"][name] / calibration
+        unit = "x calibration"
+    else:
+        return None
+    slowdown = current / baseline - 1.0
+    message = (
+        f"{name}: {current:.4f}{unit} is {slowdown * 100:.1f}% "
+        f"over the rolling best {baseline:.4f}{unit} "
+        f"(limit +{threshold * 100:.0f}%)"
+    )
+    return slowdown, message
+
+
 def check_history(
     path: Path = HISTORY,
     threshold: float = REGRESSION_THRESHOLD,
     window: int = ROLLING_WINDOW,
+    warnings: list[str] | None = None,
 ) -> list[str]:
-    """Regressions of the latest record vs. the rolling best; [] is OK.
+    """Confirmed regressions of the latest record; [] is OK.
 
-    Calibrated records (those carrying ``calibration_seconds``) are
-    compared on machine-speed-normalized values; records without the
-    field are only comparable to each other, so the two populations
-    never gate across the calibration boundary.
+    A metric fails only when it exceeds *threshold* over its rolling
+    best in each of the latest :data:`CONFIRM_RECORDS` records (each
+    judged against the window preceding *it*).  A regression seen in
+    the latest record alone is appended to *warnings* (when given)
+    instead -- a single spike on a shared box is noise, and a real
+    regression confirms on the next appended record.
     """
     records = load_history(path)
     if len(records) < 2:
         return []
-    latest = records[-1].get("metrics", {})
-    latest_calibration = records[-1].get("calibration_seconds")
-    previous = records[-1 - window : -1]
     failures = []
-    for name, value in sorted(latest.items()):
-        comparable = []
-        for record in previous:
-            if name not in record.get("metrics", {}):
-                continue
-            calibration = record.get("calibration_seconds")
-            if (calibration is None) != (latest_calibration is None):
-                continue
-            if calibration is None:
-                comparable.append(record["metrics"][name])
-            elif calibration > 0:
-                comparable.append(record["metrics"][name] / calibration)
-        baseline = min(comparable, default=None)
-        if baseline is None or baseline <= 0:
+    latest_index = len(records) - 1
+    for name in sorted(records[-1].get("metrics", {})):
+        verdict = _slowdown_at(
+            records, latest_index, name, threshold, window
+        )
+        if verdict is None or verdict[0] <= threshold:
             continue
-        if latest_calibration is None:
-            current, unit = value, "s"
-        elif latest_calibration > 0:
-            current, unit = value / latest_calibration, "x calibration"
-        else:
-            continue
-        slowdown = current / baseline - 1.0
-        if slowdown > threshold:
-            failures.append(
-                f"{name}: {current:.4f}{unit} is {slowdown * 100:.1f}% "
-                f"over the rolling best {baseline:.4f}{unit} "
-                f"(limit +{threshold * 100:.0f}%)"
+        confirmed = True
+        for back in range(1, CONFIRM_RECORDS):
+            prior = (
+                _slowdown_at(
+                    records, latest_index - back, name, threshold, window
+                )
+                if latest_index - back > 0
+                else None
             )
+            if prior is None or prior[0] <= threshold:
+                confirmed = False
+                break
+        if confirmed:
+            failures.append(verdict[1])
+        elif warnings is not None:
+            warnings.append(verdict[1])
     return failures
 
 
@@ -233,7 +304,10 @@ def main() -> int:
     arguments = parser.parse_args()
 
     if arguments.check:
-        failures = check_history()
+        warnings: list[str] = []
+        failures = check_history(warnings=warnings)
+        for warning in warnings:
+            print(f"WARN (unconfirmed, not gating): {warning}")
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}", file=sys.stderr)
@@ -252,7 +326,10 @@ def main() -> int:
     print(
         f"  calibration: {record['calibration_seconds']:.4f}s"
     )
-    failures = check_history()
+    warnings = []
+    failures = check_history(warnings=warnings)
+    for warning in warnings:
+        print(f"WARN (unconfirmed, not gating): {warning}")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -1,0 +1,266 @@
+"""CI gate for the learned-guidance dataset and model schemas.
+
+Guards the serialization contracts of :mod:`repro.learn` (dataset
+schema :data:`~repro.learn.dataset.DATASET_SCHEMA_VERSION`, model
+schema :data:`~repro.learn.model.MODEL_SCHEMA_VERSION`, featurizer
+:data:`~repro.learn.features.FEATURE_VERSION`):
+
+* the committed golden shard (``tests/golden/learn_shard.jsonl``) and
+  golden model (``tests/golden/learn_model.json``) still parse under
+  the current schema validators and re-serialize **byte-identically**
+  -- any drift in the record layout, the feature names, or a version
+  constant without regenerating the goldens fails the gate;
+* a fresh self-check corpus round-trips: featurize a real candidate
+  (twice -- byte-identical), write/parse a JSONL shard and an ``.npz``
+  shard, train/save/load a tiny model, and confirm the validators
+  *reject* wrong schema versions and wrong feature names instead of
+  silently misparsing.
+
+Passing file paths validates those shard (``.jsonl``/``.npz``) or
+model (``.json``) files instead, e.g. a collected production shard::
+
+    PYTHONPATH=src python scripts/check_learn_schema.py
+    PYTHONPATH=src python scripts/check_learn_schema.py shards/shard-ab12.jsonl
+    PYTHONPATH=src python scripts/check_learn_schema.py --regenerate
+
+``--regenerate`` rewrites the golden files from the current schema
+(use after an intentional, version-bumped schema change).
+"""
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+GOLDEN_SHARD = REPO / "tests" / "golden" / "learn_shard.jsonl"
+GOLDEN_MODEL = REPO / "tests" / "golden" / "learn_model.json"
+
+from repro.coords.lattice import LatticeSite  # noqa: E402
+from repro.learn.dataset import (  # noqa: E402
+    DATASET_SCHEMA_VERSION,
+    Example,
+    dumps_shard,
+    load_examples,
+    parse_shard,
+    write_shard_npz,
+)
+from repro.learn.features import (  # noqa: E402
+    FEATURE_NAMES,
+    FEATURE_VERSION,
+    CandidateGeometry,
+    featurize_candidate,
+)
+from repro.learn.model import (  # noqa: E402
+    MODEL_SCHEMA_VERSION,
+    SurrogateModel,
+    train_surrogate,
+)
+from repro.networks.truth_table import TruthTable  # noqa: E402
+from repro.sidb.bdl import BdlPair  # noqa: E402
+
+
+def _reference_candidates() -> list[CandidateGeometry]:
+    """Small fixed wire-like candidates (no physics; featurize only)."""
+
+    def S(n: int, row: int) -> LatticeSite:
+        return LatticeSite.from_row(n, row)
+
+    body = tuple(S(0, r) for r in (0, 2, 6, 8, 12, 14))
+    stimuli = (((S(0, -6),), (S(0, -2),)),)
+    pair = (BdlPair(S(0, 12), S(0, 14)),)
+    tables = (TruthTable(1, 0b10),)
+    plain = CandidateGeometry(
+        sites=body, canvas=(), input_stimuli=stimuli,
+        output_pairs=pair, outputs=tables, name="golden-wire",
+    )
+    decorated = CandidateGeometry(
+        sites=body + (S(2, 6), S(2, 8)), canvas=(S(2, 6), S(2, 8)),
+        input_stimuli=stimuli, output_pairs=pair, outputs=tables,
+        name="golden-wire-decorated",
+    )
+    return [plain, decorated]
+
+
+def _reference_examples() -> list[Example]:
+    examples = []
+    for index, candidate in enumerate(_reference_candidates()):
+        vector = featurize_candidate(candidate)
+        examples.append(
+            Example(
+                features=tuple(float(x) for x in vector),
+                correct=index, total=2, kind="canvas",
+                name=candidate.name,
+            )
+        )
+    return examples
+
+
+def _reference_model() -> SurrogateModel:
+    """A tiny deterministic model trained on a fixed synthetic matrix."""
+    rng = np.random.default_rng(7)
+    features = rng.standard_normal((48, len(FEATURE_NAMES)))
+    labels = (features[:, 0] + 0.5 * features[:, 1] > 0).astype(float)
+    return train_surrogate(features, labels, seed=7, stump_rounds=4)
+
+
+def regenerate() -> None:
+    GOLDEN_SHARD.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_SHARD.write_text(
+        dumps_shard(_reference_examples()), encoding="utf-8"
+    )
+    _reference_model().save(GOLDEN_MODEL)
+    print(f"wrote {GOLDEN_SHARD.relative_to(REPO)}")
+    print(f"wrote {GOLDEN_MODEL.relative_to(REPO)}")
+
+
+def check_goldens() -> list[str]:
+    """Golden round-trip: parse under current validators, re-serialize
+    byte-identically."""
+    problems = []
+    if not GOLDEN_SHARD.exists():
+        return [f"missing golden shard {GOLDEN_SHARD}; run --regenerate"]
+    if not GOLDEN_MODEL.exists():
+        return [f"missing golden model {GOLDEN_MODEL}; run --regenerate"]
+    shard_text = GOLDEN_SHARD.read_text(encoding="utf-8")
+    try:
+        examples = parse_shard(shard_text, str(GOLDEN_SHARD))
+    except ValueError as error:
+        return [f"golden shard rejected: {error}"]
+    if dumps_shard(examples) != shard_text:
+        problems.append(
+            "golden shard does not re-serialize byte-identically; the "
+            "record layout drifted -- bump DATASET_SCHEMA_VERSION and "
+            "--regenerate"
+        )
+    fresh = [example.features for example in _reference_examples()]
+    if [example.features for example in examples] != fresh:
+        problems.append(
+            "featurizer output for the golden candidates changed; bump "
+            "FEATURE_VERSION and --regenerate"
+        )
+    model_text = GOLDEN_MODEL.read_text(encoding="utf-8")
+    try:
+        model = SurrogateModel.from_dict(json.loads(model_text))
+    except ValueError as error:
+        problems.append(f"golden model rejected: {error}")
+        return problems
+    reserialized = (
+        json.dumps(model.to_dict(), indent=1, sort_keys=True) + "\n"
+    )
+    if reserialized != model_text:
+        problems.append(
+            "golden model does not re-serialize byte-identically; the "
+            "document layout drifted -- bump MODEL_SCHEMA_VERSION and "
+            "--regenerate"
+        )
+    return problems
+
+
+def self_check() -> list[str]:
+    """Fresh-corpus round-trips and wrong-version rejection."""
+    problems = []
+    candidates = _reference_candidates()
+    for candidate in candidates:
+        first = featurize_candidate(candidate).tobytes()
+        second = featurize_candidate(candidate).tobytes()
+        if first != second:
+            problems.append(
+                f"featurization of {candidate.name!r} is not "
+                "byte-deterministic"
+            )
+    examples = _reference_examples()
+    parsed = parse_shard(dumps_shard(examples))
+    if parsed != examples:
+        problems.append("JSONL shard round-trip lost examples")
+    with tempfile.TemporaryDirectory() as tmp:
+        npz = write_shard_npz(Path(tmp) / "shard.npz", examples)
+        loaded = load_examples(npz)
+        if [tuple(row) for row in loaded.features] != [
+            example.features for example in examples
+        ]:
+            problems.append(".npz shard round-trip lost features")
+        model = _reference_model()
+        saved = model.save(Path(tmp) / "model.json")
+        reloaded = SurrogateModel.load(saved)
+        if reloaded.to_dict() != model.to_dict():
+            problems.append("model save/load round-trip drifted")
+        probe = np.array([examples[0].features, examples[1].features])
+        probabilities = reloaded.predict_proba(probe)
+        if not np.all((probabilities >= 0) & (probabilities <= 1)):
+            problems.append("model probabilities left [0, 1]")
+
+    # Wrong versions and wrong feature names must be *rejected*.
+    bad_header = json.loads(dumps_shard([]).splitlines()[0])
+    bad_header["schema_version"] = DATASET_SCHEMA_VERSION + 1
+    try:
+        parse_shard(
+            json.dumps(bad_header, sort_keys=True) + "\n", "<bad>"
+        )
+        problems.append("shard with wrong schema_version was accepted")
+    except ValueError:
+        pass
+    bad_model = _reference_model().to_dict()
+    bad_model["feature_version"] = FEATURE_VERSION + 1
+    try:
+        SurrogateModel.from_dict(bad_model)
+        problems.append("model with wrong feature_version was accepted")
+    except ValueError:
+        pass
+    worse_model = _reference_model().to_dict()
+    worse_model["feature_names"] = list(
+        reversed(worse_model["feature_names"])
+    )
+    try:
+        SurrogateModel.from_dict(worse_model)
+        problems.append("model with reordered feature names was accepted")
+    except ValueError:
+        pass
+    return problems
+
+
+def check_files(paths: list[str]) -> list[str]:
+    problems = []
+    for raw in paths:
+        path = Path(raw)
+        try:
+            if path.suffix == ".json":
+                SurrogateModel.load(path)
+                print(f"{path}: model ok")
+            else:
+                dataset = load_examples(path)
+                print(f"{path}: shard ok ({len(dataset)} example(s))")
+        except (ValueError, OSError, KeyError) as error:
+            problems.append(f"{path}: {error}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if "--regenerate" in argv:
+        regenerate()
+        argv = [a for a in argv if a != "--regenerate"]
+    if argv:
+        problems = check_files(argv)
+    else:
+        problems = check_goldens() + self_check()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(
+            f"learn schema check FAILED: {len(problems)} problem(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"learn schemas ok: dataset v{DATASET_SCHEMA_VERSION}, "
+        f"model v{MODEL_SCHEMA_VERSION}, features v{FEATURE_VERSION} "
+        f"({len(FEATURE_NAMES)} features), "
+        f"goldens round-trip byte-identically"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

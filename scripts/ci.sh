@@ -14,6 +14,9 @@ PYTHONPATH=src python scripts/bench_trend.py --check
 echo "== structured log schema =="
 PYTHONPATH=src python scripts/check_log_schema.py
 
+echo "== learn dataset/model schema =="
+PYTHONPATH=src python scripts/check_learn_schema.py
+
 echo "== design service smoke =="
 PYTHONPATH=src python scripts/service_smoke.py
 

@@ -401,7 +401,24 @@ def stage_xor_canvas():
 
 if __name__ == "__main__":
     start = time.time()
-    stages = sys.argv[1:] or [
+    arguments = sys.argv[1:]
+    collector = None
+    if "--collect" in arguments:
+        # Buffer every physics-labeled canvas candidate the designer
+        # stages evaluate (the score_design hook covers stage_xor_canvas)
+        # into a training shard under the given directory.
+        from repro.learn import hooks as learn_hooks
+        from repro.learn.dataset import ExampleCollector
+
+        where = arguments.index("--collect")
+        try:
+            collect_dir = arguments[where + 1]
+        except IndexError:
+            sys.exit("--collect requires a directory argument")
+        del arguments[where:where + 2]
+        collector = ExampleCollector(collect_dir)
+        learn_hooks.set_collector(collector)
+    stages = arguments or [
         "wires", "inverter", "fanout", "two_input", "crossing", "xor",
     ]
     dispatch = {
@@ -415,4 +432,13 @@ if __name__ == "__main__":
     for stage in stages:
         print(f"=== stage {stage} ({time.time() - start:.0f}s)", flush=True)
         dispatch[stage]()
+    if collector is not None:
+        shard = collector.flush()
+        if shard is None:
+            print(
+                "collected no examples (only the xor stage evaluates "
+                "through the hooked designer)", flush=True,
+            )
+        else:
+            print(f"collected examples -> {shard}", flush=True)
     print(f"ALL DONE in {time.time() - start:.0f}s", flush=True)

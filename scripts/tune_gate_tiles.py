@@ -99,7 +99,28 @@ def tune(kind: str) -> dict | None:
 
 
 if __name__ == "__main__":
-    kinds = sys.argv[1:] or ["and", "or", "nand", "xor"]
+    arguments = sys.argv[1:]
+    collector = None
+    if "--collect" in arguments:
+        # Buffer every tile-context operational check (the library
+        # validate path fires the check_operational learn hook) into a
+        # training shard.  Collection is in-process, so force a serial
+        # scan -- worker processes would evaluate behind the hook's back.
+        from repro.learn import hooks as learn_hooks
+        from repro.learn.dataset import ExampleCollector
+
+        where = arguments.index("--collect")
+        try:
+            collect_dir = arguments[where + 1]
+        except IndexError:
+            sys.exit("--collect requires a directory argument")
+        del arguments[where:where + 2]
+        collector = ExampleCollector(collect_dir)
+        learn_hooks.set_collector(collector)
+        if WORKERS > 1:
+            print("--collect forces a serial scan (workers=1)", flush=True)
+            WORKERS = 1
+    kinds = arguments or ["and", "or", "nand", "xor"]
     data = json.load(open(OUT)) if os.path.exists(OUT) else {}
     tile_section = data.setdefault("two_input_tile", {})
     for kind in kinds:
@@ -109,3 +130,9 @@ if __name__ == "__main__":
             tile_section[kind] = [core]
             json.dump(data, open(OUT, "w"), indent=1, sort_keys=True)
             print(f"saved {kind}: {core}", flush=True)
+    if collector is not None:
+        shard = collector.flush()
+        if shard is None:
+            print("collected no examples", flush=True)
+        else:
+            print(f"collected examples -> {shard}", flush=True)

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro import obs
 from repro.coords.lattice import LatticeSite
+from repro.learn import hooks as _learn_hooks
 from repro.networks.truth_table import TruthTable
 from repro.sidb.bdl import BdlPair, read_bdl_pair
 from repro.sidb.charge import SidbLayout
@@ -54,7 +55,11 @@ def score_design(
             for bit, (far, close) in enumerate(problem.input_stimuli):
                 layout.extend(close if (pattern >> bit) & 1 else far)
         except ValueError:
-            return 0, total  # canvas collides with fixed/stimulus sites
+            # Canvas collides with fixed/stimulus sites; still a
+            # legitimate (always-negative) training example.
+            if _learn_hooks.COLLECTOR is not None:
+                _learn_hooks.record_canvas(problem, canvas, 0, total)
+            return 0, total
         result = exhaustive_ground_state(layout, problem.parameters)
         if not result.ground_states:
             continue
@@ -74,7 +79,76 @@ def score_design(
                 break
         if ok:
             correct += 1
+    if _learn_hooks.COLLECTOR is not None:
+        _learn_hooks.record_canvas(problem, canvas, correct, total)
     return correct, total
+
+
+def _propose_mutation(
+    rng: random.Random,
+    current: frozenset[LatticeSite],
+    candidates: list[LatticeSite],
+    max_dots: int,
+) -> frozenset[LatticeSite] | None:
+    """One add/remove/move mutation of ``current`` (``None``: no-op)."""
+    move = rng.random()
+    next_canvas = set(current)
+    if (move < 0.45 or not next_canvas) and len(next_canvas) < max_dots:
+        addition = rng.choice(candidates)
+        if addition in next_canvas:
+            return None
+        next_canvas.add(addition)
+    elif move < 0.75 and next_canvas:
+        next_canvas.discard(rng.choice(sorted(next_canvas)))
+    elif next_canvas:
+        next_canvas.discard(rng.choice(sorted(next_canvas)))
+        addition = rng.choice(candidates)
+        next_canvas.add(addition)
+    else:
+        return None
+    return frozenset(next_canvas)
+
+
+def screen_canvas_candidates(
+    problem: CanvasSearchProblem,
+    canvases,
+    guide=None,
+) -> tuple[frozenset[LatticeSite], int, int] | None:
+    """First *verified* operational canvas in a candidate pool.
+
+    Physics-evaluates the pool in order until a canvas scores
+    correct == total and returns it (``None`` when the pool holds no
+    operational design).  With ``guide`` (a
+    :class:`~repro.learn.guide.SurrogateGuide`) the pool is first
+    re-ordered by descending predicted operability, so a good surrogate
+    moves the hit from the pool's positive rate (~1/rate evaluations)
+    to the first few -- but the returned design still carries a full
+    ground-state verdict either way, and an exhausted pool is
+    exhausted regardless of order.
+    """
+    canvases = list(canvases)
+    with obs.span("gatelib.canvas_screen") as span:
+        span.set("pool", len(canvases))
+        probabilities = None
+        if guide is not None:
+            span.set("guided", True)
+            probabilities = guide.probabilities(problem, canvases)
+            order = sorted(
+                range(len(canvases)), key=lambda i: -probabilities[i]
+            )
+        else:
+            order = list(range(len(canvases)))
+        for rank, index in enumerate(order):
+            span.add("evaluations")
+            correct, total = score_design(problem, canvases[index])
+            if probabilities is not None:
+                guide.observe(
+                    float(probabilities[index]), correct == total
+                )
+            if correct == total:
+                span.set("hit_rank", rank)
+                return canvases[index], correct, total
+        return None
 
 
 def search_canvas_design(
@@ -83,12 +157,21 @@ def search_canvas_design(
     iterations: int = 400,
     seed: int = 0,
     initial: frozenset[LatticeSite] | None = None,
+    guide=None,
 ) -> tuple[frozenset[LatticeSite], int, int] | None:
     """Stochastic local search for a correct canvas.
 
     Returns (canvas sites, correct, total) of the best design found, or
     None if no candidate scored above zero.  A design is complete when
     correct == total.
+
+    With ``guide`` (a :class:`~repro.learn.guide.SurrogateGuide`), each
+    iteration proposes a batch of mutations, lets the surrogate re-rank
+    them and prune hopeless batches, and physics-scores at most the top
+    pick -- the search trajectory and runtime change, but every
+    accepted score (and the returned winner) still comes from the
+    exact ground-state oracle, never from the surrogate.  Without a
+    guide the search is bit-identical to previous releases.
     """
     rng = random.Random(seed)
     candidates = list(problem.candidate_sites)
@@ -97,6 +180,8 @@ def search_canvas_design(
         span.set("candidate_sites", len(candidates))
         span.set("max_dots", max_dots)
         span.set("iterations", iterations)
+        if guide is not None:
+            span.set("guided", True)
         best = current
         span.add("evaluations")
         best_score = score_design(problem, current)[0]
@@ -107,24 +192,28 @@ def search_canvas_design(
         current_score = best_score
 
         for _ in range(iterations):
-            move = rng.random()
-            next_canvas = set(current)
-            if (move < 0.45 or not next_canvas) and len(next_canvas) < max_dots:
-                addition = rng.choice(candidates)
-                if addition in next_canvas:
+            if guide is None:
+                frozen = _propose_mutation(rng, current, candidates, max_dots)
+                if frozen is None:
                     continue
-                next_canvas.add(addition)
-            elif move < 0.75 and next_canvas:
-                next_canvas.discard(rng.choice(sorted(next_canvas)))
-            elif next_canvas:
-                next_canvas.discard(rng.choice(sorted(next_canvas)))
-                addition = rng.choice(candidates)
-                next_canvas.add(addition)
+                probability = None
             else:
-                continue
-            frozen = frozenset(next_canvas)
+                proposals = []
+                for _ in range(guide.batch):
+                    proposal = _propose_mutation(
+                        rng, current, candidates, max_dots
+                    )
+                    if proposal is not None:
+                        proposals.append(proposal)
+                selection = guide.select(problem, proposals)
+                if selection is None:
+                    continue
+                index, probability = selection
+                frozen = proposals[index]
             span.add("evaluations")
             score = score_design(problem, frozen)[0]
+            if guide is not None:
+                guide.observe(probability, score == total)
             # Greedy with sideways moves.
             if score >= current_score:
                 current = frozen
@@ -137,6 +226,8 @@ def search_canvas_design(
                         span.set("best_score", f"{best_score}/{total}")
                         return best, best_score, total
         span.set("best_score", f"{best_score}/{total}")
+        if guide is not None:
+            span.set("pruned", guide.pruned)
         if best_score == 0:
             return None
         return best, best_score, total

@@ -1,0 +1,83 @@
+"""Learned surrogate guidance for SiDB gate design (ROADMAP item 3).
+
+A data flywheel layered onto the existing design stack:
+
+* **collect** -- every physics-labeled candidate evaluation
+  (:func:`~repro.gatelib.designer.score_design`,
+  :func:`~repro.sidb.operational.check_operational`) can be recorded
+  through the allocation-free :mod:`repro.learn.hooks` into versioned
+  dataset shards (:mod:`repro.learn.dataset`), persisted
+  content-addressed through the service artifact store;
+* **train** -- a pure-numpy calibrated logistic-regression +
+  boosted-stumps model (:mod:`repro.learn.model`) over the
+  deterministic geometry features of :mod:`repro.learn.features`;
+* **serve** -- a :class:`~repro.learn.guide.SurrogateGuide` re-ranks
+  and prunes designer candidates ahead of physics, while every
+  surviving winner is still verified by the exact ground-state
+  oracle -- the guide can change runtime, never a shipped verdict.
+"""
+
+from repro.learn import hooks
+from repro.learn.collect import (
+    BootstrapProblem,
+    bootstrap_problems,
+    collect_canvas_examples,
+    screening_pool,
+)
+from repro.learn.dataset import (
+    DATASET_SCHEMA_VERSION,
+    Dataset,
+    Example,
+    ExampleCollector,
+    default_learn_dir,
+    dumps_shard,
+    load_examples,
+    parse_shard,
+    write_shard,
+    write_shard_npz,
+)
+from repro.learn.features import (
+    FEATURE_NAMES,
+    FEATURE_VERSION,
+    CandidateGeometry,
+    feature_names,
+    featurize_candidate,
+)
+from repro.learn.guide import SurrogateGuide, default_model_path
+from repro.learn.model import (
+    MODEL_SCHEMA_VERSION,
+    SurrogateModel,
+    evaluate_surrogate,
+    roc_auc,
+    train_surrogate,
+)
+
+__all__ = [
+    "BootstrapProblem",
+    "CandidateGeometry",
+    "DATASET_SCHEMA_VERSION",
+    "Dataset",
+    "Example",
+    "ExampleCollector",
+    "FEATURE_NAMES",
+    "FEATURE_VERSION",
+    "MODEL_SCHEMA_VERSION",
+    "SurrogateGuide",
+    "SurrogateModel",
+    "bootstrap_problems",
+    "collect_canvas_examples",
+    "default_learn_dir",
+    "default_model_path",
+    "dumps_shard",
+    "evaluate_surrogate",
+    "feature_names",
+    "featurize_candidate",
+    "hooks",
+    "load_examples",
+    "parse_shard",
+    "roc_auc",
+    "screening_pool",
+    "train_surrogate",
+    "write_shard",
+    "write_shard_npz",
+]

@@ -1,0 +1,205 @@
+"""Surrogate-guided candidate selection for the canvas designer.
+
+A :class:`SurrogateGuide` sits *in front of* the physics oracle in
+:func:`repro.gatelib.designer.search_canvas_design`: per search
+iteration it featurizes a small batch of proposed canvas mutations,
+re-ranks them by the surrogate's predicted operability, prunes the
+batch entirely when no proposal clears the probability threshold, and
+hands at most one survivor to ``score_design`` for the real
+ground-state evaluation.
+
+Safety contract (the reason the guide can never ship a wrong gate):
+
+* the guide only decides *which* candidates receive physics -- every
+  accepted design, and in particular the search winner, carries a
+  score computed by the exact ground-state oracle, never a prediction;
+* :func:`~repro.sidb.operational.check_operational` -- the function
+  whose verdict decides whether a gate ships -- never consults the
+  guide at all; with the guide enabled it contributes training
+  examples and telemetry, nothing else.
+
+Enabling the guide may therefore change *runtime* (fewer physics
+evaluations) and the *search trajectory*, but never the operational
+verdict of a validated gate: the library-sweep verdict-equality gate
+in ``benchmarks/bench_learn.py`` checks exactly this.
+
+Telemetry: ``learn.candidates_scored`` / ``learn.candidates_pruned``
+counters and the surrogate hit-rate (``learn.surrogate_hits`` /
+``learn.surrogate_misses``, a hit being a >=0.5 prediction matching
+the physics outcome on an evaluated candidate).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.learn.dataset import default_learn_dir
+from repro.learn.features import CandidateGeometry, featurize_candidate
+from repro.learn.model import SurrogateModel
+
+#: Default admission threshold: proposals below this predicted
+#: operability are pruned without physics.
+DEFAULT_THRESHOLD = 0.2
+
+#: Default number of mutation proposals ranked per search iteration.
+DEFAULT_BATCH = 8
+
+#: After this many *consecutive* pruned batches the next batch's best
+#: proposal is admitted regardless of threshold.  Bounds how long the
+#: guide can starve the search of physics: on problems where the
+#: surrogate is uniformly pessimistic (e.g. a function the template
+#: cannot realize) the search still evaluates its top-ranked proposal
+#: once per ``patience + 1`` iterations instead of stalling.
+DEFAULT_PATIENCE = 3
+
+#: Adaptive admission: the batch best must also clear this quantile of
+#: the recently scored probabilities.  Absolute probabilities shift
+#: wildly between problems (a template that is nearly a gate sits near
+#: 0.5, a hopeless one near 0.05), so a fixed threshold either prunes
+#: nothing or everything; ranking against the trajectory's own recent
+#: proposals keeps physics reserved for the top slice either way.
+DEFAULT_ADMIT_QUANTILE = 0.9
+
+#: Rolling window of scored probabilities behind the adaptive quantile.
+HISTORY_WINDOW = 512
+
+#: Scored probabilities needed before the adaptive quantile engages.
+HISTORY_MIN = 16
+
+
+def default_model_path() -> Path:
+    """Where ``repro learn train`` writes and the CLI looks by default."""
+    return default_learn_dir() / "model.json"
+
+
+class SurrogateGuide:
+    """Re-ranks and prunes designer candidates ahead of physics."""
+
+    def __init__(
+        self,
+        model: SurrogateModel,
+        threshold: float = DEFAULT_THRESHOLD,
+        batch: int = DEFAULT_BATCH,
+        patience: int = DEFAULT_PATIENCE,
+        admit_quantile: float = DEFAULT_ADMIT_QUANTILE,
+    ) -> None:
+        self.model = model
+        self.threshold = float(threshold)
+        self.batch = max(1, int(batch))
+        self.patience = max(0, int(patience))
+        self.admit_quantile = min(max(float(admit_quantile), 0.0), 1.0)
+        self.scored = 0
+        self.pruned = 0
+        self.evaluated = 0
+        self.hits = 0
+        self.misses = 0
+        self._consecutive_pruned = 0
+        self._history: list[float] = []
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path | None = None,
+        threshold: float = DEFAULT_THRESHOLD,
+        batch: int = DEFAULT_BATCH,
+        patience: int = DEFAULT_PATIENCE,
+        admit_quantile: float = DEFAULT_ADMIT_QUANTILE,
+    ) -> "SurrogateGuide":
+        """A guide from a serialized model (default: the learn dir's)."""
+        return cls(
+            SurrogateModel.load(path or default_model_path()),
+            threshold=threshold,
+            batch=batch,
+            patience=patience,
+            admit_quantile=admit_quantile,
+        )
+
+    # --- ranking -------------------------------------------------------
+    def probabilities(self, problem, canvases) -> np.ndarray:
+        """Predicted operability of each proposed canvas."""
+        vectors = np.stack(
+            [
+                featurize_candidate(
+                    CandidateGeometry.from_canvas_problem(problem, canvas),
+                    parameters=problem.parameters,
+                )
+                for canvas in canvases
+            ]
+        )
+        self.scored += len(canvases)
+        obs.add("learn.candidates_scored", len(canvases))
+        return self.model.predict_proba(vectors)
+
+    def select(self, problem, canvases) -> tuple[int, float] | None:
+        """Index + probability of the best admissible proposal.
+
+        ``None`` when every proposal falls below the admission bar --
+        the fixed ``threshold`` or, once enough probabilities have been
+        scored, the ``admit_quantile`` of the recent-history window,
+        whichever is higher -- and the whole batch is pruned; unless
+        ``patience`` consecutive batches have already been pruned, in
+        which case the batch's best proposal is admitted anyway.  Non-selected proposals count
+        as pruned either way -- they never reach physics.
+        """
+        if not canvases:
+            return None
+        probabilities = self.probabilities(problem, canvases)
+        best = int(np.argmax(probabilities))
+        probability = float(probabilities[best])
+        admit_at = self.threshold
+        if len(self._history) >= HISTORY_MIN:
+            admit_at = max(
+                admit_at,
+                float(np.quantile(self._history, self.admit_quantile)),
+            )
+        self._history.extend(float(p) for p in probabilities)
+        del self._history[:-HISTORY_WINDOW]
+        if (
+            probability < admit_at
+            and self._consecutive_pruned < self.patience
+        ):
+            self._consecutive_pruned += 1
+            self.pruned += len(canvases)
+            obs.add("learn.candidates_pruned", len(canvases))
+            return None
+        self._consecutive_pruned = 0
+        pruned = len(canvases) - 1
+        if pruned:
+            self.pruned += pruned
+            obs.add("learn.candidates_pruned", pruned)
+        return best, probability
+
+    # --- telemetry -----------------------------------------------------
+    def observe(self, probability: float, operational: bool) -> None:
+        """Record a physics outcome against the surrogate's prediction."""
+        self.evaluated += 1
+        if (probability >= 0.5) == bool(operational):
+            self.hits += 1
+            obs.add("learn.surrogate_hits")
+        else:
+            self.misses += 1
+            obs.add("learn.surrogate_misses")
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of evaluated candidates the surrogate called right."""
+        if not self.evaluated:
+            return float("nan")
+        return self.hits / self.evaluated
+
+    def stats(self) -> dict:
+        return {
+            "scored": self.scored,
+            "pruned": self.pruned,
+            "evaluated": self.evaluated,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "threshold": self.threshold,
+            "batch": self.batch,
+            "patience": self.patience,
+            "admit_quantile": self.admit_quantile,
+        }

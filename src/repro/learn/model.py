@@ -1,0 +1,299 @@
+"""Pure-numpy surrogate model: calibrated logistic regression + stumps.
+
+The surrogate predicts the probability that a candidate gate geometry
+is *operational* (every input pattern correct) from its
+:mod:`repro.learn.features` vector.  The architecture is deliberately
+dependency-free and tiny:
+
+1. **standardized logistic regression** -- full-batch gradient descent
+   on the standardized features (deterministic: zero init, fixed
+   epoch count, no stochastic sampling);
+2. **gradient-boosted depth-1 stumps** -- each round fits one
+   (feature, threshold, left, right) stump to the logistic-loss
+   negative gradient, capturing the threshold-shaped physics
+   (minimum dot spacing, potential ceilings) a linear model misses;
+3. **Platt calibration** -- a final 1-D logistic fit of the combined
+   margin, so ``predict_proba`` outputs are usable as probabilities
+   for the :class:`~repro.learn.guide.SurrogateGuide` prune threshold.
+
+Training is deterministic for a given (features, labels, seed): the
+only randomness is the seeded threshold-quantile grid, and every
+floating-point reduction runs in a fixed order.  Serialization is
+JSON with :data:`MODEL_SCHEMA_VERSION`; loaders reject other versions
+and models built against a different featurizer version.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.learn.features import FEATURE_NAMES, FEATURE_VERSION
+
+#: Bump when the serialized model document layout changes.
+MODEL_SCHEMA_VERSION = 1
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    z = np.asarray(z, dtype=np.float64)
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    expz = np.exp(z[~positive])
+    out[~positive] = expz / (1.0 + expz)
+    return out
+
+
+def roc_auc(labels, scores) -> float:
+    """Area under the ROC curve (Mann-Whitney with tie correction).
+
+    ``nan`` when only one class is present.
+    """
+    labels = np.asarray(labels, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    positive = labels > 0.5
+    num_pos = int(positive.sum())
+    num_neg = len(labels) - num_pos
+    if num_pos == 0 or num_neg == 0:
+        return float("nan")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores), dtype=np.float64)
+    sorted_scores = scores[order]
+    index = 0
+    while index < len(sorted_scores):
+        tie_end = index
+        while (
+            tie_end + 1 < len(sorted_scores)
+            and sorted_scores[tie_end + 1] == sorted_scores[index]
+        ):
+            tie_end += 1
+        ranks[order[index : tie_end + 1]] = (index + tie_end) / 2.0 + 1.0
+        index = tie_end + 1
+    rank_sum = float(ranks[positive].sum())
+    return (rank_sum - num_pos * (num_pos + 1) / 2.0) / (num_pos * num_neg)
+
+
+@dataclass
+class SurrogateModel:
+    """A trained, serializable candidate-operability classifier."""
+
+    feature_version: int
+    feature_names: tuple[str, ...]
+    mean: np.ndarray
+    scale: np.ndarray
+    weights: np.ndarray
+    bias: float
+    stumps: list[tuple[int, float, float, float]]
+    stump_rate: float
+    calibration: tuple[float, float]
+    trained_on: int = 0
+    seed: int = 0
+
+    # --- inference -----------------------------------------------------
+    def raw_margin(self, features) -> np.ndarray:
+        """Uncalibrated decision margin for one or many feature rows."""
+        X = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        Z = (X - self.mean) / self.scale
+        margin = Z @ self.weights + self.bias
+        for feature, threshold, left, right in self.stumps:
+            margin = margin + self.stump_rate * np.where(
+                Z[:, feature] <= threshold, left, right
+            )
+        return margin
+
+    def predict_proba(self, features) -> np.ndarray:
+        """Calibrated P(operational) for one or many feature rows."""
+        a, b = self.calibration
+        return sigmoid(a * self.raw_margin(features) + b)
+
+    # --- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": MODEL_SCHEMA_VERSION,
+            "feature_version": self.feature_version,
+            "feature_names": list(self.feature_names),
+            "mean": self.mean.tolist(),
+            "scale": self.scale.tolist(),
+            "weights": self.weights.tolist(),
+            "bias": self.bias,
+            "stumps": [list(stump) for stump in self.stumps],
+            "stump_rate": self.stump_rate,
+            "calibration": list(self.calibration),
+            "trained_on": self.trained_on,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "SurrogateModel":
+        if document.get("schema_version") != MODEL_SCHEMA_VERSION:
+            raise ValueError(
+                f"model schema {document.get('schema_version')!r} != "
+                f"{MODEL_SCHEMA_VERSION}"
+            )
+        if document.get("feature_version") != FEATURE_VERSION:
+            raise ValueError(
+                f"model featurizer version "
+                f"{document.get('feature_version')!r} != {FEATURE_VERSION}"
+            )
+        names = tuple(document.get("feature_names", ()))
+        if names != FEATURE_NAMES:
+            raise ValueError("model feature names do not match this build")
+        return cls(
+            feature_version=int(document["feature_version"]),
+            feature_names=names,
+            mean=np.array(document["mean"], dtype=np.float64),
+            scale=np.array(document["scale"], dtype=np.float64),
+            weights=np.array(document["weights"], dtype=np.float64),
+            bias=float(document["bias"]),
+            stumps=[
+                (int(f), float(t), float(lv), float(rv))
+                for f, t, lv, rv in document["stumps"]
+            ],
+            stump_rate=float(document["stump_rate"]),
+            calibration=(
+                float(document["calibration"][0]),
+                float(document["calibration"][1]),
+            ),
+            trained_on=int(document.get("trained_on", 0)),
+            seed=int(document.get("seed", 0)),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SurrogateModel":
+        return cls.from_dict(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )
+
+
+def _fit_stump(Z: np.ndarray, residual: np.ndarray, thresholds_by_feature):
+    """Best squared-error stump on the residuals, or ``None``."""
+    count = len(residual)
+    best = None
+    for feature in range(Z.shape[1]):
+        column = Z[:, feature]
+        for threshold in thresholds_by_feature[feature]:
+            mask = column <= threshold
+            num_left = int(mask.sum())
+            if num_left == 0 or num_left == count:
+                continue
+            left = float(residual[mask].mean())
+            right = float(residual[~mask].mean())
+            gain = num_left * left * left + (count - num_left) * right * right
+            if best is None or gain > best[0] + 1e-15:
+                best = (gain, feature, float(threshold), left, right)
+    return best
+
+
+def train_surrogate(
+    features,
+    labels,
+    *,
+    seed: int = 0,
+    l2: float = 1e-2,
+    epochs: int = 400,
+    learning_rate: float = 0.5,
+    stump_rounds: int = 40,
+    stump_rate: float = 0.3,
+) -> SurrogateModel:
+    """Train the full pipeline; deterministic for fixed inputs and seed."""
+    X = np.asarray(features, dtype=np.float64)
+    y = np.asarray(labels, dtype=np.float64)
+    if X.ndim != 2 or X.shape[1] != len(FEATURE_NAMES):
+        raise ValueError(
+            f"features must be (N, {len(FEATURE_NAMES)}); got {X.shape}"
+        )
+    if len(y) != X.shape[0]:
+        raise ValueError("labels length does not match features")
+    count = X.shape[0]
+    if count == 0:
+        raise ValueError("cannot train on an empty dataset")
+
+    mean = X.mean(axis=0)
+    std = X.std(axis=0)
+    scale = np.where(std > 1e-12, std, 1.0)
+    Z = (X - mean) / scale
+
+    # 1) logistic regression, full-batch gradient descent.
+    weights = np.zeros(Z.shape[1], dtype=np.float64)
+    base_rate = min(max(float(y.mean()), 1e-6), 1.0 - 1e-6)
+    bias = float(np.log(base_rate / (1.0 - base_rate)))
+    for _ in range(epochs):
+        predictions = sigmoid(Z @ weights + bias)
+        error = predictions - y
+        weights -= learning_rate * (Z.T @ error / count + l2 * weights)
+        bias -= learning_rate * float(error.mean())
+    margin = Z @ weights + bias
+
+    # 2) gradient-boosted stumps on the logistic-loss gradient.
+    rng = np.random.default_rng(seed)
+    quantiles = np.sort(rng.uniform(0.05, 0.95, size=9))
+    thresholds_by_feature = [
+        np.unique(np.quantile(Z[:, feature], quantiles))
+        for feature in range(Z.shape[1])
+    ]
+    stumps: list[tuple[int, float, float, float]] = []
+    for _ in range(stump_rounds):
+        residual = y - sigmoid(margin)
+        best = _fit_stump(Z, residual, thresholds_by_feature)
+        if best is None or best[0] < 1e-12:
+            break
+        _, feature, threshold, left, right = best
+        stumps.append((feature, threshold, left, right))
+        margin = margin + stump_rate * np.where(
+            Z[:, feature] <= threshold, left, right
+        )
+
+    # 3) Platt calibration of the combined margin.
+    a, b = 1.0, 0.0
+    for _ in range(200):
+        probabilities = sigmoid(a * margin + b)
+        error = probabilities - y
+        a -= 0.5 * float((error * margin).mean())
+        b -= 0.5 * float(error.mean())
+
+    return SurrogateModel(
+        feature_version=FEATURE_VERSION,
+        feature_names=FEATURE_NAMES,
+        mean=mean,
+        scale=scale,
+        weights=weights,
+        bias=bias,
+        stumps=stumps,
+        stump_rate=stump_rate,
+        calibration=(a, b),
+        trained_on=count,
+        seed=seed,
+    )
+
+
+def evaluate_surrogate(model: SurrogateModel, features, labels) -> dict:
+    """Held-out metrics: AUC, accuracy, log-loss, class balance."""
+    X = np.asarray(features, dtype=np.float64)
+    y = np.asarray(labels, dtype=np.float64)
+    probabilities = model.predict_proba(X)
+    clipped = np.clip(probabilities, 1e-12, 1.0 - 1e-12)
+    log_loss = float(
+        -(y * np.log(clipped) + (1.0 - y) * np.log(1.0 - clipped)).mean()
+    ) if len(y) else float("nan")
+    return {
+        "examples": int(len(y)),
+        "positives": int((y > 0.5).sum()),
+        "auc": roc_auc(y, probabilities),
+        "accuracy": float(((probabilities >= 0.5) == (y > 0.5)).mean())
+        if len(y)
+        else float("nan"),
+        "log_loss": log_loss,
+    }

@@ -40,7 +40,11 @@ from repro.tech.design_rules import DesignRules
 #: which can change the produced defect report).  Version 3 added
 #: ``timing`` (static timing analysis changes the persisted
 #: ``result.json`` document) and versioned the structured report.
-DIGEST_VERSION = 3
+#: Version 4 added ``learn`` (surrogate-example collection during the
+#: flow -- the artifacts stay bit-identical, but a learn-enabled run
+#: performs side-effectful collection a cached hit would silently
+#: skip, so the two must not share a digest).
+DIGEST_VERSION = 4
 
 
 class UncacheableConfigurationError(ValueError):
@@ -93,6 +97,7 @@ def normalize_configuration(configuration: FlowConfiguration) -> dict:
         "exact_time_limit_seconds": configuration.exact_time_limit_seconds,
         "heuristic_max_width": configuration.heuristic_max_width,
         "timing": configuration.timing,
+        "learn": configuration.learn,
         "design_rules": {
             "min_metal_pitch_nm": rules.min_metal_pitch_nm,
             "min_canvas_separation_nm": rules.min_canvas_separation_nm,
@@ -126,6 +131,7 @@ def configuration_from_normalized(normalized: dict) -> FlowConfiguration:
         exact_time_limit_seconds=normalized["exact_time_limit_seconds"],
         heuristic_max_width=normalized["heuristic_max_width"],
         timing=normalized.get("timing", False),
+        learn=normalized.get("learn", False),
         design_rules=DesignRules(
             min_metal_pitch_nm=rules["min_metal_pitch_nm"],
             min_canvas_separation_nm=rules["min_canvas_separation_nm"],

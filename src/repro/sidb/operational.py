@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.coords.lattice import LatticeSite
+from repro.learn import hooks as _learn_hooks
 from repro.networks.truth_table import TruthTable
 from repro.sidb.bdl import BdlPair, read_bdl_pair
 from repro.sidb.charge import SidbLayout
@@ -203,6 +204,20 @@ def check_operational(
     results = run_tasks(
         simulate_pattern, tasks, workers, label="operational.patterns"
     )
+    # Learn-hook: contribute this physics-labeled geometry as a
+    # training example.  Disabled path is one attribute check; the
+    # hook never influences the verdict below.
+    if _learn_hooks.COLLECTOR is not None:
+        _learn_hooks.record_operational(
+            body_sites,
+            input_stimuli,
+            output_pairs,
+            spec.outputs,
+            parameters,
+            tuple(defects) if defects else (),
+            correct=sum(1 for result in results if result.correct),
+            total=len(results),
+        )
     return OperationalReport(
         operational=all(result.correct for result in results),
         patterns=results,

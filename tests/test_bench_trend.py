@@ -53,11 +53,16 @@ def test_normalized_check_forgives_a_slower_machine(tmp_path):
     assert bench_trend.check_history(history) == []
 
 
-def test_normalized_check_catches_a_real_regression(tmp_path):
-    # Metric doubles while the calibration holds: the code got slower.
+def test_normalized_check_catches_a_persistent_regression(tmp_path):
+    # Metric doubles while the calibration holds, and stays doubled in
+    # the next record: the code got slower, confirmed over two runs.
     history = _write_history(
         tmp_path / "h.jsonl",
-        [_record(0.03, calibration=0.05), _record(0.06, calibration=0.05)],
+        [
+            _record(0.03, calibration=0.05),
+            _record(0.06, calibration=0.05),
+            _record(0.06, calibration=0.05),
+        ],
     )
     failures = bench_trend.check_history(history)
     assert len(failures) == 1
@@ -65,9 +70,38 @@ def test_normalized_check_catches_a_real_regression(tmp_path):
     assert "100.0%" in failures[0]
 
 
+def test_single_record_spike_warns_but_does_not_fail(tmp_path):
+    # One noisy latest record: the regression is unconfirmed, so the
+    # gate passes and the spike is reported through *warnings*.
+    history = _write_history(
+        tmp_path / "h.jsonl",
+        [
+            _record(0.03, calibration=0.05),
+            _record(0.03, calibration=0.05),
+            _record(0.06, calibration=0.05),
+        ],
+    )
+    warnings = []
+    assert bench_trend.check_history(history, warnings=warnings) == []
+    assert len(warnings) == 1
+    assert "simanneal_batch_seconds" in warnings[0]
+
+
+def test_two_records_alone_cannot_confirm_a_regression(tmp_path):
+    # The second-ever record has no window preceding the first, so a
+    # regression cannot be confirmed yet -- warning only.
+    history = _write_history(
+        tmp_path / "h.jsonl",
+        [_record(0.03, calibration=0.05), _record(0.06, calibration=0.05)],
+    )
+    warnings = []
+    assert bench_trend.check_history(history, warnings=warnings) == []
+    assert len(warnings) == 1
+
+
 def test_legacy_records_compare_absolutely(tmp_path):
     history = _write_history(
-        tmp_path / "h.jsonl", [_record(0.03), _record(0.05)]
+        tmp_path / "h.jsonl", [_record(0.03), _record(0.05), _record(0.05)]
     )
     failures = bench_trend.check_history(history)
     assert len(failures) == 1
